@@ -1,0 +1,59 @@
+//! Throughput of the spec-aggregation pipeline.
+//!
+//! A production cluster produces one sample per task per minute — tens of
+//! thousands per minute cluster-wide; the aggregator must absorb that and
+//! roll specs every refresh period.
+
+use cpi2_core::{Cpi2Config, CpiSample, SpecBuilder, TaskClass, TaskHandle};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sample(job: u32, task: u64, cpi: f64) -> CpiSample {
+    CpiSample {
+        task: TaskHandle(task),
+        jobname: format!("job{job}"),
+        platforminfo: "westmere".into(),
+        timestamp: 0,
+        cpu_usage: 1.0,
+        cpi,
+        l3_mpki: 1.0,
+        class: TaskClass::latency_sensitive(),
+    }
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    // Ingest throughput: 10k samples across 20 jobs.
+    let samples: Vec<CpiSample> = (0..10_000)
+        .map(|i| sample(i % 20, (i % 500) as u64, 1.5 + 0.001 * (i % 97) as f64))
+        .collect();
+    let mut g = c.benchmark_group("spec_builder");
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("ingest 10k samples / 20 jobs", |b| {
+        b.iter_batched(
+            || SpecBuilder::new(Cpi2Config::default()),
+            |mut builder| {
+                for s in &samples {
+                    builder.add_sample(black_box(s));
+                }
+                builder
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("ingest + roll period", |b| {
+        b.iter_batched(
+            || SpecBuilder::new(Cpi2Config::default()),
+            |mut builder| {
+                for s in &samples {
+                    builder.add_sample(s);
+                }
+                black_box(builder.roll_period())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

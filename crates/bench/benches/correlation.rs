@@ -1,0 +1,73 @@
+//! Cost of the §4.2 antagonist-correlation analysis.
+//!
+//! The paper reports "a single correlation-analysis typically takes about
+//! 100µs to perform" on 2011 hardware; it is rate-limited to one per
+//! second so the analysis never disturbs the machine. These benches
+//! measure the per-analysis and per-machine-suspect-sweep cost.
+
+use cpi2_core::antagonist::{rank_suspects, SuspectInput};
+use cpi2_core::correlation::antagonist_correlation;
+use cpi2_core::sample::{TaskClass, TaskHandle};
+use cpi2_stats::rng::SimRng;
+use cpi2_stats::timeseries::TimeSeries;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn window_pairs(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|_| (1.0 + 2.0 * rng.f64(), 5.0 * rng.f64()))
+        .collect()
+}
+
+fn usage_series(n: usize, seed: u64) -> TimeSeries {
+    let mut rng = SimRng::new(seed);
+    TimeSeries::from_points(
+        (0..n)
+            .map(|i| (i as i64 * 60_000_000, 5.0 * rng.f64()))
+            .collect(),
+    )
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    // One victim/suspect pair over the paper's 10-minute window
+    // (10 one-minute samples).
+    let pairs10 = window_pairs(10, 1);
+    c.bench_function("antagonist_correlation/10-sample window", |b| {
+        b.iter(|| antagonist_correlation(black_box(&pairs10), black_box(2.0)))
+    });
+
+    // A long window (1 hour of samples).
+    let pairs60 = window_pairs(60, 2);
+    c.bench_function("antagonist_correlation/60-sample window", |b| {
+        b.iter(|| antagonist_correlation(black_box(&pairs60), black_box(2.0)))
+    });
+
+    // Full suspect sweep: one victim against 57 co-tenants (Case 1's
+    // machine), including the time alignment.
+    let victim = usage_series(10, 3);
+    let suspects_data: Vec<TimeSeries> = (0..57).map(|i| usage_series(10, 100 + i)).collect();
+    let names: Vec<String> = (0..57).map(|i| format!("job{i}")).collect();
+    c.bench_function("rank_suspects/57 tenants x 10 samples", |b| {
+        b.iter_batched(
+            || {
+                suspects_data
+                    .iter()
+                    .zip(&names)
+                    .enumerate()
+                    .map(|(i, (s, n))| SuspectInput {
+                        task: TaskHandle(i as u64),
+                        jobname: n,
+                        class: TaskClass::batch(),
+                        usage: s,
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |inputs| rank_suspects(black_box(&victim), black_box(&inputs), 2.0, 30_000_000),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_correlation);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Per-sample cost of outlier detection and the full agent ingest path.
+//!
+//! Detection runs on every machine once a minute for every task; the paper
+//! budgets <0.1 % CPU for the whole of CPI². These benches bound the
+//! detector and agent costs per sampling round.
+
+use cpi2_core::{Agent, Cpi2Config, CpiSample, CpiSpec, OutlierDetector, TaskClass, TaskHandle};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn spec() -> CpiSpec {
+    CpiSpec {
+        jobname: "svc".into(),
+        platforminfo: "westmere".into(),
+        num_samples: 100_000,
+        cpu_usage_mean: 1.0,
+        cpi_mean: 1.8,
+        cpi_stddev: 0.16,
+    }
+}
+
+fn sample(task: u64, minute: i64, cpi: f64) -> CpiSample {
+    CpiSample {
+        task: TaskHandle(task),
+        jobname: "svc".into(),
+        platforminfo: "westmere".into(),
+        timestamp: minute * 60_000_000,
+        cpu_usage: 1.0,
+        cpi,
+        l3_mpki: 1.0,
+        class: TaskClass::latency_sensitive(),
+    }
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let cfg = Cpi2Config::default();
+    let sp = spec();
+    c.bench_function("outlier_detector/observe normal sample", |b| {
+        let mut d = OutlierDetector::new();
+        let mut minute = 0;
+        b.iter(|| {
+            minute += 1;
+            d.observe(black_box(&sample(1, minute, 1.8)), &sp, &cfg)
+        })
+    });
+    c.bench_function("outlier_detector/observe outlier sample", |b| {
+        let mut d = OutlierDetector::new();
+        let mut minute = 0;
+        b.iter(|| {
+            minute += 1;
+            d.observe(black_box(&sample(1, minute, 3.0)), &sp, &cfg)
+        })
+    });
+
+    // A full machine round: 50 tasks, one sample each, all normal.
+    c.bench_function("agent/ingest 50-task round (normal)", |b| {
+        b.iter_batched(
+            || {
+                let mut agent = Agent::new(Cpi2Config::default());
+                agent.install_spec(spec());
+                (agent, 0i64)
+            },
+            |(mut agent, _)| {
+                for minute in 0..10 {
+                    let batch: Vec<CpiSample> = (0..50).map(|t| sample(t, minute, 1.8)).collect();
+                    black_box(agent.ingest(&batch));
+                }
+                agent
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The worst case: an anomalous victim forcing a correlation analysis
+    // against 49 suspects every round.
+    c.bench_function("agent/ingest 50-task round (anomalous victim)", |b| {
+        b.iter_batched(
+            || {
+                let mut agent = Agent::new(Cpi2Config::default());
+                agent.install_spec(spec());
+                agent
+            },
+            |mut agent| {
+                for minute in 0..10 {
+                    let mut batch: Vec<CpiSample> =
+                        (1..50).map(|t| sample(t, minute, 1.8)).collect();
+                    batch.push(sample(0, minute, 4.0));
+                    black_box(agent.ingest(&batch));
+                }
+                agent
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Cost of the fully-assembled system: cluster + samplers + agents +
+//! pipeline per simulated second, the number that bounds every experiment
+//! and (scaled) the real deployment's per-machine overhead.
+
+use cpi2::core::Cpi2Config;
+use cpi2::harness::Cpi2Harness;
+use cpi2::sim::{Cluster, ClusterConfig, Platform, SimDuration};
+use cpi2::workloads;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn assembled(machines: u32) -> Cpi2Harness {
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed: 5,
+        overcommit: 2.0,
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), machines);
+    workloads::submit_typical_mix(&mut cluster, (machines / 20).max(1), 3);
+    let config = Cpi2Config {
+        min_samples_per_task: 5,
+        ..Cpi2Config::default()
+    };
+    let mut system = Cpi2Harness::new(cluster, config);
+    // Warm to steady state with specs installed.
+    system.run_for(SimDuration::from_mins(31));
+    system.force_spec_refresh();
+    system.run_for(SimDuration::from_mins(2));
+    system
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpi2_system");
+    for machines in [20u32, 80] {
+        g.throughput(Throughput::Elements(machines as u64 * 60));
+        g.bench_function(
+            format!("{machines} machines, 1 simulated minute"),
+            |b| {
+                b.iter_batched(
+                    || assembled(machines),
+                    |mut system| {
+                        system.run_for(SimDuration::from_mins(1));
+                        black_box(system.incidents().len())
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_harness);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Forensics query-engine scan throughput.
+
+use cpi2_pipeline::query::{Row, Value};
+use cpi2_pipeline::{Dataset, Table};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn dataset(rows: usize) -> Dataset {
+    let mut table = Table::new("incidents");
+    for i in 0..rows {
+        let mut r = Row::new();
+        r.insert("victim_job".into(), Value::Str(format!("job{}", i % 50)));
+        r.insert("antagonist".into(), Value::Str(format!("ant{}", i % 13)));
+        r.insert("correlation".into(), Value::Num((i % 100) as f64 / 100.0));
+        r.insert("acted".into(), Value::Bool(i % 3 == 0));
+        table.rows.push(r);
+    }
+    let mut ds = Dataset::new();
+    ds.insert(table);
+    ds
+}
+
+fn bench_query(c: &mut Criterion) {
+    let ds = dataset(100_000);
+    let mut g = c.benchmark_group("query_engine");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("filter scan 100k rows", |b| {
+        b.iter(|| {
+            black_box(
+                ds.query("SELECT victim_job FROM incidents WHERE correlation >= 0.9")
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("group-by aggregate 100k rows", |b| {
+        b.iter(|| {
+            black_box(
+                ds.query(
+                    "SELECT antagonist, count(*), avg(correlation) FROM incidents \
+                     WHERE acted = true GROUP BY antagonist ORDER BY count(*) DESC LIMIT 10",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

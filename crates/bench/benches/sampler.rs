@@ -1,0 +1,60 @@
+//! Counter-sampler polling cost.
+//!
+//! The sampler polls every machine every tick; outside the counting window
+//! this must be almost free, and window open/close must stay cheap even on
+//! crowded machines.
+
+use cpi2_perf::{MachineSampler, SamplerConfig};
+use cpi2_sim::{
+    ConstantLoad, JobId, Machine, MachineId, Platform, Priority, ResourceProfile, SchedClass,
+    SimDuration, SimTime, TaskId, TaskInstance,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn crowded_machine(tasks: u32) -> Machine {
+    let mut m = Machine::new(MachineId(0), Platform::westmere(), 1);
+    for i in 0..tasks {
+        m.add_task(
+            TaskInstance {
+                id: TaskId {
+                    job: JobId(i),
+                    index: 0,
+                },
+                model: Box::new(ConstantLoad::new(0.2, 4, ResourceProfile::compute_bound())),
+            },
+            format!("job{i}"),
+            SchedClass::Batch,
+            Priority::NonProduction,
+            None,
+        );
+    }
+    m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+    m
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let machine = crowded_machine(50);
+
+    // Poll outside the counting window (the common case, 50/60 of polls).
+    c.bench_function("sampler/poll outside window (50 tasks)", |b| {
+        let mut s = MachineSampler::new(SamplerConfig::default());
+        // Warm past the first window.
+        for t in 0..11 {
+            s.poll(&machine, SimTime::from_secs(t));
+        }
+        b.iter(|| black_box(s.poll(&machine, SimTime::from_secs(30))))
+    });
+
+    // Full open+close cycle producing 50 readings.
+    c.bench_function("sampler/window open+close (50 tasks)", |b| {
+        b.iter(|| {
+            let mut s = MachineSampler::new(SamplerConfig::default());
+            s.poll(&machine, SimTime::from_secs(1)); // open
+            black_box(s.poll(&machine, SimTime::from_secs(11))) // close
+        })
+    });
+}
+
+criterion_group!(benches, bench_sampler);
+criterion_main!(benches);

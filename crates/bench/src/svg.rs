@@ -1,0 +1,239 @@
+//! SVG rendering of experiment figures.
+//!
+//! The ASCII plots in [`crate::plot`] go to the terminal; these helpers
+//! write the same series as standalone SVG files under `results/` so the
+//! repository ships real figure artifacts. No dependencies: the SVG is
+//! assembled by hand.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+const W: f64 = 640.0;
+const H: f64 = 400.0;
+const MARGIN: f64 = 56.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn bounds(series: &[(&str, &[(f64, f64)])]) -> Option<(f64, f64, f64, f64)> {
+    let mut it = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter())
+        .filter(|(x, y)| x.is_finite() && y.is_finite());
+    let first = it.next()?;
+    let (mut xmin, mut xmax, mut ymin, mut ymax) = (first.0, first.0, first.1, first.1);
+    for &(x, y) in it {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    Some((xmin, xmax, ymin, ymax))
+}
+
+/// Renders named series as an SVG chart. `lines` joins points with a
+/// polyline (time series); otherwise points are drawn as a scatter.
+// The raw-string templates end with a newline to frame SVG elements one
+// per line; `writeln!` cannot express that inside `r#""#` literals.
+#[allow(clippy::write_with_newline)]
+pub fn render(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    series: &[(&str, &[(f64, f64)])],
+    lines: bool,
+) -> String {
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">
+<rect width="{W}" height="{H}" fill="white"/>
+<text x="{tx}" y="22" font-family="sans-serif" font-size="15" text-anchor="middle" font-weight="bold">{title}</text>
+"#,
+        tx = W / 2.0,
+        title = esc(title),
+    );
+    let Some((xmin, xmax, ymin, ymax)) = bounds(series) else {
+        svg.push_str("</svg>\n");
+        return svg;
+    };
+    let sx = |x: f64| MARGIN + (x - xmin) / (xmax - xmin) * (W - 2.0 * MARGIN);
+    let sy = |y: f64| H - MARGIN - (y - ymin) / (ymax - ymin) * (H - 2.0 * MARGIN);
+
+    // Axes + ticks.
+    let _ = write!(
+        svg,
+        r#"<line x1="{m}" y1="{hb}" x2="{wr}" y2="{hb}" stroke="black"/>
+<line x1="{m}" y1="{mt}" x2="{m}" y2="{hb}" stroke="black"/>
+"#,
+        m = MARGIN,
+        mt = MARGIN,
+        hb = H - MARGIN,
+        wr = W - MARGIN,
+    );
+    for i in 0..=4 {
+        let fx = xmin + (xmax - xmin) * i as f64 / 4.0;
+        let fy = ymin + (ymax - ymin) * i as f64 / 4.0;
+        let _ = write!(
+            svg,
+            r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="11" text-anchor="middle">{v:.3}</text>
+<text x="{lx}" y="{ly}" font-family="sans-serif" font-size="11" text-anchor="end">{w:.3}</text>
+"#,
+            x = sx(fx),
+            y = H - MARGIN + 18.0,
+            v = fx,
+            lx = MARGIN - 6.0,
+            ly = sy(fy) + 4.0,
+            w = fy,
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="{cx}" y="{by}" font-family="sans-serif" font-size="13" text-anchor="middle">{xl}</text>
+<text x="16" y="{cy}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 {cy})">{yl}</text>
+"#,
+        cx = W / 2.0,
+        by = H - 12.0,
+        xl = esc(xlabel),
+        cy = H / 2.0,
+        yl = esc(ylabel),
+    );
+
+    // Series.
+    for (si, (name, pts)) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        if lines && pts.len() > 1 {
+            let mut path = String::new();
+            for (i, &(x, y)) in pts.iter().enumerate() {
+                if !(x.is_finite() && y.is_finite()) {
+                    continue;
+                }
+                let _ = write!(
+                    path,
+                    "{}{:.1},{:.1} ",
+                    if i == 0 { "M" } else { "L" },
+                    sx(x),
+                    sy(y)
+                );
+            }
+            let _ = write!(
+                svg,
+                r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.5"/>
+"#
+            );
+        } else {
+            for &(x, y) in pts.iter().filter(|(x, y)| x.is_finite() && y.is_finite()) {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.5" fill="{color}" fill-opacity="0.6"/>
+"#,
+                    sx(x),
+                    sy(y),
+                );
+            }
+        }
+        if !name.is_empty() {
+            let _ = write!(
+                svg,
+                r#"<rect x="{lx}" y="{ly}" width="12" height="12" fill="{color}"/>
+<text x="{tx}" y="{ty}" font-family="sans-serif" font-size="12">{n}</text>
+"#,
+                lx = W - MARGIN - 150.0,
+                ly = MARGIN + 6.0 + si as f64 * 18.0,
+                tx = W - MARGIN - 133.0,
+                ty = MARGIN + 16.0 + si as f64 * 18.0,
+                n = esc(name),
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Writes a chart to `path` (creating parent directories).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(
+    path: impl AsRef<Path>,
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    series: &[(&str, &[(f64, f64)])],
+    lines: bool,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render(title, xlabel, ylabel, series, lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_svg_scatter() {
+        let pts = [(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)];
+        let svg = render("t", "x", "y", &[("series", &pts)], false);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("series"));
+    }
+
+    #[test]
+    fn renders_lines() {
+        let pts = [(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)];
+        let svg = render("t", "x", "y", &[("s", &pts)], true);
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let svg = render("a<b & c", "x", "y", &[("", &[(0.0, 0.0)])], false);
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn handles_empty_and_degenerate() {
+        let svg = render("t", "x", "y", &[("", &[])], false);
+        assert!(svg.ends_with("</svg>\n"));
+        let svg = render("t", "x", "y", &[("", &[(1.0, 1.0)])], true);
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("cpi2_svg_test");
+        let path = dir.join("fig.svg");
+        save(
+            &path,
+            "t",
+            "x",
+            "y",
+            &[("", &[(0.0, 0.0), (1.0, 1.0)])],
+            true,
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("<svg"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

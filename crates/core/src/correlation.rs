@@ -1,0 +1,135 @@
+//! The antagonist-correlation score of §4.2 — the heart of CPI².
+//!
+//! A *passive* method: rather than throttling suspects one by one (which
+//! would disrupt innocent tasks), CPI² correlates the victim's CPI samples
+//! with each suspect's CPU usage over a window (typically 10 minutes).
+//! Quoting the paper:
+//!
+//! > Let `{c1..cn}` be CPI samples for the victim V and `cthreshold` be
+//! > the abnormal CPI threshold for V. Let `{u1..un}` be the CPU usage
+//! > for a suspected antagonist A, normalized such that `Σ ui = 1`. Set
+//! > `correlation(V,A) = 0` and then, for each time-aligned pair:
+//! >
+//! > ```text
+//! > if ci > cthreshold:  correlation += ui * (1 − cthreshold/ci)
+//! > if ci < cthreshold:  correlation += ui * (ci/cthreshold − 1)
+//! > ```
+//!
+//! The result lies in `[−1, 1]`: positive when antagonist CPU spikes
+//! coincide with high victim CPI, negative when they coincide with low
+//! victim CPI.
+
+/// Computes the §4.2 antagonist correlation from time-aligned
+/// `(victim_cpi, suspect_cpu_usage)` pairs.
+///
+/// Returns 0.0 for an empty window or a suspect that used no CPU at all
+/// (an idle task can't be blamed for anything).
+///
+/// # Panics
+///
+/// Panics if `cthreshold` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use cpi2_core::correlation::antagonist_correlation;
+/// // Victim CPI doubles exactly when the suspect burns CPU.
+/// let pairs = [(1.0, 0.0), (4.0, 10.0), (1.0, 0.0), (4.0, 10.0)];
+/// let c = antagonist_correlation(&pairs, 2.0);
+/// assert!(c > 0.4);
+/// ```
+pub fn antagonist_correlation(pairs: &[(f64, f64)], cthreshold: f64) -> f64 {
+    assert!(cthreshold > 0.0, "cthreshold must be positive");
+    let total_usage: f64 = pairs.iter().map(|&(_, u)| u.max(0.0)).sum();
+    if total_usage <= 0.0 {
+        return 0.0;
+    }
+    let mut correlation = 0.0;
+    for &(ci, ui) in pairs {
+        let ui = ui.max(0.0) / total_usage; // Normalize so Σ ui = 1.
+        if ci > cthreshold {
+            correlation += ui * (1.0 - cthreshold / ci);
+        } else if ci < cthreshold {
+            correlation += ui * (ci / cthreshold - 1.0);
+        }
+    }
+    correlation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_zero() {
+        assert_eq!(antagonist_correlation(&[], 2.0), 0.0);
+    }
+
+    #[test]
+    fn idle_suspect_is_zero() {
+        let pairs = [(5.0, 0.0), (5.0, 0.0)];
+        assert_eq!(antagonist_correlation(&pairs, 2.0), 0.0);
+    }
+
+    #[test]
+    fn guilty_suspect_scores_high() {
+        // Suspect CPU present only while victim CPI is far above threshold.
+        let pairs: Vec<(f64, f64)> = (0..10)
+            .map(|i| if i % 2 == 0 { (6.0, 3.0) } else { (1.0, 0.0) })
+            .collect();
+        let c = antagonist_correlation(&pairs, 2.0);
+        // All usage mass sits at ci=6 > cth=2: contribution 1 − 2/6 = 2/3.
+        assert!((c - 2.0 / 3.0).abs() < 1e-12, "c={c}");
+    }
+
+    #[test]
+    fn innocent_suspect_scores_negative() {
+        // Suspect CPU present only while victim CPI is *low*.
+        let pairs: Vec<(f64, f64)> = (0..10)
+            .map(|i| if i % 2 == 0 { (6.0, 0.0) } else { (1.0, 3.0) })
+            .collect();
+        let c = antagonist_correlation(&pairs, 2.0);
+        // All mass at ci=1 < cth=2: contribution 1/2 − 1 = −1/2.
+        assert!((c + 0.5).abs() < 1e-12, "c={c}");
+    }
+
+    #[test]
+    fn constant_usage_mixed_cpi_nets_out() {
+        // Usage uniform; CPI half high, half low, symmetric contributions
+        // of +1/2·(1−2/6) and −1/2·(1−1/2)... not exactly zero, but small
+        // relative to the guilty case.
+        let pairs = [(6.0, 1.0), (1.0, 1.0)];
+        let c = antagonist_correlation(&pairs, 2.0);
+        let expect = 0.5 * (1.0 - 2.0 / 6.0) + 0.5 * (1.0 / 2.0 - 1.0);
+        assert!((c - expect).abs() < 1e-12);
+        assert!(c.abs() < 0.35, "c={c} should be below the decision bar");
+    }
+
+    #[test]
+    fn at_threshold_contributes_nothing() {
+        let pairs = [(2.0, 5.0)];
+        assert_eq!(antagonist_correlation(&pairs, 2.0), 0.0);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        // Extreme cases stay within [−1, 1].
+        let high = [(1e9, 1.0)];
+        let low = [(1e-9, 1.0)];
+        assert!(antagonist_correlation(&high, 2.0) <= 1.0);
+        assert!(antagonist_correlation(&low, 2.0) >= -1.0);
+    }
+
+    #[test]
+    fn negative_usage_treated_as_zero() {
+        let pairs = [(6.0, -5.0), (6.0, 1.0)];
+        let c = antagonist_correlation(&pairs, 2.0);
+        assert!((c - (1.0 - 2.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_threshold() {
+        antagonist_correlation(&[(1.0, 1.0)], 0.0);
+    }
+}

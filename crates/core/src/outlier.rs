@@ -1,0 +1,206 @@
+//! Performance-anomaly detection (§4.1).
+//!
+//! A CPI measurement is flagged as an *outlier* when it exceeds the 2σ
+//! point of the job's predicted CPI distribution, unless the task used
+//! less than 0.25 CPU-sec/sec (the filter that suppresses the Case-3
+//! bimodal-usage false alarms). A task is *anomalous* only when it is
+//! flagged at least 3 times in a 5-minute window.
+
+use crate::config::Cpi2Config;
+use crate::sample::CpiSample;
+use crate::spec::CpiSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Verdict for one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Sample is consistent with the spec.
+    Normal,
+    /// Sample was skipped (too little CPU usage to be meaningful).
+    SkippedLowUsage,
+    /// Sample exceeded the outlier threshold, but the violation count has
+    /// not reached the anomaly bar yet.
+    Flagged,
+    /// The task is suffering anomalous behaviour: the violation count
+    /// within the window reached the configured bar.
+    Anomalous,
+}
+
+/// Sliding-window outlier state for a single task.
+///
+/// # Examples
+///
+/// ```
+/// use cpi2_core::{Cpi2Config, CpiSample, CpiSpec, OutlierDetector, TaskClass, TaskHandle, Verdict};
+///
+/// let spec = CpiSpec {
+///     jobname: "svc".into(), platforminfo: "p".into(), num_samples: 10_000,
+///     cpu_usage_mean: 1.0, cpi_mean: 1.8, cpi_stddev: 0.16,
+/// };
+/// let config = Cpi2Config::default();
+/// let mut detector = OutlierDetector::new();
+/// let sample = |minute: i64, cpi: f64| CpiSample {
+///     task: TaskHandle(1), jobname: "svc".into(), platforminfo: "p".into(),
+///     timestamp: minute * 60_000_000, cpu_usage: 1.0, cpi, l3_mpki: 0.0,
+///     class: TaskClass::latency_sensitive(),
+/// };
+/// assert_eq!(detector.observe(&sample(0, 1.8), &spec, &config), Verdict::Normal);
+/// assert_eq!(detector.observe(&sample(1, 3.0), &spec, &config), Verdict::Flagged);
+/// assert_eq!(detector.observe(&sample(2, 3.0), &spec, &config), Verdict::Flagged);
+/// assert_eq!(detector.observe(&sample(3, 3.0), &spec, &config), Verdict::Anomalous);
+/// ```
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct OutlierDetector {
+    /// Timestamps (µs) of recent flagged samples.
+    flags: VecDeque<i64>,
+}
+
+impl OutlierDetector {
+    /// Creates a fresh detector.
+    pub fn new() -> Self {
+        OutlierDetector::default()
+    }
+
+    /// Processes one sample against the job's spec.
+    pub fn observe(&mut self, sample: &CpiSample, spec: &CpiSpec, config: &Cpi2Config) -> Verdict {
+        // Evict flags that left the violation window.
+        let window_us = config.violation_window_s * 1_000_000;
+        while let Some(&t) = self.flags.front() {
+            if t <= sample.timestamp - window_us {
+                self.flags.pop_front();
+            } else {
+                break;
+            }
+        }
+        // §4.1: ignore measurements from tasks using < 0.25 CPU-sec/sec.
+        if sample.cpu_usage < config.min_cpu_usage {
+            return Verdict::SkippedLowUsage;
+        }
+        let threshold = spec.outlier_threshold(config.outlier_sigma);
+        if sample.cpi <= threshold {
+            return Verdict::Normal;
+        }
+        self.flags.push_back(sample.timestamp);
+        if self.flags.len() as u32 >= config.violations_required {
+            Verdict::Anomalous
+        } else {
+            Verdict::Flagged
+        }
+    }
+
+    /// Number of live flags in the current window.
+    pub fn flag_count(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Clears all state (e.g. after an incident is resolved).
+    pub fn reset(&mut self) {
+        self.flags.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{TaskClass, TaskHandle};
+
+    fn spec() -> CpiSpec {
+        CpiSpec {
+            jobname: "j".into(),
+            platforminfo: "p".into(),
+            num_samples: 10_000,
+            cpu_usage_mean: 1.0,
+            cpi_mean: 1.8,
+            cpi_stddev: 0.16,
+        }
+    }
+
+    fn sample(ts_min: i64, cpi: f64, usage: f64) -> CpiSample {
+        CpiSample {
+            task: TaskHandle(1),
+            jobname: "j".into(),
+            platforminfo: "p".into(),
+            timestamp: ts_min * 60_000_000,
+            cpu_usage: usage,
+            cpi,
+            l3_mpki: 0.0,
+            class: TaskClass::latency_sensitive(),
+        }
+    }
+
+    #[test]
+    fn normal_sample_passes() {
+        let mut d = OutlierDetector::new();
+        let v = d.observe(&sample(0, 1.8, 1.0), &spec(), &Cpi2Config::default());
+        assert_eq!(v, Verdict::Normal);
+        assert_eq!(d.flag_count(), 0);
+    }
+
+    #[test]
+    fn exactly_at_threshold_is_normal() {
+        let mut d = OutlierDetector::new();
+        // Threshold is 2.12; "larger than" is required.
+        let v = d.observe(&sample(0, 2.12, 1.0), &spec(), &Cpi2Config::default());
+        assert_eq!(v, Verdict::Normal);
+    }
+
+    #[test]
+    fn three_violations_in_five_minutes_is_anomalous() {
+        let mut d = OutlierDetector::new();
+        let cfg = Cpi2Config::default();
+        assert_eq!(
+            d.observe(&sample(0, 2.5, 1.0), &spec(), &cfg),
+            Verdict::Flagged
+        );
+        assert_eq!(
+            d.observe(&sample(1, 2.5, 1.0), &spec(), &cfg),
+            Verdict::Flagged
+        );
+        assert_eq!(
+            d.observe(&sample(2, 2.5, 1.0), &spec(), &cfg),
+            Verdict::Anomalous
+        );
+    }
+
+    #[test]
+    fn old_flags_age_out() {
+        let mut d = OutlierDetector::new();
+        let cfg = Cpi2Config::default();
+        d.observe(&sample(0, 2.5, 1.0), &spec(), &cfg);
+        d.observe(&sample(1, 2.5, 1.0), &spec(), &cfg);
+        // 6 minutes later: the first two flags left the 5-minute window.
+        let v = d.observe(&sample(7, 2.5, 1.0), &spec(), &cfg);
+        assert_eq!(v, Verdict::Flagged);
+        assert_eq!(d.flag_count(), 1);
+    }
+
+    #[test]
+    fn low_usage_skipped_even_with_huge_cpi() {
+        // The Case-3 false-alarm filter: CPI 10 at 0.1 CPU-sec/sec.
+        let mut d = OutlierDetector::new();
+        let v = d.observe(&sample(0, 10.0, 0.1), &spec(), &Cpi2Config::default());
+        assert_eq!(v, Verdict::SkippedLowUsage);
+        assert_eq!(d.flag_count(), 0);
+    }
+
+    #[test]
+    fn interleaved_normals_dont_reset_flags() {
+        let mut d = OutlierDetector::new();
+        let cfg = Cpi2Config::default();
+        d.observe(&sample(0, 2.5, 1.0), &spec(), &cfg);
+        d.observe(&sample(1, 1.8, 1.0), &spec(), &cfg);
+        d.observe(&sample(2, 2.5, 1.0), &spec(), &cfg);
+        let v = d.observe(&sample(3, 2.5, 1.0), &spec(), &cfg);
+        assert_eq!(v, Verdict::Anomalous);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = OutlierDetector::new();
+        let cfg = Cpi2Config::default();
+        d.observe(&sample(0, 2.5, 1.0), &spec(), &cfg);
+        d.reset();
+        assert_eq!(d.flag_count(), 0);
+    }
+}

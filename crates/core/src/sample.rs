@@ -1,0 +1,169 @@
+//! CPI sample records and task metadata.
+//!
+//! [`CpiSample`] mirrors the per-task record of §3.1:
+//!
+//! ```text
+//! string jobname;
+//! string platforminfo; // e.g., CPU type
+//! int64 timestamp;     // microsec since epoch
+//! float cpu_usage;     // CPU-sec/sec
+//! float cpi;
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque per-machine task handle (unique while the task is resident).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskHandle(pub u64);
+
+impl std::fmt::Display for TaskHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{:x}", self.0)
+    }
+}
+
+/// Aggregation key: job × hardware platform (§3.1: "CPI² does separate CPI
+/// calculations for each platform a job runs on").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobKey {
+    /// Job name.
+    pub job: String,
+    /// Platform (CPU type) string.
+    pub platform: String,
+}
+
+impl JobKey {
+    /// Builds a key.
+    pub fn new(job: impl Into<String>, platform: impl Into<String>) -> Self {
+        JobKey {
+            job: job.into(),
+            platform: platform.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.job, self.platform)
+    }
+}
+
+/// Scheduling metadata the agent needs about a co-resident task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskClass {
+    /// True for latency-sensitive serving tasks.
+    pub latency_sensitive: bool,
+    /// True for low-importance ("best effort") batch tasks.
+    pub best_effort: bool,
+    /// True if the task's job is eligible for CPI² protection (§5:
+    /// latency-sensitive, or explicitly marked eligible).
+    pub protected: bool,
+}
+
+impl Default for TaskClass {
+    /// Defaults to an ordinary (unprotected, cappable) batch task.
+    fn default() -> Self {
+        TaskClass::batch()
+    }
+}
+
+impl TaskClass {
+    /// A protected latency-sensitive task.
+    pub fn latency_sensitive() -> Self {
+        TaskClass {
+            latency_sensitive: true,
+            best_effort: false,
+            protected: true,
+        }
+    }
+
+    /// An ordinary batch task.
+    pub fn batch() -> Self {
+        TaskClass {
+            latency_sensitive: false,
+            best_effort: false,
+            protected: false,
+        }
+    }
+
+    /// A best-effort batch task.
+    pub fn best_effort() -> Self {
+        TaskClass {
+            latency_sensitive: false,
+            best_effort: true,
+            protected: false,
+        }
+    }
+
+    /// Whether CPI² may hard-cap this task (§5: batch only).
+    pub fn throttle_eligible(&self) -> bool {
+        !self.latency_sensitive
+    }
+}
+
+/// One CPI sample for one task — the §3.1 record plus the handle and
+/// class metadata the local agent needs, and the L3 miss rate used by
+/// the Fig. 15(c) analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpiSample {
+    /// Per-machine task handle.
+    pub task: TaskHandle,
+    /// Job name.
+    pub jobname: String,
+    /// Platform (CPU type).
+    pub platforminfo: String,
+    /// Microseconds since epoch (end of the counting window).
+    pub timestamp: i64,
+    /// CPU usage over the window, CPU-sec/sec.
+    pub cpu_usage: f64,
+    /// Cycles per instruction over the window.
+    pub cpi: f64,
+    /// L3 misses per kilo-instruction (auxiliary, may be zero if the
+    /// collector does not gather it).
+    pub l3_mpki: f64,
+    /// Scheduling class of the task.
+    pub class: TaskClass,
+}
+
+impl CpiSample {
+    /// The job × platform aggregation key of this sample.
+    pub fn key(&self) -> JobKey {
+        JobKey::new(self.jobname.clone(), self.platforminfo.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        let s = CpiSample {
+            task: TaskHandle(7),
+            jobname: "websearch".into(),
+            platforminfo: "westmere".into(),
+            timestamp: 1_000_000,
+            cpu_usage: 1.5,
+            cpi: 1.8,
+            l3_mpki: 2.0,
+            class: TaskClass::latency_sensitive(),
+        };
+        let k = s.key();
+        assert_eq!(k, JobKey::new("websearch", "westmere"));
+        assert_eq!(k.to_string(), "websearch@westmere");
+    }
+
+    #[test]
+    fn class_eligibility() {
+        assert!(!TaskClass::latency_sensitive().throttle_eligible());
+        assert!(TaskClass::batch().throttle_eligible());
+        assert!(TaskClass::best_effort().throttle_eligible());
+        assert!(TaskClass::latency_sensitive().protected);
+        assert!(!TaskClass::batch().protected);
+    }
+
+    #[test]
+    fn handle_display() {
+        assert_eq!(TaskHandle(255).to_string(), "tff");
+    }
+}

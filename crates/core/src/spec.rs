@@ -1,0 +1,137 @@
+//! CPI specs: the learned model of a job's normal behaviour.
+//!
+//! §3.1: "The data aggregation component of CPI² calculates the mean and
+//! standard deviation of CPI for each job, which is called its *CPI spec*
+//! ... the CPI spec also acts as a predicted CPI for the normal behavior
+//! of a job."
+
+use crate::sample::JobKey;
+use serde::{Deserialize, Serialize};
+
+/// The per-job × platform aggregate of §3.1:
+///
+/// ```text
+/// string jobname;
+/// string platforminfo;
+/// int64 num_samples;
+/// float cpu_usage_mean;
+/// float cpi_mean;
+/// float cpi_stddev;
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpiSpec {
+    /// Job name.
+    pub jobname: String,
+    /// Platform (CPU type).
+    pub platforminfo: String,
+    /// Number of samples behind this spec.
+    pub num_samples: i64,
+    /// Mean CPU usage, CPU-sec/sec.
+    pub cpu_usage_mean: f64,
+    /// Mean CPI.
+    pub cpi_mean: f64,
+    /// CPI standard deviation.
+    pub cpi_stddev: f64,
+}
+
+impl CpiSpec {
+    /// The job × platform key this spec predicts for.
+    pub fn key(&self) -> JobKey {
+        JobKey::new(self.jobname.clone(), self.platforminfo.clone())
+    }
+
+    /// The outlier threshold at `sigma` standard deviations above the mean
+    /// (§4.1 flags samples "larger than the 2σ point").
+    pub fn outlier_threshold(&self, sigma: f64) -> f64 {
+        self.cpi_mean + sigma * self.cpi_stddev
+    }
+
+    /// How many standard deviations above the mean a CPI value sits
+    /// (the x-axis of Fig. 16b). Zero stddev maps to `+∞` for any
+    /// above-mean value.
+    pub fn sigmas_above(&self, cpi: f64) -> f64 {
+        if self.cpi_stddev > 0.0 {
+            (cpi - self.cpi_mean) / self.cpi_stddev
+        } else if cpi > self.cpi_mean {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the spec is statistically usable (positive spread, data
+    /// behind it).
+    pub fn robust(&self) -> bool {
+        self.num_samples > 0
+            && self.cpi_mean.is_finite()
+            && self.cpi_mean > 0.0
+            && self.cpi_stddev.is_finite()
+            && self.cpi_stddev >= 0.0
+    }
+}
+
+impl std::fmt::Display for CpiSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}@{}: CPI {:.2} ± {:.2} ({} samples)",
+            self.jobname, self.platforminfo, self.cpi_mean, self.cpi_stddev, self.num_samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CpiSpec {
+        CpiSpec {
+            jobname: "websearch".into(),
+            platforminfo: "westmere".into(),
+            num_samples: 450_000,
+            cpu_usage_mean: 2.0,
+            cpi_mean: 1.8,
+            cpi_stddev: 0.16,
+        }
+    }
+
+    #[test]
+    fn outlier_threshold_2sigma() {
+        // Fig. 7's job: µ=1.8, σ=0.16 ⇒ 2σ point at 2.12.
+        assert!((spec().outlier_threshold(2.0) - 2.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmas_above() {
+        let s = spec();
+        assert!((s.sigmas_above(2.12) - 2.0).abs() < 1e-12);
+        assert!((s.sigmas_above(1.8)).abs() < 1e-12);
+        assert!(s.sigmas_above(1.0) < 0.0);
+    }
+
+    #[test]
+    fn sigmas_above_zero_stddev() {
+        let mut s = spec();
+        s.cpi_stddev = 0.0;
+        assert_eq!(s.sigmas_above(2.0), f64::INFINITY);
+        assert_eq!(s.sigmas_above(1.8), 0.0);
+    }
+
+    #[test]
+    fn robustness() {
+        assert!(spec().robust());
+        let mut s = spec();
+        s.num_samples = 0;
+        assert!(!s.robust());
+        let mut s = spec();
+        s.cpi_mean = f64::NAN;
+        assert!(!s.robust());
+    }
+
+    #[test]
+    fn display_compact() {
+        let text = spec().to_string();
+        assert!(text.contains("websearch@westmere"));
+        assert!(text.contains("1.80"));
+    }
+}

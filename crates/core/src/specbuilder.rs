@@ -1,0 +1,258 @@
+//! Building CPI specs from sample streams, with age-weighted history.
+//!
+//! §3.1: specs are the per-job × platform mean/σ of CPI, recalculated
+//! every 24 hours, with the previous day's contribution discounted by
+//! about 0.9, and withheld for jobs with fewer than 5 tasks or fewer than
+//! 100 samples per task.
+
+use crate::config::Cpi2Config;
+use crate::sample::{CpiSample, JobKey, TaskHandle};
+use crate::spec::CpiSpec;
+use cpi2_stats::ewma::AgeWeighted;
+use cpi2_stats::summary::RunningStats;
+use std::collections::{HashMap, HashSet};
+
+/// Accumulates one aggregation period ("day") of samples for one key.
+#[derive(Debug, Default)]
+struct PeriodAccum {
+    cpi: RunningStats,
+    cpu: RunningStats,
+    tasks: HashSet<TaskHandle>,
+}
+
+/// Long-lived per-key state across periods.
+#[derive(Debug, Default)]
+struct KeyHistory {
+    cpi: AgeWeighted,
+    cpu: AgeWeighted,
+    total_samples: i64,
+    /// Whether the most recent period met the §3.1 eligibility bar.
+    eligible: bool,
+}
+
+/// Builds and refreshes CPI specs from the cluster-wide sample stream.
+///
+/// Feed samples with [`add_sample`](SpecBuilder::add_sample); at each spec
+/// refresh boundary call [`roll_period`](SpecBuilder::roll_period) to fold
+/// the period into age-weighted history and obtain the refreshed specs.
+///
+/// # Examples
+///
+/// ```
+/// use cpi2_core::{Cpi2Config, CpiSample, SpecBuilder, TaskClass, TaskHandle};
+///
+/// let mut config = Cpi2Config::default();
+/// config.min_samples_per_task = 10;
+/// let mut builder = SpecBuilder::new(config);
+/// for task in 0..5u64 {
+///     for minute in 0..20 {
+///         builder.add_sample(&CpiSample {
+///             task: TaskHandle(task),
+///             jobname: "websearch".into(),
+///             platforminfo: "westmere".into(),
+///             timestamp: minute * 60_000_000,
+///             cpu_usage: 1.0,
+///             cpi: 1.8,
+///             l3_mpki: 0.0,
+///             class: TaskClass::latency_sensitive(),
+///         });
+///     }
+/// }
+/// let specs = builder.roll_period();
+/// assert_eq!(specs.len(), 1);
+/// assert!((specs[0].cpi_mean - 1.8).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct SpecBuilder {
+    config: Cpi2Config,
+    current: HashMap<JobKey, PeriodAccum>,
+    history: HashMap<JobKey, KeyHistory>,
+}
+
+impl SpecBuilder {
+    /// Creates a builder with the given configuration.
+    pub fn new(config: Cpi2Config) -> Self {
+        SpecBuilder {
+            config,
+            current: HashMap::new(),
+            history: HashMap::new(),
+        }
+    }
+
+    /// Adds one sample to the current period.
+    ///
+    /// Samples below the minimum CPU usage are still *aggregated* (the
+    /// usage filter of §4.1 applies to outlier detection, not spec
+    /// building), but non-finite CPI values are dropped.
+    pub fn add_sample(&mut self, sample: &CpiSample) {
+        if !sample.cpi.is_finite() || sample.cpi <= 0.0 {
+            return;
+        }
+        let acc = self.current.entry(sample.key()).or_default();
+        acc.cpi.push(sample.cpi);
+        acc.cpu.push(sample.cpu_usage);
+        acc.tasks.insert(sample.task);
+    }
+
+    /// Number of samples accumulated in the current period for a key.
+    pub fn period_samples(&self, key: &JobKey) -> u64 {
+        self.current.get(key).map_or(0, |a| a.cpi.count())
+    }
+
+    /// Folds the current period into history (with the configured age
+    /// decay) and returns the refreshed spec set.
+    ///
+    /// Eligibility (§3.1): a spec is only emitted for keys with at least
+    /// `min_tasks` distinct tasks this period and at least
+    /// `min_samples_per_task × min_tasks` samples overall.
+    pub fn roll_period(&mut self) -> Vec<CpiSpec> {
+        for (key, acc) in self.current.drain() {
+            let h = self.history.entry(key).or_default();
+            if acc.cpi.count() > 0 {
+                h.cpi.fold_day(
+                    acc.cpi.mean(),
+                    acc.cpi.stddev(),
+                    acc.cpi.count() as f64,
+                    self.config.age_decay,
+                );
+                h.cpu.fold_day(
+                    acc.cpu.mean(),
+                    acc.cpu.stddev(),
+                    acc.cpu.count() as f64,
+                    self.config.age_decay,
+                );
+                h.total_samples += acc.cpi.count() as i64;
+            }
+            // Eligibility is judged per period on task count.
+            h.eligible = acc.tasks.len() as u32 >= self.config.min_tasks
+                && acc.cpi.count()
+                    >= self.config.min_samples_per_task * self.config.min_tasks as u64;
+        }
+        self.specs()
+    }
+
+    /// Current spec set from history (only eligible keys).
+    pub fn specs(&self) -> Vec<CpiSpec> {
+        let mut out: Vec<CpiSpec> = self
+            .history
+            .iter()
+            .filter(|(_, h)| h.eligible && !h.cpi.is_empty())
+            .map(|(k, h)| CpiSpec {
+                jobname: k.job.clone(),
+                platforminfo: k.platform.clone(),
+                num_samples: h.total_samples,
+                cpu_usage_mean: h.cpu.mean(),
+                cpi_mean: h.cpi.mean(),
+                cpi_stddev: h.cpi.stddev(),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (a.jobname.clone(), a.platforminfo.clone())
+                .cmp(&(b.jobname.clone(), b.platforminfo.clone()))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::TaskClass;
+
+    fn sample(job: &str, task: u64, cpi: f64) -> CpiSample {
+        CpiSample {
+            task: TaskHandle(task),
+            jobname: job.into(),
+            platforminfo: "westmere".into(),
+            timestamp: 0,
+            cpu_usage: 1.0,
+            cpi,
+            l3_mpki: 1.0,
+            class: TaskClass::latency_sensitive(),
+        }
+    }
+
+    fn feed(b: &mut SpecBuilder, job: &str, tasks: u64, per_task: u64, cpi: f64) {
+        for t in 0..tasks {
+            for i in 0..per_task {
+                b.add_sample(&sample(job, t, cpi + 0.001 * (i % 7) as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_from_one_period() {
+        let mut b = SpecBuilder::new(Cpi2Config::default());
+        feed(&mut b, "websearch", 10, 100, 1.8);
+        let specs = b.roll_period();
+        assert_eq!(specs.len(), 1);
+        let s = &specs[0];
+        assert_eq!(s.jobname, "websearch");
+        assert!((s.cpi_mean - 1.803).abs() < 0.01, "mean={}", s.cpi_mean);
+        assert_eq!(s.num_samples, 1000);
+        assert!(s.robust());
+    }
+
+    #[test]
+    fn too_few_tasks_not_eligible() {
+        let mut b = SpecBuilder::new(Cpi2Config::default());
+        feed(&mut b, "tiny", 4, 500, 1.0); // 4 tasks < 5 minimum.
+        assert!(b.roll_period().is_empty());
+    }
+
+    #[test]
+    fn too_few_samples_not_eligible() {
+        let mut b = SpecBuilder::new(Cpi2Config::default());
+        feed(&mut b, "sparse", 10, 10, 1.0); // 100 samples < 500 needed.
+        assert!(b.roll_period().is_empty());
+    }
+
+    #[test]
+    fn age_weighting_shifts_toward_recent() {
+        let cfg = Cpi2Config {
+            min_samples_per_task: 10,
+            ..Cpi2Config::default()
+        };
+        let mut b = SpecBuilder::new(cfg);
+        for _ in 0..5 {
+            feed(&mut b, "j", 5, 20, 1.0);
+            b.roll_period();
+        }
+        for _ in 0..5 {
+            feed(&mut b, "j", 5, 20, 2.0);
+            b.roll_period();
+        }
+        let specs = b.specs();
+        assert!(specs[0].cpi_mean > 1.55, "mean={}", specs[0].cpi_mean);
+    }
+
+    #[test]
+    fn separate_specs_per_platform() {
+        let cfg = Cpi2Config {
+            min_samples_per_task: 10,
+            ..Cpi2Config::default()
+        };
+        let mut b = SpecBuilder::new(cfg);
+        for t in 0..5u64 {
+            for _ in 0..20 {
+                b.add_sample(&sample("j", t, 1.0));
+                let mut s2 = sample("j", t + 100, 2.0);
+                s2.platforminfo = "sandybridge".into();
+                b.add_sample(&s2);
+            }
+        }
+        let specs = b.roll_period();
+        assert_eq!(specs.len(), 2);
+        let platforms: Vec<_> = specs.iter().map(|s| s.platforminfo.as_str()).collect();
+        assert!(platforms.contains(&"westmere"));
+        assert!(platforms.contains(&"sandybridge"));
+    }
+
+    #[test]
+    fn non_finite_cpi_dropped() {
+        let mut b = SpecBuilder::new(Cpi2Config::default());
+        b.add_sample(&sample("j", 0, f64::NAN));
+        b.add_sample(&sample("j", 0, -1.0));
+        assert_eq!(b.period_samples(&JobKey::new("j", "westmere")), 0);
+    }
+}

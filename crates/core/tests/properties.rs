@@ -1,0 +1,144 @@
+//! Property-based tests for the CPI² core algorithms.
+
+use cpi2_core::correlation::antagonist_correlation;
+use cpi2_core::{
+    Cpi2Config, CpiSample, CpiSpec, OutlierDetector, SpecBuilder, TaskClass, TaskHandle, Verdict,
+};
+use proptest::prelude::*;
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.01..20.0f64, 0.0..10.0f64), 0..40)
+}
+
+fn sample(task: u64, minute: i64, cpi: f64, usage: f64) -> CpiSample {
+    CpiSample {
+        task: TaskHandle(task),
+        jobname: "j".into(),
+        platforminfo: "p".into(),
+        timestamp: minute * 60_000_000,
+        cpu_usage: usage,
+        cpi,
+        l3_mpki: 0.0,
+        class: TaskClass::latency_sensitive(),
+    }
+}
+
+fn spec(mean: f64, stddev: f64) -> CpiSpec {
+    CpiSpec {
+        jobname: "j".into(),
+        platforminfo: "p".into(),
+        num_samples: 10_000,
+        cpu_usage_mean: 1.0,
+        cpi_mean: mean,
+        cpi_stddev: stddev,
+    }
+}
+
+proptest! {
+    #[test]
+    fn correlation_bounded(pairs in pairs_strategy(), cth in 0.1..10.0f64) {
+        let c = antagonist_correlation(&pairs, cth);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c), "c={c}");
+    }
+
+    #[test]
+    fn correlation_usage_scale_invariant(pairs in pairs_strategy(), k in 0.1..100.0f64, cth in 0.5..5.0f64) {
+        // The §4.2 normalization makes the score invariant to scaling the
+        // suspect's absolute CPU usage.
+        let scaled: Vec<(f64, f64)> = pairs.iter().map(|&(c, u)| (c, u * k)).collect();
+        let a = antagonist_correlation(&pairs, cth);
+        let b = antagonist_correlation(&scaled, cth);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn correlation_sign_matches_concentration(cth in 1.0..3.0f64, hi in 3.1..20.0f64, lo in 0.05..0.9f64) {
+        // All suspect usage during above-threshold CPI ⇒ positive score;
+        // all during below-threshold ⇒ negative.
+        let hi_cpi = cth * hi / 3.0 + cth; // strictly above cth
+        let lo_cpi = cth * lo;             // strictly below cth
+        let guilty = [(hi_cpi, 1.0), (lo_cpi, 0.0)];
+        let innocent = [(hi_cpi, 0.0), (lo_cpi, 1.0)];
+        prop_assert!(antagonist_correlation(&guilty, cth) > 0.0);
+        prop_assert!(antagonist_correlation(&innocent, cth) < 0.0);
+    }
+
+    #[test]
+    fn detector_never_fires_below_threshold(
+        mean in 0.5..3.0f64,
+        stddev in 0.01..0.5f64,
+        cpis in prop::collection::vec(0.0..1.0f64, 1..50),
+    ) {
+        // Samples at or below mean + 2σ (scaled into that range) never flag.
+        let config = Cpi2Config::default();
+        let sp = spec(mean, stddev);
+        let threshold = sp.outlier_threshold(config.outlier_sigma);
+        let mut d = OutlierDetector::new();
+        for (i, &frac) in cpis.iter().enumerate() {
+            let v = d.observe(&sample(1, i as i64, frac * threshold, 1.0), &sp, &config);
+            prop_assert!(matches!(v, Verdict::Normal | Verdict::SkippedLowUsage));
+        }
+        prop_assert_eq!(d.flag_count(), 0);
+    }
+
+    #[test]
+    fn detector_requires_three_violations(
+        mean in 0.5..3.0f64,
+        stddev in 0.01..0.5f64,
+        gap in 1i64..2,
+    ) {
+        let config = Cpi2Config::default();
+        let sp = spec(mean, stddev);
+        let outlier_cpi = sp.outlier_threshold(config.outlier_sigma) * 1.5;
+        let mut d = OutlierDetector::new();
+        let v1 = d.observe(&sample(1, 0, outlier_cpi, 1.0), &sp, &config);
+        let v2 = d.observe(&sample(1, gap, outlier_cpi, 1.0), &sp, &config);
+        let v3 = d.observe(&sample(1, 2 * gap, outlier_cpi, 1.0), &sp, &config);
+        prop_assert_eq!(v1, Verdict::Flagged);
+        prop_assert_eq!(v2, Verdict::Flagged);
+        prop_assert_eq!(v3, Verdict::Anomalous);
+    }
+
+    #[test]
+    fn detector_low_usage_always_skipped(cpi in 0.0..100.0f64, usage in 0.0..0.249f64) {
+        let config = Cpi2Config::default();
+        let sp = spec(1.0, 0.1);
+        let mut d = OutlierDetector::new();
+        let v = d.observe(&sample(1, 0, cpi, usage), &sp, &config);
+        prop_assert_eq!(v, Verdict::SkippedLowUsage);
+    }
+
+    #[test]
+    fn spec_builder_mean_within_sample_range(
+        cpis in prop::collection::vec(0.1..10.0f64, 50..200),
+    ) {
+        let config = Cpi2Config {
+            min_tasks: 1,
+            min_samples_per_task: 1,
+            ..Cpi2Config::default()
+        };
+        let mut b = SpecBuilder::new(config);
+        let lo = cpis.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = cpis.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for (i, &c) in cpis.iter().enumerate() {
+            let mut s = sample((i % 10) as u64, i as i64, c, 1.0);
+            s.cpu_usage = 1.0;
+            b.add_sample(&s);
+        }
+        let specs = b.roll_period();
+        prop_assert_eq!(specs.len(), 1);
+        let s = &specs[0];
+        prop_assert!(s.cpi_mean >= lo - 1e-9 && s.cpi_mean <= hi + 1e-9);
+        prop_assert!(s.cpi_stddev >= 0.0);
+        prop_assert!(s.cpi_stddev <= (hi - lo) + 1e-9);
+        prop_assert_eq!(s.num_samples, cpis.len() as i64);
+    }
+
+    #[test]
+    fn spec_sigmas_inverse_of_threshold(mean in 0.1..5.0f64, stddev in 0.001..1.0f64, k in -3.0..6.0f64) {
+        let s = spec(mean, stddev);
+        let cpi = mean + k * stddev;
+        prop_assert!((s.sigmas_above(cpi) - k).abs() < 1e-6);
+        prop_assert!((s.outlier_threshold(k) - cpi).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! Hardware performance-counter layer for the CPI² reproduction.
+//!
+//! Models §3.1 of the paper: per-cgroup counting-mode collection of
+//! `CPU_CLK_UNHALTED.REF` and `INSTRUCTIONS_RETIRED` (plus the cache-miss
+//! counters used by the Fig. 15(c) analysis), sampled 10 seconds out of
+//! every minute by a per-machine daemon, with save/restore overhead charged
+//! per inter-cgroup context switch.
+//!
+//! The [`sampler::MachineSampler`] reads cgroup counters maintained by
+//! `cpi2-sim`; on real hardware the same schedule would sit on top of
+//! `perf_event_open(2)` in counting mode — the record format
+//! ([`reading::CounterReading`]) is backend-independent.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+#[cfg(all(target_os = "linux", feature = "linux-perf"))]
+pub mod linux;
+pub mod reading;
+pub mod sampler;
+
+pub use backend::{CounterSource, TaskCounters};
+pub use reading::CounterReading;
+pub use sampler::{ClusterSampler, MachineSampler, SamplerConfig};

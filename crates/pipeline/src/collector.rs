@@ -1,0 +1,156 @@
+//! Cluster-wide sample collection (the left half of Fig. 6).
+//!
+//! Per-machine agents push CPI sample batches into a per-cluster
+//! collector over a channel; the collector fans them into the aggregation
+//! service and the forensics log. Channels are `crossbeam` MPMC so a
+//! threaded deployment can run many agent threads against one collector.
+
+use cpi2_core::{CpiSample, Incident};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+/// A message from a machine agent to the cluster collector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentMessage {
+    /// A batch of CPI samples from one machine at one sampling instant.
+    Samples(Vec<CpiSample>),
+    /// Incidents the machine's agent reported.
+    Incidents(Vec<Incident>),
+}
+
+/// Sending side handed to each machine agent.
+#[derive(Debug, Clone)]
+pub struct CollectorHandle {
+    tx: Sender<AgentMessage>,
+}
+
+impl CollectorHandle {
+    /// Sends a batch, dropping it if the collector is saturated (the
+    /// pipeline is lossy by design — §4.1 detection runs locally, so lost
+    /// telemetry degrades aggregation only). Returns `false` if dropped.
+    pub fn send(&self, msg: AgentMessage) -> bool {
+        match self.tx.try_send(msg) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+}
+
+/// The per-cluster collector: drains agent messages into sample/incident
+/// sinks.
+#[derive(Debug)]
+pub struct Collector {
+    tx: Sender<AgentMessage>,
+    rx: Receiver<AgentMessage>,
+    samples: Vec<CpiSample>,
+    incidents: Vec<Incident>,
+    dropped: u64,
+}
+
+impl Collector {
+    /// Creates a collector with the given channel capacity.
+    pub fn new(capacity: usize) -> Self {
+        let (tx, rx) = bounded(capacity);
+        Collector {
+            tx,
+            rx,
+            samples: Vec::new(),
+            incidents: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A handle for an agent to send through.
+    pub fn handle(&self) -> CollectorHandle {
+        CollectorHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Drains everything currently queued into the internal buffers.
+    /// Returns how many messages were processed.
+    pub fn drain(&mut self) -> usize {
+        let mut n = 0;
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                AgentMessage::Samples(s) => self.samples.extend(s),
+                AgentMessage::Incidents(i) => self.incidents.extend(i),
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Takes all collected samples.
+    pub fn take_samples(&mut self) -> Vec<CpiSample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    /// Takes all collected incidents.
+    pub fn take_incidents(&mut self) -> Vec<Incident> {
+        std::mem::take(&mut self.incidents)
+    }
+
+    /// Messages dropped due to back-pressure (for monitoring).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpi2_core::{TaskClass, TaskHandle};
+
+    fn sample(task: u64) -> CpiSample {
+        CpiSample {
+            task: TaskHandle(task),
+            jobname: "j".into(),
+            platforminfo: "p".into(),
+            timestamp: 0,
+            cpu_usage: 1.0,
+            cpi: 1.5,
+            l3_mpki: 1.0,
+            class: TaskClass::batch(),
+        }
+    }
+
+    #[test]
+    fn samples_flow_through() {
+        let mut c = Collector::new(16);
+        let h = c.handle();
+        assert!(h.send(AgentMessage::Samples(vec![sample(1), sample(2)])));
+        assert!(h.send(AgentMessage::Samples(vec![sample(3)])));
+        assert_eq!(c.drain(), 2);
+        let s = c.take_samples();
+        assert_eq!(s.len(), 3);
+        assert!(c.take_samples().is_empty());
+    }
+
+    #[test]
+    fn backpressure_drops() {
+        let c = Collector::new(1);
+        let h = c.handle();
+        assert!(h.send(AgentMessage::Samples(vec![sample(1)])));
+        assert!(!h.send(AgentMessage::Samples(vec![sample(2)])));
+    }
+
+    #[test]
+    fn threaded_agents() {
+        let mut c = Collector::new(1024);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = c.handle();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        h.send(AgentMessage::Samples(vec![sample(t * 100 + i)]));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        c.drain();
+        assert_eq!(c.take_samples().len(), 200);
+    }
+}

@@ -1,0 +1,261 @@
+//! Durable JSONL logs with size-based rotation.
+//!
+//! §5: incidents and CPI data are "logged and stored" for offline
+//! forensics. [`FileLog`] appends records as JSON lines to numbered
+//! segment files, rotating at a size threshold; [`FileLog::load`] reads a
+//! whole log back for analysis (e.g. into a [`crate::query::Dataset`]).
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only, size-rotated JSONL log.
+#[derive(Debug)]
+pub struct FileLog {
+    dir: PathBuf,
+    base: String,
+    max_segment_bytes: u64,
+    segment: u32,
+    written: u64,
+    writer: Option<BufWriter<File>>,
+}
+
+impl FileLog {
+    /// Opens (or resumes) a log named `base` in `dir`, rotating segments
+    /// at `max_segment_bytes`. Resumption continues after the highest
+    /// existing segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_segment_bytes == 0`.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        base: impl Into<String>,
+        max_segment_bytes: u64,
+    ) -> io::Result<FileLog> {
+        assert!(max_segment_bytes > 0, "segment size must be positive");
+        let dir = dir.into();
+        let base = base.into();
+        fs::create_dir_all(&dir)?;
+        let segment = Self::segments_in(&dir, &base)?
+            .last()
+            .and_then(|p| Self::segment_number(p, &base))
+            .map(|n| n + 1)
+            .unwrap_or(0);
+        Ok(FileLog {
+            dir,
+            base,
+            max_segment_bytes,
+            segment,
+            written: 0,
+            writer: None,
+        })
+    }
+
+    fn segment_path(&self, n: u32) -> PathBuf {
+        self.dir.join(format!("{}.{:05}.jsonl", self.base, n))
+    }
+
+    fn segment_number(path: &Path, base: &str) -> Option<u32> {
+        let name = path.file_name()?.to_str()?;
+        let rest = name.strip_prefix(base)?.strip_prefix('.')?;
+        let digits = rest.strip_suffix(".jsonl")?;
+        digits.parse().ok()
+    }
+
+    fn segments_in(dir: &Path, base: &str) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        if !dir.exists() {
+            return Ok(out);
+        }
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            if Self::segment_number(&path, base).is_some() {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// All segment files of this log, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn segments(&self) -> io::Result<Vec<PathBuf>> {
+        Self::segments_in(&self.dir, &self.base)
+    }
+
+    /// Appends one record as a JSON line, rotating if the current segment
+    /// is full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and filesystem errors.
+    pub fn append<T: Serialize>(&mut self, record: &T) -> io::Result<()> {
+        let mut line = serde_json::to_vec(record)?;
+        line.push(b'\n');
+        if self.writer.is_none() || self.written + line.len() as u64 > self.max_segment_bytes {
+            if let Some(mut w) = self.writer.take() {
+                w.flush()?;
+                self.segment += 1;
+            }
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.segment_path(self.segment))?;
+            self.written = file.metadata()?.len();
+            self.writer = Some(BufWriter::new(file));
+        }
+        let w = self.writer.as_mut().expect("opened above");
+        w.write_all(&line)?;
+        self.written += line.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes buffered records to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Reads every record of the log named `base` in `dir`, across all
+    /// segments, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and deserialization errors.
+    pub fn load<T: DeserializeOwned>(dir: impl AsRef<Path>, base: &str) -> io::Result<Vec<T>> {
+        let mut out = Vec::new();
+        for path in Self::segments_in(dir.as_ref(), base)? {
+            let data = fs::read(&path)?;
+            for line in data.split(|&b| b == b'\n') {
+                if line.is_empty() {
+                    continue;
+                }
+                let record = serde_json::from_slice(line).map_err(io::Error::other)?;
+                out.push(record);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for FileLog {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Rec {
+        id: u32,
+        job: String,
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpi2_filelog_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(id: u32) -> Rec {
+        Rec {
+            id,
+            job: format!("job{id}"),
+        }
+    }
+
+    #[test]
+    fn append_and_load_roundtrip() {
+        let dir = tmp("roundtrip");
+        {
+            let mut log = FileLog::open(&dir, "incidents", 1 << 20).unwrap();
+            for i in 0..100 {
+                log.append(&rec(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let back: Vec<Rec> = FileLog::load(&dir, "incidents").unwrap();
+        assert_eq!(back.len(), 100);
+        assert_eq!(back[42], rec(42));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_preserves_order() {
+        let dir = tmp("rotate");
+        let mut log = FileLog::open(&dir, "log", 256).unwrap();
+        for i in 0..100 {
+            log.append(&rec(i)).unwrap();
+        }
+        log.flush().unwrap();
+        let segments = log.segments().unwrap();
+        assert!(segments.len() > 2, "expected rotation, got {segments:?}");
+        let back: Vec<Rec> = FileLog::load(&dir, "log").unwrap();
+        assert_eq!(back.len(), 100);
+        for (i, r) in back.iter().enumerate() {
+            assert_eq!(r.id, i as u32, "order preserved across segments");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_in_new_segment() {
+        let dir = tmp("reopen");
+        {
+            let mut log = FileLog::open(&dir, "log", 1 << 20).unwrap();
+            log.append(&rec(1)).unwrap();
+        }
+        {
+            let mut log = FileLog::open(&dir, "log", 1 << 20).unwrap();
+            log.append(&rec(2)).unwrap();
+        }
+        let segments = FileLog::segments_in(&dir, "log").unwrap();
+        assert_eq!(segments.len(), 2);
+        let back: Vec<Rec> = FileLog::load(&dir, "log").unwrap();
+        assert_eq!(back, vec![rec(1), rec(2)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_logs_do_not_mix() {
+        let dir = tmp("mix");
+        let mut a = FileLog::open(&dir, "alpha", 1 << 20).unwrap();
+        let mut b = FileLog::open(&dir, "beta", 1 << 20).unwrap();
+        a.append(&rec(1)).unwrap();
+        b.append(&rec(2)).unwrap();
+        a.flush().unwrap();
+        b.flush().unwrap();
+        let alpha: Vec<Rec> = FileLog::load(&dir, "alpha").unwrap();
+        let beta: Vec<Rec> = FileLog::load(&dir, "beta").unwrap();
+        assert_eq!(alpha, vec![rec(1)]);
+        assert_eq!(beta, vec![rec(2)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_log_is_empty() {
+        let dir = tmp("missing");
+        let back: Vec<Rec> = FileLog::load(&dir, "nope").unwrap();
+        assert!(back.is_empty());
+    }
+}

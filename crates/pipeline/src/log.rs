@@ -1,0 +1,151 @@
+//! Append-only typed log tables with a JSONL wire encoding.
+//!
+//! §5: "To allow offline analysis, we log and store data about CPIs and
+//! suspected antagonists." These tables back the forensics query engine
+//! ([`crate::query`]) and serialize to newline-delimited JSON for
+//! transport/storage.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// An append-only, in-memory log of typed records.
+#[derive(Debug, Clone)]
+pub struct LogTable<T> {
+    name: String,
+    rows: Vec<T>,
+}
+
+impl<T> LogTable<T> {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>) -> Self {
+        LogTable {
+            name: name.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name (used by queries).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, row: T) {
+        self.rows.push(row);
+    }
+
+    /// Appends many records.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = T>) {
+        self.rows.extend(rows);
+    }
+
+    /// All records, in insertion order.
+    pub fn rows(&self) -> &[T] {
+        &self.rows
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl<T: Serialize> LogTable<T> {
+    /// Encodes the table as newline-delimited JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures.
+    pub fn to_jsonl(&self) -> Result<Bytes, serde_json::Error> {
+        let mut buf = BytesMut::new();
+        for row in &self.rows {
+            let line = serde_json::to_vec(row)?;
+            buf.put_slice(&line);
+            buf.put_u8(b'\n');
+        }
+        Ok(buf.freeze())
+    }
+}
+
+impl<T: DeserializeOwned> LogTable<T> {
+    /// Decodes a table from newline-delimited JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed line.
+    pub fn from_jsonl(name: impl Into<String>, data: &[u8]) -> Result<Self, serde_json::Error> {
+        let mut rows = Vec::new();
+        for line in data.split(|&b| b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            rows.push(serde_json::from_slice(line)?);
+        }
+        Ok(LogTable {
+            name: name.into(),
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Rec {
+        job: String,
+        cpi: f64,
+    }
+
+    #[test]
+    fn append_and_read() {
+        let mut t = LogTable::new("samples");
+        t.append(Rec {
+            job: "a".into(),
+            cpi: 1.0,
+        });
+        t.extend([Rec {
+            job: "b".into(),
+            cpi: 2.0,
+        }]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1].job, "b");
+        assert_eq!(t.name(), "samples");
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let mut t = LogTable::new("samples");
+        for i in 0..10 {
+            t.append(Rec {
+                job: format!("job{i}"),
+                cpi: i as f64 * 0.5,
+            });
+        }
+        let bytes = t.to_jsonl().unwrap();
+        assert_eq!(bytes.iter().filter(|&&b| b == b'\n').count(), 10);
+        let back: LogTable<Rec> = LogTable::from_jsonl("samples", &bytes).unwrap();
+        assert_eq!(back.rows(), t.rows());
+    }
+
+    #[test]
+    fn from_jsonl_rejects_garbage() {
+        let r: Result<LogTable<Rec>, _> = LogTable::from_jsonl("x", b"not json\n");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t: LogTable<Rec> = LogTable::new("e");
+        assert!(t.is_empty());
+        assert_eq!(t.to_jsonl().unwrap().len(), 0);
+    }
+}

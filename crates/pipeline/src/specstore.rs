@@ -1,0 +1,145 @@
+//! Versioned CPI spec store and distribution.
+//!
+//! §3.1/Fig. 6: "The per-job, per-platform aggregated CPI values are then
+//! sent back to each machine that is running a task from that job." The
+//! store versions every update so per-machine agents can pull just what
+//! changed since their last sync.
+
+use cpi2_core::{CpiSpec, JobKey};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A thread-safe, versioned store of CPI specs.
+#[derive(Debug, Default)]
+pub struct SpecStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    version: u64,
+    specs: HashMap<JobKey, (u64, CpiSpec)>,
+}
+
+impl SpecStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SpecStore::default()
+    }
+
+    /// Installs a batch of refreshed specs, bumping the store version.
+    /// Returns the new version.
+    pub fn publish(&self, specs: Vec<CpiSpec>) -> u64 {
+        let mut inner = self.inner.write();
+        inner.version += 1;
+        let v = inner.version;
+        for s in specs {
+            inner.specs.insert(s.key(), (v, s));
+        }
+        v
+    }
+
+    /// Current store version (bumps on every publish).
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
+    }
+
+    /// The current spec for a key, if any.
+    pub fn get(&self, key: &JobKey) -> Option<CpiSpec> {
+        self.inner.read().specs.get(key).map(|(_, s)| s.clone())
+    }
+
+    /// All specs changed after `since_version` — the delta an agent pulls.
+    pub fn changed_since(&self, since_version: u64) -> Vec<CpiSpec> {
+        let inner = self.inner.read();
+        let mut out: Vec<CpiSpec> = inner
+            .specs
+            .values()
+            .filter(|(v, _)| *v > since_version)
+            .map(|(_, s)| s.clone())
+            .collect();
+        out.sort_by(|a, b| {
+            (a.jobname.as_str(), a.platforminfo.as_str())
+                .cmp(&(b.jobname.as_str(), b.platforminfo.as_str()))
+        });
+        out
+    }
+
+    /// Number of stored specs.
+    pub fn len(&self) -> usize {
+        self.inner.read().specs.len()
+    }
+
+    /// True if the store holds no specs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(job: &str, mean: f64) -> CpiSpec {
+        CpiSpec {
+            jobname: job.into(),
+            platforminfo: "p".into(),
+            num_samples: 1000,
+            cpu_usage_mean: 1.0,
+            cpi_mean: mean,
+            cpi_stddev: 0.1,
+        }
+    }
+
+    #[test]
+    fn publish_and_get() {
+        let store = SpecStore::new();
+        store.publish(vec![spec("a", 1.0), spec("b", 2.0)]);
+        let got = store.get(&JobKey::new("a", "p")).unwrap();
+        assert_eq!(got.cpi_mean, 1.0);
+        assert!(store.get(&JobKey::new("c", "p")).is_none());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn versions_monotonic() {
+        let store = SpecStore::new();
+        let v1 = store.publish(vec![spec("a", 1.0)]);
+        let v2 = store.publish(vec![spec("a", 1.1)]);
+        assert!(v2 > v1);
+        assert_eq!(store.version(), v2);
+    }
+
+    #[test]
+    fn changed_since_returns_delta() {
+        let store = SpecStore::new();
+        let v1 = store.publish(vec![spec("a", 1.0), spec("b", 2.0)]);
+        assert_eq!(store.changed_since(0).len(), 2);
+        store.publish(vec![spec("b", 2.5)]);
+        let delta = store.changed_since(v1);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].jobname, "b");
+        assert_eq!(delta[0].cpi_mean, 2.5);
+        assert!(store.changed_since(store.version()).is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        use std::sync::Arc;
+        let store = Arc::new(SpecStore::new());
+        store.publish((0..100).map(|i| spec(&format!("j{i}"), 1.0)).collect());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        assert!(s.get(&JobKey::new(format!("j{i}"), "p")).is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

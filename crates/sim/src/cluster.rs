@@ -1,0 +1,719 @@
+//! The cluster: machines + scheduler + job lifecycle under one clock.
+//!
+//! A [`Cluster`] owns a set of heterogeneous machines and the central
+//! scheduler, advances them in lock-step ticks, and manages job submission,
+//! task exits/restarts, kills and migrations — the substrate every CPI²
+//! experiment runs on.
+
+use crate::job::{JobId, JobSpec, TaskId};
+use crate::machine::{Machine, MachineId};
+use crate::platform::Platform;
+use crate::schedule::{ClusterEvent, EventQueue};
+use crate::scheduler::{PlacementError, Scheduler};
+use crate::task::{TaskInstance, TaskModel};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+use std::collections::HashMap;
+
+/// Factory producing a fresh behaviour model for task `index` of a job.
+///
+/// Called at submission for every task, and again when a task is restarted
+/// or migrated.
+pub type ModelFactory = Box<dyn FnMut(u32) -> Box<dyn TaskModel>>;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Simulation tick length (default 1 s).
+    pub tick: SimDuration,
+    /// Master seed for all randomness.
+    pub seed: u64,
+    /// Batch overcommit factor for the scheduler.
+    pub overcommit: f64,
+    /// Event-trace retention.
+    pub trace_capacity: usize,
+    /// §2's speculative-overcommit correction: when a batch task has been
+    /// starved by machine pressure for this many consecutive ticks, the
+    /// scheduler preempts it and restarts it on another machine. `None`
+    /// disables preemption.
+    pub preempt_starved_batch_after: Option<u32>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            tick: SimDuration::from_secs(1),
+            seed: 0,
+            overcommit: 1.5,
+            trace_capacity: 100_000,
+            preempt_starved_batch_after: None,
+        }
+    }
+}
+
+struct JobInfo {
+    spec: JobSpec,
+    factory: ModelFactory,
+    restart_on_exit: bool,
+    /// task index → (machine, cache footprint the scheduler accounted).
+    placements: HashMap<u32, (MachineId, f64)>,
+    next_index: u32,
+}
+
+/// A simulated shared compute cluster.
+///
+/// # Examples
+///
+/// ```
+/// use cpi2_sim::{
+///     Cluster, ClusterConfig, ConstantLoad, JobSpec, Platform, ResourceProfile, SimDuration,
+/// };
+///
+/// let mut cluster = Cluster::new(ClusterConfig::default());
+/// cluster.add_machines(&Platform::westmere(), 2);
+/// cluster
+///     .submit_job(
+///         JobSpec::latency_sensitive("svc", 4, 1.0),
+///         true,
+///         Box::new(|_| Box::new(ConstantLoad::new(1.0, 4, ResourceProfile::cache_heavy()))),
+///     )
+///     .unwrap();
+/// cluster.run_for(SimDuration::from_mins(1));
+/// let tasks: usize = cluster.machines().iter().map(|m| m.task_count()).sum();
+/// assert_eq!(tasks, 4);
+/// ```
+pub struct Cluster {
+    config: ClusterConfig,
+    machines: Vec<Machine>,
+    scheduler: Scheduler,
+    jobs: HashMap<JobId, JobInfo>,
+    next_job: u32,
+    now: SimTime,
+    trace: Trace,
+    events: EventQueue,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let scheduler = Scheduler::new(config.overcommit, config.seed);
+        let trace = Trace::new(config.trace_capacity);
+        Cluster {
+            config,
+            machines: Vec::new(),
+            scheduler,
+            jobs: HashMap::new(),
+            next_job: 0,
+            now: SimTime::ZERO,
+            trace,
+            events: EventQueue::new(),
+        }
+    }
+
+    /// Schedules a deferred event (job arrival, scripted kill/cap/migrate)
+    /// to execute at simulated time `at`.
+    pub fn schedule_event(&mut self, at: SimTime, event: ClusterEvent) {
+        self.events.schedule(at, event);
+    }
+
+    /// Deferred events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Adds `count` machines of the given platform; returns their ids.
+    pub fn add_machines(&mut self, platform: &Platform, count: u32) -> Vec<MachineId> {
+        let mut ids = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let id = MachineId(self.machines.len() as u32);
+            self.machines
+                .push(Machine::new(id, platform.clone(), self.config.seed));
+            self.scheduler
+                .register_machine(id, platform.cores, platform.l3_mb);
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The tick length.
+    pub fn tick_len(&self) -> SimDuration {
+        self.config.tick
+    }
+
+    /// All machines.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// One machine by id.
+    pub fn machine(&self, id: MachineId) -> Option<&Machine> {
+        self.machines.get(id.0 as usize)
+    }
+
+    /// Mutable machine access (agents apply caps through this).
+    pub fn machine_mut(&mut self, id: MachineId) -> Option<&mut Machine> {
+        self.machines.get_mut(id.0 as usize)
+    }
+
+    /// The scheduler (to add anti-affinity constraints or switch policy).
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.scheduler
+    }
+
+    /// Read-only scheduler access (reservation inspection).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Records a free-form note in the trace.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.trace.record(self.now, TraceEvent::Note(text.into()));
+    }
+
+    /// Submits a job, placing all of its tasks. `restart_on_exit` controls
+    /// whether the cluster respawns tasks that exit on their own (frameworks
+    /// like MapReduce that manage their own workers pass `false`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any task cannot be placed; tasks placed so far are rolled
+    /// back.
+    pub fn submit_job(
+        &mut self,
+        spec: JobSpec,
+        restart_on_exit: bool,
+        mut factory: ModelFactory,
+    ) -> Result<JobId, PlacementError> {
+        let job = JobId(self.next_job);
+        let mut placements: HashMap<u32, (MachineId, f64)> = HashMap::new();
+        for index in 0..spec.task_count {
+            // Build the model first: cache-aware placement needs its
+            // footprint.
+            let model = factory(index);
+            let cache_mb = model.profile().cache_mb;
+            match self
+                .scheduler
+                .place(job, spec.class, spec.cpu_reservation, cache_mb)
+            {
+                Ok(machine) => {
+                    let id = TaskId { job, index };
+                    self.machines[machine.0 as usize].add_task(
+                        TaskInstance { id, model },
+                        spec.name.clone(),
+                        spec.class,
+                        spec.priority,
+                        None,
+                    );
+                    self.trace
+                        .record(self.now, TraceEvent::TaskPlaced { task: id, machine });
+                    placements.insert(index, (machine, cache_mb));
+                }
+                Err(e) => {
+                    // Roll back what we placed.
+                    for (&index, &(machine, cache_mb)) in &placements {
+                        let id = TaskId { job, index };
+                        self.machines[machine.0 as usize].remove_task(id);
+                        self.scheduler.release(
+                            machine,
+                            job,
+                            spec.class,
+                            spec.cpu_reservation,
+                            cache_mb,
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.trace.record(
+            self.now,
+            TraceEvent::JobSubmitted {
+                job,
+                name: spec.name.clone(),
+            },
+        );
+        self.next_job += 1;
+        self.jobs.insert(
+            job,
+            JobInfo {
+                next_index: spec.task_count,
+                spec,
+                factory,
+                restart_on_exit,
+                placements,
+            },
+        );
+        Ok(job)
+    }
+
+    /// Machine currently hosting a task.
+    pub fn locate(&self, task: TaskId) -> Option<MachineId> {
+        self.jobs
+            .get(&task.job)
+            .and_then(|j| j.placements.get(&task.index))
+            .map(|&(m, _)| m)
+    }
+
+    /// The spec of a job.
+    pub fn job_spec(&self, job: JobId) -> Option<&JobSpec> {
+        self.jobs.get(&job).map(|j| &j.spec)
+    }
+
+    /// Iterates `(JobId, &JobSpec)` for all submitted jobs.
+    pub fn jobs(&self) -> impl Iterator<Item = (JobId, &JobSpec)> {
+        self.jobs.iter().map(|(&id, info)| (id, &info.spec))
+    }
+
+    /// Kills a task outright (the operator action of §5). Returns `true`
+    /// if the task was running.
+    pub fn kill_task(&mut self, task: TaskId) -> bool {
+        let Some(machine) = self.locate(task) else {
+            return false;
+        };
+        let removed = self.machines[machine.0 as usize].remove_task(task);
+        if removed {
+            let info = self.jobs.get_mut(&task.job).expect("job exists");
+            let cache_mb = info
+                .placements
+                .remove(&task.index)
+                .map(|(_, c)| c)
+                .unwrap_or(0.0);
+            self.scheduler.release(
+                machine,
+                task.job,
+                info.spec.class,
+                info.spec.cpu_reservation,
+                cache_mb,
+            );
+            self.trace
+                .record(self.now, TraceEvent::TaskKilled { task, machine });
+        }
+        removed
+    }
+
+    /// Kills a task and restarts a replacement on a different machine —
+    /// the paper's "version of task migration" (§5). Returns the new
+    /// machine. The replacement gets a fresh model from the job's factory
+    /// and a **new task index** (restarted work loses progress, as the
+    /// paper notes).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replacement cannot be placed (the kill still happens).
+    pub fn migrate_task(&mut self, task: TaskId) -> Result<MachineId, PlacementError> {
+        let from = self.locate(task);
+        if !self.kill_task(task) {
+            return Err(PlacementError::NoCapacity);
+        }
+        let info = self.jobs.get_mut(&task.job).expect("job exists");
+        let (class, cpu, name) = (
+            info.spec.class,
+            info.spec.cpu_reservation,
+            info.spec.name.clone(),
+        );
+        let priority = info.spec.priority;
+        let new_index = info.next_index;
+        let model = (info.factory)(new_index);
+        let cache_mb = model.profile().cache_mb;
+        let machine = self
+            .scheduler
+            .place_excluding(task.job, class, cpu, cache_mb, from)?;
+        let info = self.jobs.get_mut(&task.job).expect("job exists");
+        info.next_index += 1;
+        let new_id = TaskId {
+            job: task.job,
+            index: new_index,
+        };
+        info.placements.insert(new_index, (machine, cache_mb));
+        self.machines[machine.0 as usize].add_task(
+            TaskInstance { id: new_id, model },
+            name,
+            class,
+            priority,
+            None,
+        );
+        self.trace.record(
+            self.now,
+            TraceEvent::TaskMigrated {
+                task,
+                from: from.expect("located above"),
+                to: machine,
+            },
+        );
+        Ok(machine)
+    }
+
+    /// Applies a CPU hard cap to a task's cgroup, recording it in the trace.
+    /// Returns `false` if the task is not running.
+    pub fn apply_hard_cap(&mut self, task: TaskId, cpu_rate: f64, until: SimTime) -> bool {
+        let Some(machine) = self.locate(task) else {
+            return false;
+        };
+        let Some(t) = self.machines[machine.0 as usize].task_mut(task) else {
+            return false;
+        };
+        t.cgroup.apply_hard_cap(cpu_rate, until);
+        self.trace.record(
+            self.now,
+            TraceEvent::CapApplied {
+                task,
+                cpu_rate,
+                until,
+            },
+        );
+        true
+    }
+
+    /// Removes any live hard cap from a task's cgroup (the probe-release
+    /// path of active identification schemes). Returns `false` if the task
+    /// is not running.
+    pub fn remove_hard_cap(&mut self, task: TaskId) -> bool {
+        let Some(machine) = self.locate(task) else {
+            return false;
+        };
+        let Some(t) = self.machines[machine.0 as usize].task_mut(task) else {
+            return false;
+        };
+        t.cgroup.remove_hard_cap();
+        true
+    }
+
+    /// Advances the cluster by one tick.
+    pub fn step(&mut self) {
+        // Execute scripted events that are due before this tick runs.
+        for event in self.events.due(self.now) {
+            match event {
+                ClusterEvent::SubmitJob {
+                    spec,
+                    restart_on_exit,
+                    factory,
+                } => {
+                    let _ = self.submit_job(spec, restart_on_exit, factory);
+                }
+                ClusterEvent::KillTask(t) => {
+                    self.kill_task(t);
+                }
+                ClusterEvent::MigrateTask(t) => {
+                    let _ = self.migrate_task(t);
+                }
+                ClusterEvent::HardCap {
+                    task,
+                    cpu_rate,
+                    until,
+                } => {
+                    self.apply_hard_cap(task, cpu_rate, until);
+                }
+                ClusterEvent::Note(s) => self.note(s),
+            }
+        }
+
+        let dt = self.config.tick;
+        let mut all_exits = Vec::new();
+        for m in &mut self.machines {
+            let exits = m.tick(self.now, dt);
+            for e in exits {
+                all_exits.push((m.id, e));
+            }
+        }
+        self.now += dt;
+
+        // Batch preemption: the scheduler guessed wrong, move the task.
+        if let Some(limit) = self.config.preempt_starved_batch_after {
+            let starved: Vec<TaskId> = self
+                .machines
+                .iter()
+                .flat_map(|m| m.tasks())
+                .filter(|t| {
+                    t.class != crate::job::SchedClass::LatencySensitive
+                        && t.starved_ticks() >= limit
+                })
+                .map(|t| t.id)
+                .collect();
+            for task in starved {
+                // Best effort: if no machine has room the task stays put
+                // (and keeps accruing starvation).
+                let _ = self.migrate_task(task);
+            }
+        }
+        for (machine, exit) in all_exits {
+            self.trace.record(
+                exit.at,
+                TraceEvent::TaskExited {
+                    task: exit.id,
+                    machine,
+                    capped: exit.capped,
+                },
+            );
+            let Some(info) = self.jobs.get_mut(&exit.id.job) else {
+                continue;
+            };
+            let old_cache = info
+                .placements
+                .remove(&exit.id.index)
+                .map(|(_, c)| c)
+                .unwrap_or(0.0);
+            self.scheduler.release(
+                machine,
+                exit.id.job,
+                info.spec.class,
+                info.spec.cpu_reservation,
+                old_cache,
+            );
+            if info.restart_on_exit {
+                let (class, cpu, name, priority) = (
+                    info.spec.class,
+                    info.spec.cpu_reservation,
+                    info.spec.name.clone(),
+                    info.spec.priority,
+                );
+                let model = {
+                    let info = self.jobs.get_mut(&exit.id.job).expect("job exists");
+                    (info.factory)(exit.id.index)
+                };
+                let cache_mb = model.profile().cache_mb;
+                if let Ok(new_machine) = self.scheduler.place(exit.id.job, class, cpu, cache_mb) {
+                    let info = self.jobs.get_mut(&exit.id.job).expect("job exists");
+                    info.placements
+                        .insert(exit.id.index, (new_machine, cache_mb));
+                    self.machines[new_machine.0 as usize].add_task(
+                        TaskInstance { id: exit.id, model },
+                        name,
+                        class,
+                        priority,
+                        None,
+                    );
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::TaskPlaced {
+                            task: exit.id,
+                            machine: new_machine,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs the cluster for a duration (whole ticks).
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.now + duration;
+        while self.now < end {
+            self.step();
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("machines", &self.machines.len())
+            .field("jobs", &self.jobs.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{ConstantLoad, ResourceProfile};
+
+    fn constant_factory(cpu: f64) -> ModelFactory {
+        Box::new(move |_| Box::new(ConstantLoad::new(cpu, 4, ResourceProfile::compute_bound())))
+    }
+
+    fn small_cluster() -> Cluster {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.add_machines(&Platform::westmere(), 4);
+        c
+    }
+
+    #[test]
+    fn submit_places_all_tasks() {
+        let mut c = small_cluster();
+        let job = c
+            .submit_job(
+                JobSpec::latency_sensitive("svc", 8, 1.0),
+                true,
+                constant_factory(1.0),
+            )
+            .unwrap();
+        let placed: usize = c.machines().iter().map(|m| m.task_count()).sum();
+        assert_eq!(placed, 8);
+        for i in 0..8 {
+            assert!(c.locate(TaskId { job, index: i }).is_some());
+        }
+    }
+
+    #[test]
+    fn submit_rolls_back_on_failure() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.add_machines(&Platform::westmere(), 1); // 12 cores only.
+        let err = c.submit_job(
+            JobSpec::latency_sensitive("big", 4, 5.0),
+            true,
+            constant_factory(5.0),
+        );
+        assert!(err.is_err());
+        assert_eq!(c.machines()[0].task_count(), 0);
+        // Capacity is fully restored.
+        c.submit_job(
+            JobSpec::latency_sensitive("ok", 2, 5.0),
+            true,
+            constant_factory(5.0),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn step_advances_time_and_runs_tasks() {
+        let mut c = small_cluster();
+        c.submit_job(JobSpec::batch("b", 2, 1.0), true, constant_factory(1.0))
+            .unwrap();
+        c.run_for(SimDuration::from_secs(10));
+        assert_eq!(c.now(), SimTime::from_secs(10));
+        let total_instr: f64 = c
+            .machines()
+            .iter()
+            .flat_map(|m| m.tasks())
+            .map(|t| t.cgroup.counters().instructions)
+            .sum();
+        assert!(total_instr > 0.0);
+    }
+
+    #[test]
+    fn kill_task_releases_capacity() {
+        let mut c = small_cluster();
+        let job = c
+            .submit_job(JobSpec::batch("b", 1, 1.0), false, constant_factory(1.0))
+            .unwrap();
+        let id = TaskId { job, index: 0 };
+        assert!(c.kill_task(id));
+        assert!(c.locate(id).is_none());
+        assert!(!c.kill_task(id));
+        let placed: usize = c.machines().iter().map(|m| m.task_count()).sum();
+        assert_eq!(placed, 0);
+    }
+
+    #[test]
+    fn migrate_moves_task() {
+        let mut c = small_cluster();
+        let job = c
+            .submit_job(JobSpec::batch("b", 1, 1.0), false, constant_factory(1.0))
+            .unwrap();
+        let old = TaskId { job, index: 0 };
+        let old_machine = c.locate(old).unwrap();
+        let new_machine = c.migrate_task(old).unwrap();
+        assert!(c.locate(old).is_none());
+        // The replacement has a fresh index.
+        let replacement = TaskId { job, index: 1 };
+        assert_eq!(c.locate(replacement), Some(new_machine));
+        let _ = old_machine; // May equal new_machine on a tiny cluster.
+    }
+
+    #[test]
+    fn hard_cap_via_cluster() {
+        let mut c = small_cluster();
+        let job = c
+            .submit_job(
+                JobSpec::best_effort("be", 1, 4.0),
+                false,
+                constant_factory(4.0),
+            )
+            .unwrap();
+        let id = TaskId { job, index: 0 };
+        assert!(c.apply_hard_cap(id, 0.01, SimTime::from_mins(5)));
+        c.step();
+        let m = c.locate(id).unwrap();
+        let out = c
+            .machine(m)
+            .unwrap()
+            .task(id)
+            .unwrap()
+            .last_outcome()
+            .unwrap();
+        assert!(out.capped);
+        assert!(out.cpu_granted <= 0.011);
+    }
+
+    #[test]
+    fn restart_on_exit_respawns() {
+        struct ExitOnce {
+            done: bool,
+        }
+        impl TaskModel for ExitOnce {
+            fn profile(&self) -> ResourceProfile {
+                ResourceProfile::compute_bound()
+            }
+            fn demand(
+                &mut self,
+                _now: SimTime,
+                _dt: SimDuration,
+                _rng: &mut cpi2_stats::rng::SimRng,
+            ) -> crate::task::TaskDemand {
+                crate::task::TaskDemand {
+                    cpu_want: 1.0,
+                    threads: 1,
+                }
+            }
+            fn observe(
+                &mut self,
+                _now: SimTime,
+                _o: &crate::task::TickOutcome,
+            ) -> crate::task::TaskAction {
+                if self.done {
+                    crate::task::TaskAction::Continue
+                } else {
+                    self.done = true;
+                    crate::task::TaskAction::Exit
+                }
+            }
+        }
+        let mut c = small_cluster();
+        let mut spawned = 0u32;
+        let job = c
+            .submit_job(
+                JobSpec::latency_sensitive("flaky", 1, 1.0),
+                true,
+                Box::new(move |_| {
+                    spawned += 1;
+                    Box::new(ExitOnce { done: spawned > 1 })
+                }),
+            )
+            .unwrap();
+        c.step(); // Task exits...
+        c.step(); // ...and the replacement runs.
+        assert!(c.locate(TaskId { job, index: 0 }).is_some());
+        let placed: usize = c.machines().iter().map(|m| m.task_count()).sum();
+        assert_eq!(placed, 1);
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let mut c = small_cluster();
+        let job = c
+            .submit_job(JobSpec::batch("b", 1, 1.0), false, constant_factory(1.0))
+            .unwrap();
+        c.kill_task(TaskId { job, index: 0 });
+        let kinds: Vec<_> = c.trace().entries().map(|e| &e.event).collect();
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::JobSubmitted { .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TaskPlaced { .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TaskKilled { .. })));
+    }
+}

@@ -1,0 +1,309 @@
+//! The shared-resource interference model.
+//!
+//! This is the *physical phenomenon* CPI² detects: co-running tasks compete
+//! for last-level cache capacity and memory bandwidth, inflating each
+//! other's CPI (§1). The model has two coupled parts:
+//!
+//! 1. **Cache occupancy.** Each active task claims L3 proportionally to its
+//!    working set and activity. When total demand exceeds capacity every
+//!    task retains only `L3 / demand` of its hot set, and its L3
+//!    misses-per-kilo-instruction (MPKI) inflate by its *cache
+//!    sensitivity*.
+//! 2. **Memory-bandwidth queueing.** The resulting aggregate miss traffic
+//!    loads the memory controllers; utilization ρ inflates the effective
+//!    miss penalty by an M/M/1-style factor `1 + β·ρ/(1−ρ)`.
+//!
+//! CPI and miss traffic are mutually dependent (more stall cycles → fewer
+//! instructions → less traffic), so the model runs a short fixed-point
+//! iteration. Everything here is deterministic; per-tick noise is applied
+//! by the machine.
+
+use crate::platform::Platform;
+use crate::task::ResourceProfile;
+
+/// Per-task input to the interference model for one tick.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskLoad {
+    /// CPU actively consumed this tick, in cores.
+    pub activity: f64,
+    /// Microarchitectural profile.
+    pub profile: ResourceProfile,
+}
+
+/// Per-task output of the interference model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskInterference {
+    /// Effective cycles per instruction (before noise).
+    pub cpi: f64,
+    /// Effective L3 misses per kilo-instruction.
+    pub mpki: f64,
+    /// Fraction of the task's hot working set still resident (0–1].
+    pub cache_retained: f64,
+}
+
+/// Machine-level summary of the contention state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionSummary {
+    /// Aggregate hot-set demand on the L3, in MB.
+    pub cache_demand_mb: f64,
+    /// Memory-bandwidth utilization ρ in `[0, 1)`.
+    pub mem_utilization: f64,
+}
+
+/// Tuning constants of the interference model.
+#[derive(Debug, Clone, Copy)]
+pub struct InterferenceParams {
+    /// MPKI inflation per unit cache loss per unit sensitivity.
+    pub cache_slope: f64,
+    /// Queueing-delay weight β on the miss penalty.
+    pub queue_beta: f64,
+    /// Utilization clamp to keep the queueing factor finite.
+    pub rho_max: f64,
+    /// Fixed-point iterations.
+    pub iterations: u32,
+    /// Damping factor on the CPI update in `(0, 1]`: 1 = undamped. Damping
+    /// keeps the bandwidth fixed point stable for extreme memory hogs,
+    /// whose instruction rate and miss traffic otherwise oscillate.
+    pub damping: f64,
+}
+
+impl Default for InterferenceParams {
+    fn default() -> Self {
+        InterferenceParams {
+            cache_slope: 4.0,
+            queue_beta: 0.35,
+            rho_max: 0.95,
+            iterations: 6,
+            damping: 0.5,
+        }
+    }
+}
+
+/// Computes per-task CPI and miss rates for one tick.
+///
+/// Returns one [`TaskInterference`] per input (same order) plus a machine
+/// summary. Tasks with zero activity get their solo numbers.
+pub fn compute(
+    platform: &Platform,
+    loads: &[TaskLoad],
+    params: &InterferenceParams,
+) -> (Vec<TaskInterference>, ContentionSummary) {
+    // --- Cache occupancy -------------------------------------------------
+    // Hot-set demand saturates with activity: idle tasks hold nothing, a
+    // task at 1 core keeps ~63 % of its set hot, heavily threaded tasks
+    // approach their full footprint.
+    let hot: Vec<f64> = loads
+        .iter()
+        .map(|l| l.profile.cache_mb * (1.0 - (-l.activity).exp()))
+        .collect();
+    let demand: f64 = hot.iter().sum();
+    let retained_global = if demand <= platform.l3_mb || demand == 0.0 {
+        1.0
+    } else {
+        platform.l3_mb / demand
+    };
+
+    // MPKI after cache loss (independent of the bandwidth fixed point).
+    let mpki: Vec<f64> = loads
+        .iter()
+        .map(|l| {
+            let loss = 1.0 - retained_global;
+            l.profile.mpki_solo * (1.0 + l.profile.cache_sensitivity * loss * params.cache_slope)
+        })
+        .collect();
+
+    // --- Bandwidth fixed point -------------------------------------------
+    let mut cpi: Vec<f64> = loads
+        .iter()
+        .map(|l| l.profile.base_cpi * platform.cpi_factor)
+        .collect();
+    let mut rho = 0.0;
+    for _ in 0..params.iterations {
+        // Miss traffic in giga-lines/sec at current CPI estimates.
+        let glines: f64 = loads
+            .iter()
+            .zip(&cpi)
+            .zip(&mpki)
+            .map(|((l, &c), &m)| {
+                let instr_per_sec = l.activity * platform.clock_hz / c;
+                instr_per_sec * m / 1000.0 / 1e9
+            })
+            .sum();
+        rho = (glines / platform.mem_bw_glines).min(params.rho_max);
+        let queue_mult = 1.0 + params.queue_beta * rho / (1.0 - rho);
+        let eff_penalty = platform.miss_penalty_cycles * queue_mult;
+        for ((l, c), &m) in loads.iter().zip(cpi.iter_mut()).zip(&mpki) {
+            // base_cpi already prices solo misses at nominal latency; add
+            // only the extra stall cycles from lost cache and queueing.
+            let extra_mpki = (m - l.profile.mpki_solo).max(0.0);
+            let extra = (extra_mpki * eff_penalty
+                + l.profile.mpki_solo * platform.miss_penalty_cycles * (queue_mult - 1.0))
+                / 1000.0;
+            let target = l.profile.base_cpi * platform.cpi_factor + extra;
+            // Damped update for fixed-point stability.
+            *c += params.damping * (target - *c);
+        }
+    }
+
+    let out = loads
+        .iter()
+        .zip(&cpi)
+        .zip(&mpki)
+        .map(|((_, &c), &m)| TaskInterference {
+            cpi: c,
+            mpki: m,
+            cache_retained: retained_global,
+        })
+        .collect();
+    (
+        out,
+        ContentionSummary {
+            cache_demand_mb: demand,
+            mem_utilization: rho,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solo(profile: ResourceProfile, activity: f64) -> TaskInterference {
+        let p = Platform::westmere();
+        let (v, _) = compute(
+            &p,
+            &[TaskLoad { activity, profile }],
+            &InterferenceParams::default(),
+        );
+        v[0]
+    }
+
+    #[test]
+    fn solo_task_sees_base_cpi() {
+        let t = solo(ResourceProfile::compute_bound(), 1.0);
+        assert!((t.cpi - 0.9).abs() < 0.02, "cpi={}", t.cpi);
+        assert_eq!(t.cache_retained, 1.0);
+        assert!((t.mpki - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_task_unperturbed() {
+        let t = solo(ResourceProfile::cache_heavy(), 0.0);
+        assert!((t.mpki - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antagonist_inflates_victim_cpi() {
+        let p = Platform::westmere();
+        let victim = TaskLoad {
+            activity: 2.0,
+            profile: ResourceProfile::cache_heavy(),
+        };
+        let antagonist = TaskLoad {
+            activity: 6.0,
+            profile: ResourceProfile::streaming(),
+        };
+        let params = InterferenceParams::default();
+        let (alone, _) = compute(&p, &[victim], &params);
+        let (together, summary) = compute(&p, &[victim, antagonist], &params);
+        assert!(
+            together[0].cpi > alone[0].cpi * 1.3,
+            "alone={} together={}",
+            alone[0].cpi,
+            together[0].cpi
+        );
+        assert!(together[0].mpki > alone[0].mpki);
+        assert!(summary.cache_demand_mb > p.l3_mb);
+        assert!(summary.mem_utilization > 0.1);
+    }
+
+    #[test]
+    fn interference_scales_with_antagonist_activity() {
+        // More antagonist CPU ⇒ more victim CPI: the monotonicity that the
+        // §4.2 correlation score relies on.
+        let p = Platform::westmere();
+        let params = InterferenceParams::default();
+        let victim = TaskLoad {
+            activity: 2.0,
+            profile: ResourceProfile::cache_heavy(),
+        };
+        let mut last = 0.0;
+        for a in [0.0, 1.0, 2.0, 4.0, 8.0] {
+            let antagonist = TaskLoad {
+                activity: a,
+                profile: ResourceProfile::streaming(),
+            };
+            let (v, _) = compute(&p, &[victim, antagonist], &params);
+            assert!(
+                v[0].cpi >= last - 1e-9,
+                "activity={a}: cpi={} < last={last}",
+                v[0].cpi
+            );
+            last = v[0].cpi;
+        }
+        assert!(last > 1.5, "max victim cpi={last}");
+    }
+
+    #[test]
+    fn insensitive_task_barely_affected_by_cache_loss() {
+        let p = Platform::westmere();
+        let params = InterferenceParams::default();
+        let mut insensitive = ResourceProfile::compute_bound();
+        insensitive.cache_sensitivity = 0.0;
+        insensitive.mpki_solo = 0.1;
+        let victim = TaskLoad {
+            activity: 1.0,
+            profile: insensitive,
+        };
+        let antagonist = TaskLoad {
+            activity: 8.0,
+            profile: ResourceProfile::streaming(),
+        };
+        let (v, _) = compute(&p, &[victim, antagonist], &params);
+        let base = insensitive.base_cpi * p.cpi_factor;
+        assert!(v[0].cpi < base * 1.15, "cpi={} base={base}", v[0].cpi);
+    }
+
+    #[test]
+    fn bigger_cache_platform_suffers_less() {
+        let params = InterferenceParams::default();
+        let tasks = [
+            TaskLoad {
+                activity: 2.0,
+                profile: ResourceProfile::cache_heavy(),
+            },
+            TaskLoad {
+                activity: 4.0,
+                profile: ResourceProfile::streaming(),
+            },
+        ];
+        let (w, _) = compute(&Platform::westmere(), &tasks, &params);
+        let (s, _) = compute(&Platform::sandy_bridge(), &tasks, &params);
+        // Normalize out the per-platform base factor before comparing.
+        let w_rel = w[0].cpi / (tasks[0].profile.base_cpi * Platform::westmere().cpi_factor);
+        let s_rel = s[0].cpi / (tasks[0].profile.base_cpi * Platform::sandy_bridge().cpi_factor);
+        assert!(s_rel < w_rel, "sandy={s_rel} westmere={w_rel}");
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        let p = Platform::westmere();
+        let params = InterferenceParams::default();
+        let hogs: Vec<TaskLoad> = (0..20)
+            .map(|_| TaskLoad {
+                activity: 4.0,
+                profile: ResourceProfile::streaming(),
+            })
+            .collect();
+        let (v, summary) = compute(&p, &hogs, &params);
+        assert!(summary.mem_utilization <= params.rho_max + 1e-12);
+        assert!(v.iter().all(|t| t.cpi.is_finite() && t.cpi > 0.0));
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let (v, s) = compute(&Platform::westmere(), &[], &InterferenceParams::default());
+        assert!(v.is_empty());
+        assert_eq!(s.cache_demand_mb, 0.0);
+    }
+}

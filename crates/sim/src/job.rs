@@ -1,0 +1,154 @@
+//! Jobs, priorities and scheduling classes.
+//!
+//! In the paper's cluster-management system "both latency-sensitive and
+//! batch jobs are comprised of multiple tasks" (§2); jobs are classified
+//! into production / non-production priority bands and CPI² gives
+//! preference to latency-sensitive jobs over batch ones when choosing whom
+//! to throttle (§5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique job identifier within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Unique task identifier: a job plus a task index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId {
+    /// Owning job.
+    pub job: JobId,
+    /// Index of this task within the job.
+    pub index: u32,
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.job, self.index)
+    }
+}
+
+/// Priority band of a job (§2: "production" and "non-production").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Production priority: user-facing, provisioned for peak.
+    Production,
+    /// Non-production: experiments, batch analytics, best-effort work.
+    NonProduction,
+}
+
+/// Scheduling class, which drives CPI² throttling eligibility (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedClass {
+    /// Latency-sensitive serving job: protected, never auto-throttled.
+    LatencySensitive,
+    /// Ordinary batch job: cappable to 0.1 CPU-sec/sec.
+    Batch,
+    /// Low-importance ("best effort") batch: cappable to 0.01 CPU-sec/sec.
+    BestEffort,
+}
+
+impl SchedClass {
+    /// Whether CPI² may hard-cap tasks of this class (§5: batch only).
+    pub fn throttle_eligible(self) -> bool {
+        !matches!(self, SchedClass::LatencySensitive)
+    }
+}
+
+/// Static description of a job submitted to the cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable job name (the `jobname` field of CPI records).
+    pub name: String,
+    /// Priority band.
+    pub priority: Priority,
+    /// Scheduling class.
+    pub class: SchedClass,
+    /// Number of tasks the job wants running.
+    pub task_count: u32,
+    /// Per-task CPU reservation in CPU-sec/sec (cores).
+    pub cpu_reservation: f64,
+}
+
+impl JobSpec {
+    /// Convenience constructor for a latency-sensitive production job.
+    pub fn latency_sensitive(name: impl Into<String>, task_count: u32, cpu: f64) -> Self {
+        JobSpec {
+            name: name.into(),
+            priority: Priority::Production,
+            class: SchedClass::LatencySensitive,
+            task_count,
+            cpu_reservation: cpu,
+        }
+    }
+
+    /// Convenience constructor for a non-production batch job.
+    pub fn batch(name: impl Into<String>, task_count: u32, cpu: f64) -> Self {
+        JobSpec {
+            name: name.into(),
+            priority: Priority::NonProduction,
+            class: SchedClass::Batch,
+            task_count,
+            cpu_reservation: cpu,
+        }
+    }
+
+    /// Convenience constructor for a best-effort batch job.
+    pub fn best_effort(name: impl Into<String>, task_count: u32, cpu: f64) -> Self {
+        JobSpec {
+            name: name.into(),
+            priority: Priority::NonProduction,
+            class: SchedClass::BestEffort,
+            task_count,
+            cpu_reservation: cpu,
+        }
+    }
+
+    /// Whether this job is in the protected set CPI² defends (§5).
+    pub fn protected(&self) -> bool {
+        self.class == SchedClass::LatencySensitive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        let t = TaskId {
+            job: JobId(3),
+            index: 17,
+        };
+        assert_eq!(t.to_string(), "job3/17");
+    }
+
+    #[test]
+    fn throttle_eligibility() {
+        assert!(!SchedClass::LatencySensitive.throttle_eligible());
+        assert!(SchedClass::Batch.throttle_eligible());
+        assert!(SchedClass::BestEffort.throttle_eligible());
+    }
+
+    #[test]
+    fn constructors_set_classes() {
+        let ls = JobSpec::latency_sensitive("websearch", 100, 2.0);
+        assert_eq!(ls.class, SchedClass::LatencySensitive);
+        assert_eq!(ls.priority, Priority::Production);
+        assert!(ls.protected());
+
+        let b = JobSpec::batch("mapreduce", 50, 1.0);
+        assert_eq!(b.class, SchedClass::Batch);
+        assert!(!b.protected());
+
+        let be = JobSpec::best_effort("replayer", 10, 0.5);
+        assert_eq!(be.class, SchedClass::BestEffort);
+        assert_eq!(be.priority, Priority::NonProduction);
+    }
+}

@@ -1,0 +1,600 @@
+//! A shared machine: CPU allocation, interference, and counter accounting.
+//!
+//! Each simulated machine runs many tasks from different jobs (Fig. 1 shows
+//! the production distribution this reproduces). Every tick the machine
+//! gathers task demands, applies cgroup bandwidth control, allocates CPUs
+//! with latency-sensitive preference, runs the interference model, and
+//! charges hardware counters to each task's cgroup.
+
+use crate::cgroup::{Cgroup, CounterBlock};
+use crate::interference::{self, InterferenceParams, TaskLoad};
+use crate::job::{Priority, SchedClass, TaskId};
+use crate::platform::Platform;
+use crate::task::{TaskAction, TaskInstance, TaskModel, TickOutcome};
+use crate::time::{SimDuration, SimTime};
+use cpi2_stats::rng::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique machine identifier within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Context-switch rate per runnable thread per second, used to model the
+/// counter save/restore overhead of §3.1.
+const CTX_SWITCHES_PER_THREAD_SEC: f64 = 20.0;
+
+/// One task resident on a machine.
+pub struct ResidentTask {
+    /// Task identity.
+    pub id: TaskId,
+    /// Owning job's name (the `jobname` of CPI sample records).
+    pub job_name: String,
+    /// Scheduling class (drives throttle eligibility).
+    pub class: SchedClass,
+    /// Priority band.
+    pub priority: Priority,
+    /// The task's resource container.
+    pub cgroup: Cgroup,
+    model: Box<dyn TaskModel>,
+    threads: u32,
+    last_outcome: Option<TickOutcome>,
+    /// Consecutive ticks the task wanted CPU but machine pressure (not a
+    /// cap) starved it — the scheduler's batch-preemption signal (§2).
+    starved_ticks: u32,
+}
+
+impl ResidentTask {
+    /// Current runnable thread count (as of the last tick's demand).
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Outcome of the most recent tick, if the task has run.
+    pub fn last_outcome(&self) -> Option<&TickOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Consecutive ticks the task has been starved by machine pressure
+    /// (excluding bandwidth-control caps).
+    pub fn starved_ticks(&self) -> u32 {
+        self.starved_ticks
+    }
+
+    /// Immutable access to the behaviour model (for workload metrics).
+    pub fn model(&self) -> &dyn TaskModel {
+        self.model.as_ref()
+    }
+}
+
+impl fmt::Debug for ResidentTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResidentTask")
+            .field("id", &self.id)
+            .field("job", &self.job_name)
+            .field("class", &self.class)
+            .finish()
+    }
+}
+
+/// Record of a task that exited during a tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskExit {
+    /// Which task exited.
+    pub id: TaskId,
+    /// When it exited.
+    pub at: SimTime,
+    /// Whether it was being hard-capped at the time (the §6.2 MapReduce
+    /// worker case).
+    pub capped: bool,
+}
+
+/// A machine hosting tasks from many jobs.
+pub struct Machine {
+    /// Machine identity.
+    pub id: MachineId,
+    /// Hardware platform.
+    pub platform: Platform,
+    tasks: Vec<ResidentTask>,
+    params: InterferenceParams,
+    rng: SimRng,
+    last_utilization: f64,
+}
+
+impl Machine {
+    /// Creates an empty machine.
+    pub fn new(id: MachineId, platform: Platform, seed: u64) -> Self {
+        Machine {
+            id,
+            platform,
+            tasks: Vec::new(),
+            params: InterferenceParams::default(),
+            rng: SimRng::derive(seed, id.0 as u64),
+            last_utilization: 0.0,
+        }
+    }
+
+    /// Overrides the interference model parameters (for ablations).
+    pub fn set_interference_params(&mut self, params: InterferenceParams) {
+        self.params = params;
+    }
+
+    /// Places a task on this machine.
+    ///
+    /// `job_name`, `class` and `priority` come from the job spec;
+    /// `cpu_limit` is the cgroup's long-term limit, if any.
+    pub fn add_task(
+        &mut self,
+        instance: TaskInstance,
+        job_name: impl Into<String>,
+        class: SchedClass,
+        priority: Priority,
+        cpu_limit: Option<f64>,
+    ) {
+        self.tasks.push(ResidentTask {
+            id: instance.id,
+            job_name: job_name.into(),
+            class,
+            priority,
+            cgroup: Cgroup::new(cpu_limit),
+            model: instance.model,
+            threads: 0,
+            last_outcome: None,
+            starved_ticks: 0,
+        });
+    }
+
+    /// Removes a task (kill / migrate away). Returns `true` if it was here.
+    pub fn remove_task(&mut self, id: TaskId) -> bool {
+        let before = self.tasks.len();
+        self.tasks.retain(|t| t.id != id);
+        self.tasks.len() != before
+    }
+
+    /// Number of resident tasks (Fig. 1a statistic).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total runnable threads across tasks (Fig. 1b statistic).
+    pub fn thread_count(&self) -> u64 {
+        self.tasks.iter().map(|t| t.threads as u64).sum()
+    }
+
+    /// Iterates resident tasks.
+    pub fn tasks(&self) -> impl Iterator<Item = &ResidentTask> {
+        self.tasks.iter()
+    }
+
+    /// Looks up a resident task.
+    pub fn task(&self, id: TaskId) -> Option<&ResidentTask> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Mutable lookup (used by agents to apply hard caps).
+    pub fn task_mut(&mut self, id: TaskId) -> Option<&mut ResidentTask> {
+        self.tasks.iter_mut().find(|t| t.id == id)
+    }
+
+    /// CPU utilization over the last tick, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.last_utilization
+    }
+
+    /// Sum of latency-sensitive CPU reservations... actually of cgroup
+    /// limits, used by the scheduler's admission control.
+    pub fn reserved_cpu(&self, class: SchedClass) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.class == class)
+            .filter_map(|t| t.cgroup.effective_rate(SimTime::ZERO))
+            .sum()
+    }
+
+    /// Advances the machine by one tick of length `dt` ending the tick's
+    /// accounting at `now + dt`. Returns tasks that exited.
+    pub fn tick(&mut self, now: SimTime, dt: SimDuration) -> Vec<TaskExit> {
+        let dt_sec = dt.as_secs_f64();
+        let cores = self.platform.cores as f64;
+
+        // 1. Collect demands, clamped by bandwidth control.
+        let mut wants = Vec::with_capacity(self.tasks.len());
+        let mut capped_flags = Vec::with_capacity(self.tasks.len());
+        for t in &mut self.tasks {
+            let d = t.model.demand(now, dt, &mut self.rng);
+            t.threads = d.threads;
+            let want = d.cpu_want.max(0.0);
+            let allowed = t.cgroup.clamp_cpu(want, now, dt);
+            capped_flags.push(allowed < want - 1e-12);
+            wants.push(allowed);
+        }
+
+        // 2. CPU allocation: latency-sensitive first, then batch shares
+        //    what remains proportionally.
+        let ls_want: f64 = self
+            .tasks
+            .iter()
+            .zip(&wants)
+            .filter(|(t, _)| t.class == SchedClass::LatencySensitive)
+            .map(|(_, &w)| w)
+            .sum();
+        let batch_want: f64 = wants.iter().sum::<f64>() - ls_want;
+        let ls_scale = if ls_want > cores {
+            cores / ls_want
+        } else {
+            1.0
+        };
+        let remaining = (cores - ls_want * ls_scale).max(0.0);
+        let batch_scale = if batch_want > remaining {
+            if batch_want > 0.0 {
+                remaining / batch_want
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+        let granted: Vec<f64> = self
+            .tasks
+            .iter()
+            .zip(&wants)
+            .map(|(t, &w)| {
+                if t.class == SchedClass::LatencySensitive {
+                    w * ls_scale
+                } else {
+                    w * batch_scale
+                }
+            })
+            .collect();
+        self.last_utilization = granted.iter().sum::<f64>() / cores;
+
+        // 3. Interference model.
+        let loads: Vec<TaskLoad> = self
+            .tasks
+            .iter()
+            .zip(&granted)
+            .map(|(t, &g)| TaskLoad {
+                activity: g,
+                profile: t.model.profile(),
+            })
+            .collect();
+        let (effects, _summary) = interference::compute(&self.platform, &loads, &self.params);
+
+        // 4. Account counters and let models observe.
+        let mut exits = Vec::new();
+        for (i, t) in self.tasks.iter_mut().enumerate() {
+            let g = granted[i];
+            // Starvation: the task wanted meaningful CPU, was not capped,
+            // yet machine pressure squeezed it to a trickle.
+            if !capped_flags[i] && wants[i] > 0.25 && g < 0.1 * wants[i] {
+                t.starved_ticks += 1;
+            } else {
+                t.starved_ticks = 0;
+            }
+            let profile = loads[i].profile;
+            let noise = if profile.cpi_noise > 0.0 {
+                self.rng.lognormal(0.0, profile.cpi_noise)
+            } else {
+                1.0
+            };
+            let cpi = effects[i].cpi * noise;
+            let cycles = g * self.platform.clock_hz * dt_sec;
+            let instructions = if cpi > 0.0 { cycles / cpi } else { 0.0 };
+            let l3 = instructions * effects[i].mpki / 1000.0;
+            let block = CounterBlock {
+                cycles,
+                instructions,
+                l2_misses: l3 * 2.5,
+                l3_misses: l3,
+                mem_lines: l3 * 1.1,
+                context_switches: (t.threads as f64
+                    * CTX_SWITCHES_PER_THREAD_SEC
+                    * dt_sec
+                    * g.clamp(0.05, 1.0)) as u64,
+                cpu_time_us: g * dt.as_us() as f64,
+            };
+            t.cgroup.charge(&block);
+            let outcome = TickOutcome {
+                cpu_granted: g,
+                capped: capped_flags[i],
+                cpi,
+                instructions,
+                l3_misses: l3,
+            };
+            t.last_outcome = Some(outcome);
+            if t.model.observe(now + dt, &outcome) == TaskAction::Exit {
+                exits.push(TaskExit {
+                    id: t.id,
+                    at: now + dt,
+                    capped: capped_flags[i],
+                });
+            }
+        }
+        for e in &exits {
+            self.tasks.retain(|t| t.id != e.id);
+        }
+        exits
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("id", &self.id)
+            .field("platform", &self.platform.name)
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::task::{ConstantLoad, ResourceProfile};
+
+    fn tid(j: u32, i: u32) -> TaskId {
+        TaskId {
+            job: JobId(j),
+            index: i,
+        }
+    }
+
+    fn add_constant(
+        m: &mut Machine,
+        id: TaskId,
+        name: &str,
+        class: SchedClass,
+        cpu: f64,
+        profile: ResourceProfile,
+    ) {
+        m.add_task(
+            TaskInstance {
+                id,
+                model: Box::new(ConstantLoad::new(cpu, 4, profile)),
+            },
+            name,
+            class,
+            if class == SchedClass::LatencySensitive {
+                Priority::Production
+            } else {
+                Priority::NonProduction
+            },
+            None,
+        );
+    }
+
+    #[test]
+    fn single_task_gets_full_demand() {
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 1);
+        add_constant(
+            &mut m,
+            tid(1, 0),
+            "svc",
+            SchedClass::LatencySensitive,
+            2.0,
+            ResourceProfile::compute_bound(),
+        );
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        let t = m.task(tid(1, 0)).unwrap();
+        let out = t.last_outcome().unwrap();
+        assert!((out.cpu_granted - 2.0).abs() < 1e-9);
+        assert!(!out.capped);
+        assert!(out.cpi > 0.5 && out.cpi < 1.5, "cpi={}", out.cpi);
+        assert!((m.utilization() - 2.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ls_preference_under_overload() {
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 2);
+        add_constant(
+            &mut m,
+            tid(1, 0),
+            "svc",
+            SchedClass::LatencySensitive,
+            8.0,
+            ResourceProfile::compute_bound(),
+        );
+        add_constant(
+            &mut m,
+            tid(2, 0),
+            "batch",
+            SchedClass::Batch,
+            10.0,
+            ResourceProfile::streaming(),
+        );
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        let ls = m
+            .task(tid(1, 0))
+            .unwrap()
+            .last_outcome()
+            .unwrap()
+            .cpu_granted;
+        let b = m
+            .task(tid(2, 0))
+            .unwrap()
+            .last_outcome()
+            .unwrap()
+            .cpu_granted;
+        // LS gets its full 8 cores; batch squeezed into the remaining 4.
+        assert!((ls - 8.0).abs() < 1e-9, "ls={ls}");
+        assert!((b - 4.0).abs() < 1e-9, "batch={b}");
+    }
+
+    #[test]
+    fn hard_cap_limits_task() {
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 3);
+        add_constant(
+            &mut m,
+            tid(2, 0),
+            "batch",
+            SchedClass::Batch,
+            5.0,
+            ResourceProfile::streaming(),
+        );
+        m.task_mut(tid(2, 0))
+            .unwrap()
+            .cgroup
+            .apply_hard_cap(0.1, SimTime::from_mins(5));
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        let out = *m.task(tid(2, 0)).unwrap().last_outcome().unwrap();
+        assert!((out.cpu_granted - 0.1).abs() < 1e-9);
+        assert!(out.capped);
+    }
+
+    #[test]
+    fn capping_antagonist_improves_victim_cpi() {
+        // The end-to-end mechanism of the whole paper, at machine scale.
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 4);
+        add_constant(
+            &mut m,
+            tid(1, 0),
+            "victim",
+            SchedClass::LatencySensitive,
+            2.0,
+            ResourceProfile::cache_heavy(),
+        );
+        add_constant(
+            &mut m,
+            tid(2, 0),
+            "antagonist",
+            SchedClass::BestEffort,
+            8.0,
+            ResourceProfile::streaming(),
+        );
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        let mut before = 0.0;
+        for _ in 0..30 {
+            m.tick(now, dt);
+            before += m.task(tid(1, 0)).unwrap().last_outcome().unwrap().cpi / 30.0;
+            now += dt;
+        }
+        m.task_mut(tid(2, 0))
+            .unwrap()
+            .cgroup
+            .apply_hard_cap(0.01, now + SimDuration::from_hours(1));
+        // Let the cap take effect, then measure.
+        let mut after = 0.0;
+        for _ in 0..30 {
+            m.tick(now, dt);
+            after += m.task(tid(1, 0)).unwrap().last_outcome().unwrap().cpi / 30.0;
+            now += dt;
+        }
+        assert!(
+            after < before * 0.8,
+            "victim CPI before cap {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_consistently() {
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 5);
+        add_constant(
+            &mut m,
+            tid(1, 0),
+            "svc",
+            SchedClass::LatencySensitive,
+            1.0,
+            ResourceProfile::compute_bound(),
+        );
+        for i in 0..10 {
+            m.tick(SimTime::from_secs(i), SimDuration::from_secs(1));
+        }
+        let c = m.task(tid(1, 0)).unwrap().cgroup.counters();
+        // 10 s at 1 core of a 2.6 GHz machine.
+        assert!((c.cycles - 2.6e10).abs() / 2.6e10 < 1e-6);
+        assert!(c.instructions > 0.0);
+        let cpi = c.cpi().unwrap();
+        assert!(cpi > 0.7 && cpi < 1.2, "cpi={cpi}");
+        assert!((c.cpu_time_us - 1e7).abs() < 1.0);
+        assert!(c.context_switches > 0);
+    }
+
+    #[test]
+    fn remove_task_works() {
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 6);
+        add_constant(
+            &mut m,
+            tid(1, 0),
+            "a",
+            SchedClass::Batch,
+            1.0,
+            ResourceProfile::compute_bound(),
+        );
+        assert_eq!(m.task_count(), 1);
+        assert!(m.remove_task(tid(1, 0)));
+        assert!(!m.remove_task(tid(1, 0)));
+        assert_eq!(m.task_count(), 0);
+    }
+
+    #[test]
+    fn thread_count_tracks_models() {
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 7);
+        add_constant(
+            &mut m,
+            tid(1, 0),
+            "a",
+            SchedClass::Batch,
+            1.0,
+            ResourceProfile::compute_bound(),
+        );
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(m.thread_count(), 4);
+    }
+
+    #[test]
+    fn exiting_model_is_removed() {
+        struct ExitAfter {
+            ticks: u32,
+        }
+        impl TaskModel for ExitAfter {
+            fn profile(&self) -> ResourceProfile {
+                ResourceProfile::compute_bound()
+            }
+            fn demand(
+                &mut self,
+                _now: SimTime,
+                _dt: SimDuration,
+                _rng: &mut SimRng,
+            ) -> crate::task::TaskDemand {
+                crate::task::TaskDemand {
+                    cpu_want: 1.0,
+                    threads: 1,
+                }
+            }
+            fn observe(&mut self, _now: SimTime, _o: &TickOutcome) -> TaskAction {
+                if self.ticks == 0 {
+                    TaskAction::Exit
+                } else {
+                    self.ticks -= 1;
+                    TaskAction::Continue
+                }
+            }
+        }
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 8);
+        m.add_task(
+            TaskInstance {
+                id: tid(1, 0),
+                model: Box::new(ExitAfter { ticks: 2 }),
+            },
+            "quitter",
+            SchedClass::Batch,
+            Priority::NonProduction,
+            None,
+        );
+        let mut exited = Vec::new();
+        for i in 0..5 {
+            exited.extend(m.tick(SimTime::from_secs(i), SimDuration::from_secs(1)));
+        }
+        assert_eq!(exited.len(), 1);
+        assert_eq!(exited[0].id, tid(1, 0));
+        assert_eq!(m.task_count(), 0);
+    }
+}

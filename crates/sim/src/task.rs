@@ -1,0 +1,265 @@
+//! Tasks: resource profiles, dynamic behaviour models, and tick outcomes.
+//!
+//! A task is one Linux process tree inside a cgroup. Its *resource profile*
+//! captures the microarchitectural character the interference model needs
+//! (cache footprint, solo miss rate, sensitivity to losing cache); its
+//! *task model* supplies dynamic behaviour — time-varying CPU demand,
+//! thread count, and reactions to throttling (lame-duck mode, abrupt exit).
+
+use crate::job::TaskId;
+use crate::time::{SimDuration, SimTime};
+use cpi2_stats::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Microarchitectural character of a task, consumed by the interference
+/// model each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceProfile {
+    /// Cycles per instruction when running alone on the reference platform.
+    pub base_cpi: f64,
+    /// Cache working-set size in megabytes.
+    pub cache_mb: f64,
+    /// L3 misses per kilo-instruction when the working set fits in cache.
+    pub mpki_solo: f64,
+    /// How strongly the miss rate inflates when the task loses cache
+    /// (0 = insensitive; 1 = proportional; >1 = super-linear).
+    pub cache_sensitivity: f64,
+    /// Log-normal sigma of multiplicative per-tick CPI noise.
+    pub cpi_noise: f64,
+}
+
+impl ResourceProfile {
+    /// A compute-bound profile: small footprint, low miss rate.
+    pub fn compute_bound() -> Self {
+        ResourceProfile {
+            base_cpi: 0.9,
+            cache_mb: 1.0,
+            mpki_solo: 0.3,
+            cache_sensitivity: 0.5,
+            cpi_noise: 0.02,
+        }
+    }
+
+    /// A cache-heavy serving profile: meaningful footprint, moderate misses.
+    pub fn cache_heavy() -> Self {
+        ResourceProfile {
+            base_cpi: 1.4,
+            cache_mb: 6.0,
+            mpki_solo: 2.0,
+            cache_sensitivity: 1.5,
+            cpi_noise: 0.03,
+        }
+    }
+
+    /// A streaming profile: touches lots of memory, little reuse — the
+    /// classic antagonist shape.
+    pub fn streaming() -> Self {
+        ResourceProfile {
+            base_cpi: 1.8,
+            cache_mb: 24.0,
+            mpki_solo: 8.0,
+            cache_sensitivity: 0.2,
+            cpi_noise: 0.04,
+        }
+    }
+
+    /// Validates that all fields are finite and within sane ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.base_cpi.is_finite() && self.base_cpi > 0.0) {
+            return Err(format!("base_cpi={} must be positive", self.base_cpi));
+        }
+        if !(self.cache_mb.is_finite() && self.cache_mb >= 0.0) {
+            return Err(format!("cache_mb={} must be non-negative", self.cache_mb));
+        }
+        if !(self.mpki_solo.is_finite() && self.mpki_solo >= 0.0) {
+            return Err(format!("mpki_solo={} must be non-negative", self.mpki_solo));
+        }
+        if !(self.cache_sensitivity.is_finite() && self.cache_sensitivity >= 0.0) {
+            return Err("cache_sensitivity must be non-negative".to_string());
+        }
+        if !(self.cpi_noise.is_finite() && self.cpi_noise >= 0.0) {
+            return Err("cpi_noise must be non-negative".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// What a task wants from the machine this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskDemand {
+    /// CPU the task would consume unconstrained, in cores (CPU-sec/sec).
+    pub cpu_want: f64,
+    /// Number of runnable threads (Fig. 1b / Fig. 12b data).
+    pub threads: u32,
+}
+
+/// What the machine actually delivered to a task over one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickOutcome {
+    /// CPU granted, in cores.
+    pub cpu_granted: f64,
+    /// True if bandwidth control (a hard cap) clipped the grant.
+    pub capped: bool,
+    /// Effective cycles per instruction this tick.
+    pub cpi: f64,
+    /// Instructions retired this tick.
+    pub instructions: f64,
+    /// L3 misses this tick.
+    pub l3_misses: f64,
+}
+
+/// A task model's verdict after observing a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskAction {
+    /// Keep running.
+    Continue,
+    /// Terminate this task (e.g. a MapReduce worker giving up under
+    /// prolonged capping, §6.2).
+    Exit,
+}
+
+/// Dynamic behaviour of one task.
+///
+/// Implementations live mostly in `cpi2-workloads`; the simulator calls
+/// [`demand`](TaskModel::demand) before allocation each tick and
+/// [`observe`](TaskModel::observe) after, letting the model adapt (enter
+/// lame-duck mode, exit, change phase).
+pub trait TaskModel: Send {
+    /// Resource profile for this tick (may evolve over time).
+    fn profile(&self) -> ResourceProfile;
+
+    /// Demand for the tick starting at `now`.
+    fn demand(&mut self, now: SimTime, dt: SimDuration, rng: &mut SimRng) -> TaskDemand;
+
+    /// Observes the tick's outcome; returns whether to keep running.
+    fn observe(&mut self, _now: SimTime, _outcome: &TickOutcome) -> TaskAction {
+        TaskAction::Continue
+    }
+
+    /// Application-level transactions completed this tick, if the workload
+    /// defines any (used by the Fig. 2 experiment). Default: none.
+    fn transactions(&self, _outcome: &TickOutcome, _dt: SimDuration) -> Option<f64> {
+        None
+    }
+
+    /// Application-level request latency for this tick, if defined (used by
+    /// the Fig. 3/4 experiments). Default: none.
+    fn request_latency_ms(&self, _outcome: &TickOutcome) -> Option<f64> {
+        None
+    }
+}
+
+/// The simplest task model: constant CPU demand and a fixed profile.
+#[derive(Debug, Clone)]
+pub struct ConstantLoad {
+    /// Steady CPU demand in cores.
+    pub cpu: f64,
+    /// Fixed thread count.
+    pub threads: u32,
+    /// Fixed resource profile.
+    pub profile: ResourceProfile,
+}
+
+impl ConstantLoad {
+    /// Creates a constant-demand model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation or `cpu` is negative.
+    pub fn new(cpu: f64, threads: u32, profile: ResourceProfile) -> Self {
+        assert!(cpu >= 0.0, "ConstantLoad: cpu must be non-negative");
+        profile.validate().expect("valid profile");
+        ConstantLoad {
+            cpu,
+            threads,
+            profile,
+        }
+    }
+}
+
+impl TaskModel for ConstantLoad {
+    fn profile(&self) -> ResourceProfile {
+        self.profile
+    }
+
+    fn demand(&mut self, _now: SimTime, _dt: SimDuration, _rng: &mut SimRng) -> TaskDemand {
+        TaskDemand {
+            cpu_want: self.cpu,
+            threads: self.threads,
+        }
+    }
+}
+
+/// Handle pairing a task id with its boxed behaviour model.
+pub struct TaskInstance {
+    /// Task identity.
+    pub id: TaskId,
+    /// Behaviour model.
+    pub model: Box<dyn TaskModel>,
+}
+
+impl std::fmt::Debug for TaskInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskInstance")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    #[test]
+    fn canned_profiles_validate() {
+        ResourceProfile::compute_bound().validate().unwrap();
+        ResourceProfile::cache_heavy().validate().unwrap();
+        ResourceProfile::streaming().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_cpi() {
+        let mut p = ResourceProfile::compute_bound();
+        p.base_cpi = -1.0;
+        assert!(p.validate().is_err());
+        p.base_cpi = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn constant_load_demand() {
+        let mut m = ConstantLoad::new(1.5, 8, ResourceProfile::compute_bound());
+        let mut rng = SimRng::new(1);
+        let d = m.demand(SimTime::ZERO, SimDuration::from_secs(1), &mut rng);
+        assert_eq!(d.cpu_want, 1.5);
+        assert_eq!(d.threads, 8);
+    }
+
+    #[test]
+    fn default_observe_continues() {
+        let mut m = ConstantLoad::new(1.0, 1, ResourceProfile::compute_bound());
+        let out = TickOutcome {
+            cpu_granted: 1.0,
+            capped: false,
+            cpi: 1.0,
+            instructions: 1e9,
+            l3_misses: 1e5,
+        };
+        assert_eq!(m.observe(SimTime::ZERO, &out), TaskAction::Continue);
+        assert!(m.transactions(&out, SimDuration::from_secs(1)).is_none());
+        assert!(m.request_latency_ms(&out).is_none());
+    }
+
+    #[test]
+    fn task_instance_debug_shows_id() {
+        let t = TaskInstance {
+            id: TaskId {
+                job: JobId(1),
+                index: 2,
+            },
+            model: Box::new(ConstantLoad::new(1.0, 1, ResourceProfile::compute_bound())),
+        };
+        assert!(format!("{t:?}").contains("JobId(1)"));
+    }
+}

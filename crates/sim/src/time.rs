@@ -1,0 +1,187 @@
+//! Simulated time: microseconds since the simulation epoch.
+//!
+//! The paper's data records carry `int64 timestamp; // microsec since epoch`
+//! (§3.1); we use the same representation for simulated wall-clock time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds in one second.
+pub const US_PER_SEC: i64 = 1_000_000;
+/// Microseconds in one minute.
+pub const US_PER_MIN: i64 = 60 * US_PER_SEC;
+/// Microseconds in one hour.
+pub const US_PER_HOUR: i64 = 60 * US_PER_MIN;
+/// Microseconds in one day.
+pub const US_PER_DAY: i64 = 24 * US_PER_HOUR;
+
+/// A point in simulated time (µs since the simulation epoch).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub i64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from whole seconds.
+    pub fn from_secs(s: i64) -> Self {
+        SimTime(s * US_PER_SEC)
+    }
+
+    /// Builds a time from whole minutes.
+    pub fn from_mins(m: i64) -> Self {
+        SimTime(m * US_PER_MIN)
+    }
+
+    /// Builds a time from whole hours.
+    pub fn from_hours(h: i64) -> Self {
+        SimTime(h * US_PER_HOUR)
+    }
+
+    /// Raw microseconds since epoch.
+    pub fn as_us(self) -> i64 {
+        self.0
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / US_PER_SEC as f64
+    }
+
+    /// Time of day as fractional hours in `[0, 24)`.
+    pub fn hour_of_day(self) -> f64 {
+        self.0.rem_euclid(US_PER_DAY) as f64 / US_PER_HOUR as f64
+    }
+
+    /// Day number since epoch (floor).
+    pub fn day(self) -> i64 {
+        self.0.div_euclid(US_PER_DAY)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0.div_euclid(US_PER_SEC);
+        let (d, rem) = (total_secs.div_euclid(86_400), total_secs.rem_euclid(86_400));
+        let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+        write!(f, "d{d} {h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// A span of simulated time (µs).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub i64);
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span from whole seconds.
+    pub fn from_secs(s: i64) -> Self {
+        SimDuration(s * US_PER_SEC)
+    }
+
+    /// Builds a span from whole minutes.
+    pub fn from_mins(m: i64) -> Self {
+        SimDuration(m * US_PER_MIN)
+    }
+
+    /// Builds a span from whole hours.
+    pub fn from_hours(h: i64) -> Self {
+        SimDuration(h * US_PER_HOUR)
+    }
+
+    /// Raw microseconds.
+    pub fn as_us(self) -> i64 {
+        self.0
+    }
+
+    /// Span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / US_PER_SEC as f64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_consistent() {
+        assert_eq!(SimTime::from_secs(60), SimTime::from_mins(1));
+        assert_eq!(SimTime::from_mins(60), SimTime::from_hours(1));
+        assert_eq!(SimDuration::from_hours(24).as_us(), US_PER_DAY);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(t - SimDuration::from_secs(15), SimTime::ZERO);
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        let t = SimTime::from_hours(25);
+        assert!((t.hour_of_day() - 1.0).abs() < 1e-12);
+        assert_eq!(t.day(), 1);
+    }
+
+    #[test]
+    fn hour_of_day_fractional() {
+        let t = SimTime::from_mins(90);
+        assert!((t.hour_of_day() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = SimTime::from_hours(26) + SimDuration::from_secs(61);
+        assert_eq!(t.to_string(), "d1 02:01:01");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimDuration::from_mins(1) > SimDuration::from_secs(59));
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the cluster simulator's invariants.
+
+use cpi2_sim::interference::{self, InterferenceParams, TaskLoad};
+use cpi2_sim::{
+    Cgroup, ConstantLoad, JobId, Machine, MachineId, Platform, Priority, ResourceProfile,
+    SchedClass, Scheduler, SimDuration, SimTime, TaskId, TaskInstance,
+};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = ResourceProfile> {
+    (0.5..3.0f64, 0.1..40.0f64, 0.0..15.0f64, 0.0..2.0f64).prop_map(
+        |(base_cpi, cache_mb, mpki_solo, sens)| ResourceProfile {
+            base_cpi,
+            cache_mb,
+            mpki_solo,
+            cache_sensitivity: sens,
+            cpi_noise: 0.0,
+        },
+    )
+}
+
+fn loads_strategy(n: usize) -> impl Strategy<Value = Vec<TaskLoad>> {
+    prop::collection::vec(
+        (0.0..8.0f64, profile_strategy())
+            .prop_map(|(activity, profile)| TaskLoad { activity, profile }),
+        1..n,
+    )
+}
+
+proptest! {
+    #[test]
+    fn interference_cpi_never_below_base(loads in loads_strategy(12)) {
+        let platform = Platform::westmere();
+        let (effects, summary) =
+            interference::compute(&platform, &loads, &InterferenceParams::default());
+        for (l, e) in loads.iter().zip(&effects) {
+            let base = l.profile.base_cpi * platform.cpi_factor;
+            prop_assert!(e.cpi >= base - 1e-9, "cpi {} below base {base}", e.cpi);
+            prop_assert!(e.cpi.is_finite());
+            prop_assert!(e.mpki >= l.profile.mpki_solo - 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&e.cache_retained));
+        }
+        prop_assert!((0.0..=0.95 + 1e-9).contains(&summary.mem_utilization));
+    }
+
+    #[test]
+    fn interference_adding_antagonist_never_helps(loads in loads_strategy(8)) {
+        let platform = Platform::westmere();
+        let params = InterferenceParams::default();
+        let (before, _) = interference::compute(&platform, &loads, &params);
+        let mut with_extra = loads.clone();
+        with_extra.push(TaskLoad {
+            activity: 6.0,
+            profile: ResourceProfile::streaming(),
+        });
+        let (after, _) = interference::compute(&platform, &with_extra, &params);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a.cpi >= b.cpi - 1e-9, "antagonist lowered CPI {} -> {}", b.cpi, a.cpi);
+        }
+    }
+
+    #[test]
+    fn cgroup_clamp_never_exceeds_request_or_cap(
+        want in 0.0..32.0f64,
+        cap in 0.001..4.0f64,
+        limit in prop::option::of(0.1..16.0f64),
+    ) {
+        let mut g = Cgroup::new(limit);
+        g.apply_hard_cap(cap, SimTime::from_mins(5));
+        let got = g.clamp_cpu(want, SimTime::ZERO, SimDuration::from_secs(1));
+        prop_assert!(got <= want + 1e-12);
+        prop_assert!(got <= cap + 1e-12);
+        if let Some(l) = limit {
+            prop_assert!(got <= l + 1e-12);
+        }
+    }
+
+    #[test]
+    fn machine_never_over_allocates(demands in prop::collection::vec((0.0..6.0f64, 0..3u8), 1..20)) {
+        let platform = Platform::westmere();
+        let cores = platform.cores as f64;
+        let mut m = Machine::new(MachineId(0), platform, 7);
+        for (i, &(cpu, class)) in demands.iter().enumerate() {
+            let class = match class {
+                0 => SchedClass::LatencySensitive,
+                1 => SchedClass::Batch,
+                _ => SchedClass::BestEffort,
+            };
+            m.add_task(
+                TaskInstance {
+                    id: TaskId { job: JobId(i as u32), index: 0 },
+                    model: Box::new(ConstantLoad::new(cpu, 2, ResourceProfile::compute_bound())),
+                },
+                format!("j{i}"),
+                class,
+                Priority::NonProduction,
+                None,
+            );
+        }
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        let granted: f64 = m
+            .tasks()
+            .map(|t| t.last_outcome().map(|o| o.cpu_granted).unwrap_or(0.0))
+            .sum();
+        prop_assert!(granted <= cores + 1e-6, "granted {granted} > cores {cores}");
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&m.utilization()));
+        // No task got more than it asked for.
+        for (t, &(cpu, _)) in m.tasks().zip(&demands) {
+            let got = t.last_outcome().unwrap().cpu_granted;
+            prop_assert!(got <= cpu * 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn scheduler_ls_reservations_bounded(requests in prop::collection::vec(0.1..4.0f64, 1..40)) {
+        let mut s = Scheduler::new(1.5, 1);
+        for i in 0..4 {
+            s.register_machine(MachineId(i), 12, 12.0);
+        }
+        for (i, &cpu) in requests.iter().enumerate() {
+            let _ = s.place(JobId(i as u32), SchedClass::LatencySensitive, cpu, 1.0);
+        }
+        // Admission control invariant: per-machine LS reservations ≤ cores.
+        for i in 0..4 {
+            let (ls, _) = s.reservations(MachineId(i)).unwrap();
+            prop_assert!(ls <= 12.0 + 1e-9, "machine {i} oversubscribed: {ls}");
+        }
+    }
+
+    #[test]
+    fn scheduler_batch_overcommit_bounded(requests in prop::collection::vec(0.1..4.0f64, 1..60)) {
+        let overcommit = 1.5;
+        let mut s = Scheduler::new(overcommit, 2);
+        for i in 0..4 {
+            s.register_machine(MachineId(i), 12, 12.0);
+        }
+        for (i, &cpu) in requests.iter().enumerate() {
+            let _ = s.place(JobId(i as u32), SchedClass::Batch, cpu, 1.0);
+        }
+        for i in 0..4 {
+            let (ls, batch) = s.reservations(MachineId(i)).unwrap();
+            prop_assert!(ls + batch <= 12.0 * overcommit + 1e-9);
+        }
+    }
+
+    #[test]
+    fn counters_are_monotonic(cpus in prop::collection::vec(0.1..3.0f64, 1..6), ticks in 1..30i64) {
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 3);
+        for (i, &cpu) in cpus.iter().enumerate() {
+            m.add_task(
+                TaskInstance {
+                    id: TaskId { job: JobId(i as u32), index: 0 },
+                    model: Box::new(ConstantLoad::new(cpu, 2, ResourceProfile::cache_heavy())),
+                },
+                format!("j{i}"),
+                SchedClass::Batch,
+                Priority::NonProduction,
+                None,
+            );
+        }
+        let mut last: Vec<cpi2_sim::CounterBlock> =
+            m.tasks().map(|t| *t.cgroup.counters()).collect();
+        for tick in 0..ticks {
+            m.tick(SimTime::from_secs(tick), SimDuration::from_secs(1));
+            for (t, prev) in m.tasks().zip(&last) {
+                let c = t.cgroup.counters();
+                prop_assert!(c.cycles >= prev.cycles);
+                prop_assert!(c.instructions >= prev.instructions);
+                prop_assert!(c.l3_misses >= prev.l3_misses);
+                prop_assert!(c.cpu_time_us >= prev.cpu_time_us);
+            }
+            last = m.tasks().map(|t| *t.cgroup.counters()).collect();
+        }
+    }
+}

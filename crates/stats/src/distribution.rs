@@ -1,0 +1,434 @@
+//! Continuous probability distributions with pdf/cdf/quantile.
+//!
+//! The paper fits the observed per-job CPI distribution against normal,
+//! log-normal, Gamma and generalized-extreme-value (GEV) candidates and
+//! reports that GEV fits best (Fig. 7, `GEV(1.73, 0.133, −0.0534)`). These
+//! four distributions are implemented here from scratch.
+
+use crate::special::{ln_gamma, lower_inc_gamma_regularized, norm_cdf, norm_quantile};
+use serde::{Deserialize, Serialize};
+
+/// Common interface for the continuous distributions used in fitting.
+pub trait ContinuousDist {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative probability `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Inverse CDF for `p ∈ (0, 1)`.
+    fn quantile(&self, p: f64) -> f64;
+    /// Distribution mean (may be infinite for heavy-tailed shapes).
+    fn mean(&self) -> f64;
+    /// Distribution variance (may be infinite).
+    fn variance(&self) -> f64;
+    /// Log density, defaulting to `ln(pdf)`; `-inf` off support.
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let p = self.pdf(x);
+        if p > 0.0 {
+            p.ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+}
+
+/// Normal distribution `N(mean, stddev²)`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct Normal {
+    /// Location (mean).
+    pub mean: f64,
+    /// Scale (standard deviation), strictly positive.
+    pub stddev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stddev <= 0` or parameters are non-finite.
+    pub fn new(mean: f64, stddev: f64) -> Self {
+        assert!(
+            mean.is_finite() && stddev.is_finite() && stddev > 0.0,
+            "Normal: invalid parameters mean={mean} stddev={stddev}"
+        );
+        Normal { mean, stddev }
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.stddev;
+        (-0.5 * z * z).exp() / (self.stddev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        norm_cdf((x - self.mean) / self.stddev)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.stddev * norm_quantile(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.stddev * self.stddev
+    }
+}
+
+/// Log-normal distribution: `ln X ~ N(mu, sigma²)`, support `x > 0`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct LogNormal {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X`, strictly positive.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0` or parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma > 0.0,
+            "LogNormal: invalid parameters mu={mu} sigma={sigma}"
+        );
+        LogNormal { mu, sigma }
+    }
+}
+
+impl ContinuousDist for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            norm_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * norm_quantile(p)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta`, support `x > 0`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct Gamma {
+    /// Shape parameter, strictly positive.
+    pub shape: f64,
+    /// Scale parameter, strictly positive.
+    pub scale: f64,
+}
+
+impl Gamma {
+    /// Creates a Gamma distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive or non-finite.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape.is_finite() && scale.is_finite() && shape > 0.0 && scale > 0.0,
+            "Gamma: invalid parameters shape={shape} scale={scale}"
+        );
+        Gamma { shape, scale }
+    }
+}
+
+impl ContinuousDist for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.ln_pdf(x).exp()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
+            - ln_gamma(self.shape)
+            - self.shape * self.scale.ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            lower_inc_gamma_regularized(self.shape, x / self.scale)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "Gamma::quantile: p={p} out of (0,1)");
+        // Bisection on the CDF: robust and sufficient for fitting use.
+        let mut lo = 0.0;
+        let mut hi = self.mean() + 20.0 * self.variance().sqrt().max(self.scale);
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * (1.0 + hi) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+}
+
+/// Generalized extreme value distribution `GEV(mu, sigma, xi)`.
+///
+/// `xi > 0` is the Fréchet (heavy right tail) domain, `xi < 0` Weibull
+/// (bounded right tail), `xi = 0` Gumbel. The paper's best fit for
+/// web-search CPI is `GEV(1.73, 0.133, −0.0534)`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct Gev {
+    /// Location parameter.
+    pub mu: f64,
+    /// Scale parameter, strictly positive.
+    pub sigma: f64,
+    /// Shape parameter.
+    pub xi: f64,
+}
+
+impl Gev {
+    /// Creates a GEV distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0` or parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64, xi: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && xi.is_finite() && sigma > 0.0,
+            "Gev: invalid parameters mu={mu} sigma={sigma} xi={xi}"
+        );
+        Gev { mu, sigma, xi }
+    }
+
+    /// The `t(x)` auxiliary: `(1 + xi·z)^(−1/xi)` or `exp(−z)` for `xi = 0`.
+    /// Returns `None` off the support.
+    fn t(&self, x: f64) -> Option<f64> {
+        let z = (x - self.mu) / self.sigma;
+        if self.xi.abs() < 1e-12 {
+            Some((-z).exp())
+        } else {
+            let base = 1.0 + self.xi * z;
+            if base <= 0.0 {
+                None
+            } else {
+                Some(base.powf(-1.0 / self.xi))
+            }
+        }
+    }
+}
+
+impl ContinuousDist for Gev {
+    fn pdf(&self, x: f64) -> f64 {
+        match self.t(x) {
+            Some(t) => t.powf(self.xi + 1.0) * (-t).exp() / self.sigma,
+            None => 0.0,
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        match self.t(x) {
+            Some(t) => (-t).exp(),
+            None => {
+                // Below support for xi > 0 ⇒ 0; above support for xi < 0 ⇒ 1.
+                let z = (x - self.mu) / self.sigma;
+                if self.xi > 0.0 && z < -1.0 / self.xi {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "Gev::quantile: p={p} out of (0,1)");
+        let y = -p.ln(); // y > 0.
+        if self.xi.abs() < 1e-12 {
+            self.mu - self.sigma * y.ln()
+        } else {
+            self.mu + self.sigma * (y.powf(-self.xi) - 1.0) / self.xi
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        if self.xi.abs() < 1e-12 {
+            self.mu + self.sigma * EULER_GAMMA
+        } else if self.xi < 1.0 {
+            self.mu + self.sigma * (crate::special::gamma(1.0 - self.xi) - 1.0) / self.xi
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.xi.abs() < 1e-12 {
+            self.sigma * self.sigma * std::f64::consts::PI.powi(2) / 6.0
+        } else if self.xi < 0.5 {
+            let g1 = crate::special::gamma(1.0 - self.xi);
+            let g2 = crate::special::gamma(1.0 - 2.0 * self.xi);
+            self.sigma * self.sigma * (g2 - g1 * g1) / (self.xi * self.xi)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cdf_quantile_roundtrip<D: ContinuousDist>(d: &D, tol: f64) {
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = d.quantile(p);
+            let back = d.cdf(x);
+            assert!((back - p).abs() < tol, "p={p} x={x} back={back}");
+        }
+    }
+
+    fn check_pdf_integrates_cdf<D: ContinuousDist>(d: &D, lo: f64, hi: f64, tol: f64) {
+        // Trapezoid integration of the pdf should match the CDF difference.
+        let n = 20_000;
+        let h = (hi - lo) / n as f64;
+        let mut integral = 0.0;
+        for i in 0..n {
+            let a = lo + i as f64 * h;
+            integral += 0.5 * (d.pdf(a) + d.pdf(a + h)) * h;
+        }
+        let expect = d.cdf(hi) - d.cdf(lo);
+        assert!(
+            (integral - expect).abs() < tol,
+            "integral={integral} expect={expect}"
+        );
+    }
+
+    #[test]
+    fn normal_roundtrip_and_density() {
+        let d = Normal::new(1.8, 0.16);
+        check_cdf_quantile_roundtrip(&d, 1e-10);
+        check_pdf_integrates_cdf(&d, 1.0, 2.6, 1e-6);
+        assert!((d.mean() - 1.8).abs() < 1e-12);
+        assert!((d.variance() - 0.0256).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_roundtrip_and_moments() {
+        let d = LogNormal::new(0.5, 0.3);
+        check_cdf_quantile_roundtrip(&d, 1e-10);
+        check_pdf_integrates_cdf(&d, 0.01, 10.0, 1e-5);
+        let expect_mean = (0.5f64 + 0.045).exp();
+        assert!((d.mean() - expect_mean).abs() < 1e-10);
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn gamma_roundtrip_and_moments() {
+        let d = Gamma::new(2.5, 1.3);
+        check_cdf_quantile_roundtrip(&d, 1e-9);
+        check_pdf_integrates_cdf(&d, 0.001, 30.0, 1e-5);
+        assert!((d.mean() - 3.25).abs() < 1e-12);
+        assert!((d.variance() - 2.5 * 1.69).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_exponential_special_case() {
+        // Gamma(1, θ) is Exponential(1/θ).
+        let d = Gamma::new(1.0, 2.0);
+        assert!((d.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gev_paper_fit_roundtrip() {
+        // The paper's Fig. 7 fit.
+        let d = Gev::new(1.73, 0.133, -0.0534);
+        check_cdf_quantile_roundtrip(&d, 1e-10);
+        check_pdf_integrates_cdf(&d, 1.0, 3.5, 1e-6);
+        // Mean should be near the observed 1.8.
+        assert!((d.mean() - 1.8).abs() < 0.05, "mean={}", d.mean());
+    }
+
+    #[test]
+    fn gev_gumbel_limit() {
+        let d = Gev::new(0.0, 1.0, 0.0);
+        // Gumbel CDF at 0 is exp(−1).
+        assert!((d.cdf(0.0) - (-1.0f64).exp()).abs() < 1e-12);
+        check_cdf_quantile_roundtrip(&d, 1e-10);
+    }
+
+    #[test]
+    fn gev_support_bounds() {
+        // xi < 0 has a finite right endpoint mu − sigma/xi.
+        let d = Gev::new(0.0, 1.0, -0.5);
+        let upper = 2.0;
+        assert_eq!(d.pdf(upper + 0.1), 0.0);
+        assert_eq!(d.cdf(upper + 0.1), 1.0);
+        // xi > 0 has a finite left endpoint.
+        let d = Gev::new(0.0, 1.0, 0.5);
+        let lower = -2.0;
+        assert_eq!(d.pdf(lower - 0.1), 0.0);
+        assert_eq!(d.cdf(lower - 0.1), 0.0);
+    }
+
+    #[test]
+    fn gev_skewness_direction() {
+        // For small |xi|, the GEV is right-skewed: mean > median.
+        let d = Gev::new(1.73, 0.133, -0.0534);
+        assert!(d.mean() > d.quantile(0.5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn normal_rejects_bad_sigma() {
+        Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gev_rejects_bad_sigma() {
+        Gev::new(0.0, -1.0, 0.0);
+    }
+}

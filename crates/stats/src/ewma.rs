@@ -1,0 +1,209 @@
+//! Exponential age-weighting for historical data.
+//!
+//! CPI² incorporates prior runs of a job by "multiplying the CPI value from
+//! the previous day by about 0.9 before averaging it with the most recent
+//! day's data" (§3.1). [`AgeWeighted`] implements exactly that fold, and
+//! [`Ewma`] is the continuous analogue used for smoothed gauges.
+
+use serde::{Deserialize, Serialize};
+
+/// Classic exponentially weighted moving average.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "Ewma: alpha={alpha} must be in (0,1]"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Folds in one observation and returns the new smoothed value.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value, if any observation has been seen.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Resets to the unseeded state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Day-over-day age-weighted aggregate of a (mean, stddev, weight) spec.
+///
+/// Each day's fold discounts all history by `decay` (the paper's ≈0.9) and
+/// averages it with the new day's statistics, weighted by sample counts.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+pub struct AgeWeighted {
+    mean: f64,
+    var: f64,
+    weight: f64,
+}
+
+impl AgeWeighted {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        AgeWeighted::default()
+    }
+
+    /// Folds in one day of data.
+    ///
+    /// `decay` discounts existing history (0.9 in the paper); `day_weight`
+    /// is typically the day's sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is outside `[0, 1]` or `day_weight` is negative.
+    pub fn fold_day(&mut self, day_mean: f64, day_stddev: f64, day_weight: f64, decay: f64) {
+        assert!((0.0..=1.0).contains(&decay), "decay={decay} out of [0,1]");
+        assert!(day_weight >= 0.0, "day_weight must be non-negative");
+        let old_w = self.weight * decay;
+        let total = old_w + day_weight;
+        if total <= 0.0 {
+            return;
+        }
+        let day_var = day_stddev * day_stddev;
+        // Weighted pooling of means and (between+within) variance.
+        let new_mean = (self.mean * old_w + day_mean * day_weight) / total;
+        let new_var = (old_w * (self.var + (self.mean - new_mean).powi(2))
+            + day_weight * (day_var + (day_mean - new_mean).powi(2)))
+            / total;
+        self.mean = new_mean;
+        self.var = new_var;
+        self.weight = total;
+    }
+
+    /// Age-weighted mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Age-weighted standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Effective weight (discounted sample mass).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// True if no day has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.weight == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_value_passthrough() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.update(5.0), 5.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..50 {
+            e.update(2.0);
+        }
+        assert!((e.value().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        assert_eq!(e.update(9.0), 9.0);
+    }
+
+    #[test]
+    fn ewma_reset() {
+        let mut e = Ewma::new(0.2);
+        e.update(3.0);
+        e.reset();
+        assert!(e.value().is_none());
+        assert_eq!(e.update(7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn age_weighted_single_day_identity() {
+        let mut a = AgeWeighted::new();
+        a.fold_day(1.8, 0.16, 1000.0, 0.9);
+        assert!((a.mean() - 1.8).abs() < 1e-12);
+        assert!((a.stddev() - 0.16).abs() < 1e-12);
+        assert!((a.weight() - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn age_weighted_recent_day_dominates_over_time() {
+        let mut a = AgeWeighted::new();
+        // Ten days at CPI 1.0, then ten at CPI 2.0: estimate should end
+        // much closer to 2.0 than the plain average.
+        for _ in 0..10 {
+            a.fold_day(1.0, 0.1, 100.0, 0.9);
+        }
+        for _ in 0..10 {
+            a.fold_day(2.0, 0.1, 100.0, 0.9);
+        }
+        assert!(a.mean() > 1.6, "mean={}", a.mean());
+    }
+
+    #[test]
+    fn age_weighted_equal_days_stable() {
+        let mut a = AgeWeighted::new();
+        for _ in 0..100 {
+            a.fold_day(1.5, 0.2, 50.0, 0.9);
+        }
+        assert!((a.mean() - 1.5).abs() < 1e-9);
+        assert!((a.stddev() - 0.2).abs() < 1e-9);
+        // Effective weight converges to day_weight / (1 − decay) = 500.
+        assert!((a.weight() - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn age_weighted_between_day_variance_counts() {
+        let mut a = AgeWeighted::new();
+        a.fold_day(1.0, 0.0, 100.0, 1.0);
+        a.fold_day(3.0, 0.0, 100.0, 1.0);
+        // Equal weights, no within-day variance ⇒ var = 1.0 (spread of means).
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+        assert!((a.stddev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn age_weighted_empty() {
+        let a = AgeWeighted::new();
+        assert!(a.is_empty());
+        assert_eq!(a.mean(), 0.0);
+    }
+}

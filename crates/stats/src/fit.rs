@@ -1,0 +1,487 @@
+//! Distribution fitting and goodness-of-fit comparison.
+//!
+//! Reproduces the model-selection exercise of the paper's Fig. 7: fit
+//! normal, log-normal, Gamma and GEV to a CPI sample and rank them by
+//! goodness of fit. Fitting methods: moments (normal, log-normal), Newton
+//! MLE (Gamma), and L-moments / probability-weighted moments (GEV, the
+//! standard Hosking estimator). Goodness of fit: Kolmogorov–Smirnov
+//! statistic, log-likelihood, and AIC.
+
+use crate::distribution::{ContinuousDist, Gamma, Gev, LogNormal, Normal};
+use crate::optimize::nelder_mead;
+use crate::special::{digamma, gamma as gamma_fn, trigamma};
+use crate::summary::RunningStats;
+
+/// Fits a normal distribution by the method of moments.
+///
+/// Returns `None` for fewer than two observations or zero variance.
+pub fn fit_normal(xs: &[f64]) -> Option<Normal> {
+    let s = RunningStats::from_slice(xs);
+    if s.count() < 2 || s.sample_stddev() <= 0.0 {
+        return None;
+    }
+    Some(Normal::new(s.mean(), s.sample_stddev()))
+}
+
+/// Fits a log-normal distribution by moments of `ln x`.
+///
+/// Returns `None` if any observation is non-positive, there are fewer than
+/// two, or the log-variance is zero.
+pub fn fit_lognormal(xs: &[f64]) -> Option<LogNormal> {
+    if xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let s = RunningStats::from_slice(&logs);
+    if s.count() < 2 || s.sample_stddev() <= 0.0 {
+        return None;
+    }
+    Some(LogNormal::new(s.mean(), s.sample_stddev()))
+}
+
+/// Fits a Gamma distribution by maximum likelihood (Newton on the shape).
+///
+/// Starts from the Minka closed-form approximation and refines with Newton
+/// steps on `ln k − ψ(k) = ln(mean) − mean(ln x)`. Returns `None` for
+/// non-positive data, fewer than two observations, or degenerate spread.
+pub fn fit_gamma(xs: &[f64]) -> Option<Gamma> {
+    if xs.len() < 2 || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let mean_ln = xs.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let s = mean.ln() - mean_ln; // ≥ 0 by Jensen; 0 iff all equal.
+    if !(s.is_finite()) || s <= 1e-12 {
+        return None;
+    }
+    // Minka's initializer.
+    let mut k = (3.0 - s + ((s - 3.0).powi(2) + 24.0 * s).sqrt()) / (12.0 * s);
+    for _ in 0..50 {
+        let f = k.ln() - digamma(k) - s;
+        let fp = 1.0 / k - trigamma(k);
+        let step = f / fp;
+        let next = k - step;
+        let next = if next <= 0.0 { k / 2.0 } else { next };
+        if (next - k).abs() < 1e-12 * k {
+            k = next;
+            break;
+        }
+        k = next;
+    }
+    if !k.is_finite() || k <= 0.0 {
+        return None;
+    }
+    Some(Gamma::new(k, mean / k))
+}
+
+/// Fits a GEV distribution by L-moments (Hosking's estimator).
+///
+/// Returns `None` for fewer than three observations or degenerate spread.
+pub fn fit_gev(xs: &[f64]) -> Option<Gev> {
+    if xs.len() < 3 {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len() as f64;
+
+    // Probability-weighted moments b0, b1, b2.
+    let (mut b0, mut b1, mut b2) = (0.0, 0.0, 0.0);
+    for (j, &x) in sorted.iter().enumerate() {
+        let j1 = j as f64; // zero-based index.
+        b0 += x;
+        b1 += x * j1 / (n - 1.0);
+        b2 += x * j1 * (j1 - 1.0) / ((n - 1.0) * (n - 2.0));
+    }
+    b0 /= n;
+    b1 /= n;
+    b2 /= n;
+
+    let l1 = b0;
+    let l2 = 2.0 * b1 - b0;
+    let l3 = 6.0 * b2 - 6.0 * b1 + b0;
+    if l2 <= 0.0 {
+        return None;
+    }
+    let t3 = l3 / l2;
+
+    // Hosking's approximation for the shape (his κ; our xi = −κ).
+    let c = 2.0 / (3.0 + t3) - std::f64::consts::LN_2 / 3.0f64.ln();
+    let kappa = 7.8590 * c + 2.9554 * c * c;
+    if kappa.abs() < 1e-9 {
+        // Gumbel limit.
+        let sigma = l2 / std::f64::consts::LN_2;
+        let mu = l1 - sigma * 0.577_215_664_901_532_9;
+        return Some(Gev::new(mu, sigma, 0.0));
+    }
+    let g = gamma_fn(1.0 + kappa);
+    let sigma = l2 * kappa / ((1.0 - 2.0f64.powf(-kappa)) * g);
+    if !(sigma.is_finite()) || sigma <= 0.0 {
+        return None;
+    }
+    let mu = l1 - sigma * (1.0 - g) / kappa;
+    Some(Gev::new(mu, sigma, -kappa))
+}
+
+/// Refines a GEV fit by maximum likelihood (Nelder–Mead on the negative
+/// log-likelihood, started from the L-moment estimate).
+///
+/// Returns the MLE fit, or the L-moment fit unchanged when the optimizer
+/// cannot improve on it. The likelihood is guarded: parameter vectors with
+/// any observation off the support score `−∞` and are rejected.
+pub fn fit_gev_mle(xs: &[f64]) -> Option<Gev> {
+    let init = fit_gev(xs)?;
+    let nll = |p: &[f64]| {
+        let (mu, sigma, xi) = (p[0], p[1], p[2]);
+        if !(sigma.is_finite() && sigma > 1e-9 && mu.is_finite() && xi.is_finite()) {
+            return f64::INFINITY;
+        }
+        let d = Gev::new(mu, sigma, xi);
+        -log_likelihood(xs, &d)
+    };
+    let start = [init.mu, init.sigma, init.xi];
+    let scale = [init.sigma * 0.1, init.sigma * 0.1, 0.05];
+    let m = nelder_mead(nll, &start, &scale, 2_000, 1e-10);
+    if !m.value.is_finite() {
+        return Some(init);
+    }
+    let refined = Gev::new(m.x[0], m.x[1], m.x[2]);
+    // Keep whichever has the higher likelihood (NM can only improve, but
+    // guard against numerical mishaps).
+    if log_likelihood(xs, &refined) >= log_likelihood(xs, &init) {
+        Some(refined)
+    } else {
+        Some(init)
+    }
+}
+
+/// Kolmogorov–Smirnov statistic `D = sup |F_n(x) − F(x)|`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn ks_statistic<D: ContinuousDist>(xs: &[f64], dist: &D) -> f64 {
+    assert!(!xs.is_empty(), "ks_statistic: empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Total log-likelihood of the sample under the distribution.
+pub fn log_likelihood<D: ContinuousDist>(xs: &[f64], dist: &D) -> f64 {
+    xs.iter().map(|&x| dist.ln_pdf(x)).sum()
+}
+
+/// Akaike information criterion `2k − 2 ln L`.
+pub fn aic(ll: f64, params: usize) -> f64 {
+    2.0 * params as f64 - 2.0 * ll
+}
+
+/// Asymptotic p-value of the one-sample Kolmogorov–Smirnov test.
+///
+/// Uses the Kolmogorov distribution with the Stephens small-sample
+/// correction: `λ = (√n + 0.12 + 0.11/√n)·D`,
+/// `p = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `d` is not in `[0, 1]`.
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    assert!(n > 0, "ks_p_value: empty sample");
+    assert!((0.0..=1.0).contains(&d), "ks_p_value: D={d} out of [0,1]");
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut p = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        p += if k % 2 == 1 { 2.0 * term } else { -2.0 * term };
+        if term < 1e-12 {
+            break;
+        }
+    }
+    p.clamp(0.0, 1.0)
+}
+
+/// Candidate model in a fit comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Normal (2 parameters).
+    Normal,
+    /// Log-normal (2 parameters).
+    LogNormal,
+    /// Gamma (2 parameters).
+    Gamma,
+    /// Generalized extreme value (3 parameters).
+    Gev,
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Model::Normal => "normal",
+            Model::LogNormal => "log-normal",
+            Model::Gamma => "gamma",
+            Model::Gev => "GEV",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One fitted candidate with its goodness-of-fit scores.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    /// Which family.
+    pub model: Model,
+    /// Human-readable fitted parameters.
+    pub params: String,
+    /// Kolmogorov–Smirnov statistic (lower is better).
+    pub ks: f64,
+    /// Log-likelihood (higher is better).
+    pub log_likelihood: f64,
+    /// AIC (lower is better).
+    pub aic: f64,
+}
+
+/// Result of fitting all four candidate families to a sample.
+#[derive(Debug, Clone)]
+pub struct FitComparison {
+    /// Successfully fitted candidates, sorted by ascending KS statistic.
+    pub fits: Vec<FittedModel>,
+}
+
+impl FitComparison {
+    /// The best-fitting model by KS statistic.
+    ///
+    /// Returns `None` when nothing could be fitted.
+    pub fn best(&self) -> Option<&FittedModel> {
+        self.fits.first()
+    }
+}
+
+/// Fits normal, log-normal, Gamma and GEV to the sample and ranks them —
+/// the Fig. 7 model-selection procedure.
+///
+/// # Examples
+///
+/// ```
+/// use cpi2_stats::rng::SimRng;
+/// use cpi2_stats::fit::{compare_fits, Model};
+///
+/// // CPI samples drawn from the paper's published best fit.
+/// let mut rng = SimRng::new(7);
+/// let cpis: Vec<f64> = (0..20_000).map(|_| rng.gev(1.73, 0.133, -0.0534)).collect();
+/// let comparison = compare_fits(&cpis);
+/// assert_eq!(comparison.best().unwrap().model, Model::Gev);
+/// ```
+pub fn compare_fits(xs: &[f64]) -> FitComparison {
+    let mut fits = Vec::new();
+    if let Some(d) = fit_normal(xs) {
+        let ll = log_likelihood(xs, &d);
+        fits.push(FittedModel {
+            model: Model::Normal,
+            params: format!("N({:.4}, {:.4})", d.mean, d.stddev),
+            ks: ks_statistic(xs, &d),
+            log_likelihood: ll,
+            aic: aic(ll, 2),
+        });
+    }
+    if let Some(d) = fit_lognormal(xs) {
+        let ll = log_likelihood(xs, &d);
+        fits.push(FittedModel {
+            model: Model::LogNormal,
+            params: format!("LogN({:.4}, {:.4})", d.mu, d.sigma),
+            ks: ks_statistic(xs, &d),
+            log_likelihood: ll,
+            aic: aic(ll, 2),
+        });
+    }
+    if let Some(d) = fit_gamma(xs) {
+        let ll = log_likelihood(xs, &d);
+        fits.push(FittedModel {
+            model: Model::Gamma,
+            params: format!("Gamma(k={:.4}, θ={:.4})", d.shape, d.scale),
+            ks: ks_statistic(xs, &d),
+            log_likelihood: ll,
+            aic: aic(ll, 2),
+        });
+    }
+    if let Some(d) = fit_gev(xs) {
+        let ll = log_likelihood(xs, &d);
+        fits.push(FittedModel {
+            model: Model::Gev,
+            params: format!("GEV({:.4}, {:.4}, {:.4})", d.mu, d.sigma, d.xi),
+            ks: ks_statistic(xs, &d),
+            log_likelihood: ll,
+            aic: aic(ll, 2),
+        });
+    }
+    fits.sort_by(|a, b| a.ks.partial_cmp(&b.ks).expect("finite KS"));
+    FitComparison { fits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn fit_normal_recovers_parameters() {
+        let mut r = SimRng::new(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| r.normal_with(1.8, 0.16)).collect();
+        let d = fit_normal(&xs).unwrap();
+        assert!((d.mean - 1.8).abs() < 0.01, "mean={}", d.mean);
+        assert!((d.stddev - 0.16).abs() < 0.01, "stddev={}", d.stddev);
+    }
+
+    #[test]
+    fn fit_lognormal_recovers_parameters() {
+        let mut r = SimRng::new(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| r.lognormal(0.5, 0.25)).collect();
+        let d = fit_lognormal(&xs).unwrap();
+        assert!((d.mu - 0.5).abs() < 0.01);
+        assert!((d.sigma - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn fit_lognormal_rejects_nonpositive() {
+        assert!(fit_lognormal(&[1.0, -2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn fit_gamma_recovers_parameters() {
+        let mut r = SimRng::new(3);
+        let xs: Vec<f64> = (0..50_000).map(|_| r.gamma(4.0, 0.5)).collect();
+        let d = fit_gamma(&xs).unwrap();
+        assert!((d.shape - 4.0).abs() < 0.2, "shape={}", d.shape);
+        assert!((d.scale - 0.5).abs() < 0.05, "scale={}", d.scale);
+    }
+
+    #[test]
+    fn fit_gamma_degenerate_is_none() {
+        assert!(fit_gamma(&[2.0, 2.0, 2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn fit_gev_recovers_paper_parameters() {
+        // Sample from the paper's fit and re-estimate.
+        let mut r = SimRng::new(4);
+        let xs: Vec<f64> = (0..100_000).map(|_| r.gev(1.73, 0.133, -0.0534)).collect();
+        let d = fit_gev(&xs).unwrap();
+        assert!((d.mu - 1.73).abs() < 0.02, "mu={}", d.mu);
+        assert!((d.sigma - 0.133).abs() < 0.01, "sigma={}", d.sigma);
+        assert!((d.xi + 0.0534).abs() < 0.05, "xi={}", d.xi);
+    }
+
+    #[test]
+    fn ks_statistic_sanity() {
+        let mut r = SimRng::new(5);
+        let xs: Vec<f64> = (0..10_000).map(|_| r.normal()).collect();
+        let good = Normal::new(0.0, 1.0);
+        let bad = Normal::new(1.0, 1.0);
+        assert!(ks_statistic(&xs, &good) < 0.03);
+        assert!(ks_statistic(&xs, &bad) > 0.3);
+    }
+
+    #[test]
+    fn gev_sample_prefers_gev() {
+        // The core Fig. 7 claim: GEV-distributed CPI data is best fit by GEV.
+        let mut r = SimRng::new(6);
+        let xs: Vec<f64> = (0..50_000).map(|_| r.gev(1.73, 0.133, -0.0534)).collect();
+        let cmp = compare_fits(&xs);
+        assert_eq!(cmp.fits.len(), 4);
+        assert_eq!(cmp.best().unwrap().model, Model::Gev);
+    }
+
+    #[test]
+    fn normal_sample_not_fit_worse_by_normal_than_lognormal() {
+        let mut r = SimRng::new(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| r.normal_with(10.0, 1.0)).collect();
+        let cmp = compare_fits(&xs);
+        let ks_of = |m: Model| cmp.fits.iter().find(|f| f.model == m).unwrap().ks;
+        assert!(ks_of(Model::Normal) <= ks_of(Model::LogNormal) + 0.005);
+    }
+
+    #[test]
+    fn aic_penalizes_parameters() {
+        assert!(aic(-100.0, 3) > aic(-100.0, 2));
+        assert!((aic(0.0, 2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_likelihood_off_support_is_neg_inf() {
+        let d = LogNormal::new(0.0, 1.0);
+        assert_eq!(log_likelihood(&[-1.0], &d), f64::NEG_INFINITY);
+    }
+}
+
+#[cfg(test)]
+mod mle_tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn gev_mle_improves_or_matches_l_moments() {
+        let mut r = SimRng::new(40);
+        let xs: Vec<f64> = (0..5_000).map(|_| r.gev(1.73, 0.133, -0.0534)).collect();
+        let lmom = fit_gev(&xs).unwrap();
+        let mle = fit_gev_mle(&xs).unwrap();
+        assert!(
+            log_likelihood(&xs, &mle) >= log_likelihood(&xs, &lmom) - 1e-9,
+            "MLE must not be worse than its L-moment start"
+        );
+        assert!((mle.mu - 1.73).abs() < 0.02, "mu={}", mle.mu);
+        assert!((mle.sigma - 0.133).abs() < 0.01, "sigma={}", mle.sigma);
+    }
+
+    #[test]
+    fn gev_mle_handles_gumbel_data() {
+        let mut r = SimRng::new(41);
+        let xs: Vec<f64> = (0..5_000).map(|_| r.gev(0.0, 1.0, 0.0)).collect();
+        let mle = fit_gev_mle(&xs).unwrap();
+        assert!(mle.xi.abs() < 0.08, "xi={}", mle.xi);
+    }
+
+    #[test]
+    fn ks_p_value_extremes() {
+        // Tiny D on a large sample: no evidence against the fit.
+        assert!(ks_p_value(0.005, 10_000) > 0.5);
+        // Large D on a large sample: decisive rejection.
+        assert!(ks_p_value(0.2, 10_000) < 1e-6);
+        // D = 0 is a perfect fit.
+        assert_eq!(ks_p_value(0.0, 100), 1.0);
+    }
+
+    #[test]
+    fn ks_p_value_matches_known_quantile() {
+        // The 5% critical value of the Kolmogorov distribution is
+        // λ ≈ 1.358; for large n, D = 1.358/√n should give p ≈ 0.05.
+        let n = 1_000_000;
+        let d = 1.358 / (n as f64).sqrt();
+        let p = ks_p_value(d, n);
+        assert!((p - 0.05).abs() < 0.005, "p={p}");
+    }
+
+    #[test]
+    fn correct_model_passes_ks_wrong_model_fails() {
+        let mut r = SimRng::new(42);
+        let xs: Vec<f64> = (0..20_000).map(|_| r.gev(1.73, 0.133, -0.0534)).collect();
+        let good = fit_gev_mle(&xs).unwrap();
+        let p_good = ks_p_value(ks_statistic(&xs, &good), xs.len());
+        let bad = crate::distribution::Normal::new(1.8, 0.16);
+        let p_bad = ks_p_value(ks_statistic(&xs, &bad), xs.len());
+        assert!(p_good > 0.01, "good fit rejected: p={p_good}");
+        assert!(p_bad < 1e-6, "bad fit accepted: p={p_bad}");
+    }
+}

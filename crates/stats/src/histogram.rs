@@ -1,0 +1,262 @@
+//! Histograms, empirical CDFs and quantiles.
+//!
+//! Used to reproduce the paper's CDF figures (Figs. 1, 14, 16d) and the CPI
+//! distribution of Fig. 7.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-width-bin histogram over `[lo, hi)` with saturation at the edges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: bins must be positive");
+        assert!(lo < hi, "Histogram: lo={lo} must be < hi={hi}");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations pushed (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Observations below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Fraction of all observations that landed in bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates `(bin_center, fraction)` pairs — the series plotted in Fig. 7.
+    pub fn series(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        (0..self.counts.len()).map(move |i| (self.bin_center(i), self.fraction(i)))
+    }
+}
+
+/// Empirical distribution built from a sample, giving CDF and quantiles.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an empirical CDF from observations (NaNs are dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite observations remain.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        xs.retain(|x| x.is_finite());
+        assert!(!xs.is_empty(), "Ecdf: need at least one finite observation");
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ecdf { sorted: xs }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false` (construction requires ≥1 observation).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Empirical CDF value `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements ≤ x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile by linear interpolation of order statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile: q={q} out of [0,1]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        if i + 1 >= n {
+            self.sorted[n - 1]
+        } else {
+            self.sorted[i] * (1.0 - frac) + self.sorted[i + 1] * frac
+        }
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Sorted backing data.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Samples the CDF at `points` evenly spaced values across the data
+    /// range, returning `(x, F(x))` pairs — the series for CDF plots.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        if points <= 1 || hi <= lo {
+            return vec![(lo, self.cdf(lo))];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        for i in 0..10 {
+            assert_eq!(h.count(i), 1, "bin {i}");
+        }
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn histogram_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-1.0);
+        h.push(2.0);
+        h.push(1.0); // hi is exclusive → overflow
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_in_range_share() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        for i in 0..100 {
+            h.push(i as f64 / 100.0);
+        }
+        let sum: f64 = (0..5).map(|i| h.fraction(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_centers() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_cdf_steps() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        assert_eq!(e.median(), 30.0);
+        assert!((e.quantile(0.25) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_drops_nan() {
+        let e = Ecdf::new(vec![f64::NAN, 1.0, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ecdf_empty_panics() {
+        Ecdf::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn ecdf_series_monotone() {
+        let e = Ecdf::new((0..100).map(|i| (i as f64).sqrt()).collect());
+        let s = e.series(20);
+        assert_eq!(s.len(), 20);
+        for w in s.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((s.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Derivative-free minimization (Nelder–Mead).
+//!
+//! Used to refine distribution fits by maximum likelihood: the L-moment
+//! estimators give an excellent starting point and Nelder–Mead polishes
+//! the log-likelihood without needing gradients of the GEV density.
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct Minimum {
+    /// Location of the best point found.
+    pub x: Vec<f64>,
+    /// Function value at `x`.
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: u32,
+}
+
+/// Minimizes `f` from `start` with the Nelder–Mead simplex method.
+///
+/// `scale` sets the initial simplex size per dimension. Non-finite
+/// function values are treated as `+∞`, so constrained regions can simply
+/// return `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if `start` is empty or lengths mismatch.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    start: &[f64],
+    scale: &[f64],
+    max_iter: u32,
+    tolerance: f64,
+) -> Minimum {
+    assert!(!start.is_empty(), "nelder_mead: empty start");
+    assert_eq!(
+        start.len(),
+        scale.len(),
+        "nelder_mead: scale length mismatch"
+    );
+    let n = start.len();
+    let mut eval = |x: &[f64]| {
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Initial simplex: start plus one vertex per axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = eval(start);
+    simplex.push((start.to_vec(), v0));
+    for i in 0..n {
+        let mut x = start.to_vec();
+        x[i] += scale[i];
+        let v = eval(&x);
+        simplex.push((x, v));
+    }
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut iterations = 0;
+    while iterations < max_iter {
+        iterations += 1;
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("ordered values"));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        if worst.is_finite() && (worst - best).abs() <= tolerance * (1.0 + best.abs()) {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+        let worst_x = simplex[n].0.clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst_x)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = eval(&reflect);
+
+        if fr < simplex[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&worst_x)
+                .map(|(c, w)| c + gamma * (c - w))
+                .collect();
+            let fe = eval(&expand);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contraction.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst_x)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = eval(&contract);
+            if fc < simplex[n].1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink toward the best vertex.
+                let best_x = simplex[0].0.clone();
+                for (x, v) in simplex.iter_mut().skip(1) {
+                    for (xi, bi) in x.iter_mut().zip(&best_x) {
+                        *xi = bi + sigma * (*xi - bi);
+                    }
+                    *v = eval(x);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("ordered values"));
+    Minimum {
+        x: simplex[0].0.clone(),
+        value: simplex[0].1,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let m = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            500,
+            1e-12,
+        );
+        assert!((m.x[0] - 3.0).abs() < 1e-4, "{:?}", m.x);
+        assert!((m.x[1] + 1.0).abs() < 1e-4, "{:?}", m.x);
+        assert!(m.value < 1e-7);
+    }
+
+    #[test]
+    fn rosenbrock() {
+        let m = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            &[0.5, 0.5],
+            5_000,
+            1e-14,
+        );
+        assert!((m.x[0] - 1.0).abs() < 1e-3, "{:?}", m.x);
+        assert!((m.x[1] - 1.0).abs() < 1e-3, "{:?}", m.x);
+    }
+
+    #[test]
+    fn respects_infinite_barrier() {
+        // Constrained: f = x² for x > 0, ∞ otherwise; start feasible.
+        let m = nelder_mead(
+            |x| {
+                if x[0] <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    (x[0] - 0.5).powi(2)
+                }
+            },
+            &[2.0],
+            &[0.5],
+            500,
+            1e-12,
+        );
+        assert!(m.x[0] > 0.0);
+        assert!((m.x[0] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let m = nelder_mead(|x| (x[0] - 7.0).abs(), &[0.0], &[1.0], 500, 1e-12);
+        assert!((m.x[0] - 7.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Timestamped series with alignment and windowing.
+//!
+//! The antagonist-correlation analysis of §4.2 pairs the victim's CPI
+//! samples with the suspect's CPU-usage samples over a 10-minute window;
+//! [`TimeSeries::align`] produces those time-aligned pairs.
+
+use serde::{Deserialize, Serialize};
+
+/// A series of `(timestamp_us, value)` points in non-decreasing time order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(i64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Builds a series from points, sorting by timestamp.
+    pub fn from_points(mut points: Vec<(i64, f64)>) -> Self {
+        points.sort_by_key(|&(t, _)| t);
+        TimeSeries { points }
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last timestamp.
+    pub fn push(&mut self, t: i64, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "TimeSeries::push: non-monotonic timestamp");
+        }
+        self.points.push((t, v));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(i64, f64)] {
+        &self.points
+    }
+
+    /// Values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Points with `t ∈ [start, end)`.
+    pub fn window(&self, start: i64, end: i64) -> TimeSeries {
+        let lo = self.points.partition_point(|&(t, _)| t < start);
+        let hi = self.points.partition_point(|&(t, _)| t < end);
+        TimeSeries {
+            points: self.points[lo..hi].to_vec(),
+        }
+    }
+
+    /// Drops points older than `cutoff`, keeping the series bounded.
+    pub fn evict_before(&mut self, cutoff: i64) {
+        let lo = self.points.partition_point(|&(t, _)| t < cutoff);
+        self.points.drain(..lo);
+    }
+
+    /// Pairs this series with `other` by matching timestamps within
+    /// `tolerance_us`, returning `(self_value, other_value)` pairs.
+    ///
+    /// Each point matches at most one point of the other series (nearest
+    /// neighbour, two-pointer sweep).
+    pub fn align(&self, other: &TimeSeries, tolerance_us: i64) -> Vec<(f64, f64)> {
+        if other.points.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut j = 0usize;
+        for &(t, v) in &self.points {
+            // Advance j to the nearest candidate (both series are sorted,
+            // so the nearest index is non-decreasing in t).
+            while j + 1 < other.points.len()
+                && (other.points[j + 1].0 - t).abs() <= (other.points[j].0 - t).abs()
+            {
+                j += 1;
+            }
+            let (ot, ov) = other.points[j];
+            if (ot - t).abs() <= tolerance_us {
+                out.push((v, ov));
+            }
+        }
+        out
+    }
+
+    /// Resamples into fixed buckets of `step_us`, averaging values per
+    /// bucket; empty buckets are skipped.
+    pub fn resample(&self, step_us: i64) -> TimeSeries {
+        assert!(step_us > 0, "resample: step must be positive");
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < self.points.len() {
+            let bucket = self.points[i].0.div_euclid(step_us);
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            while i < self.points.len() && self.points[i].0.div_euclid(step_us) == bucket {
+                sum += self.points[i].1;
+                n += 1;
+                i += 1;
+            }
+            out.push((bucket * step_us + step_us / 2, sum / n as f64));
+        }
+        TimeSeries { points: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_window() {
+        let mut s = TimeSeries::new();
+        for t in 0..10 {
+            s.push(t * 60, t as f64);
+        }
+        let w = s.window(120, 300);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.points()[0], (120, 2.0));
+        assert_eq!(w.points()[2], (240, 4.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_regression() {
+        let mut s = TimeSeries::new();
+        s.push(10, 1.0);
+        s.push(5, 2.0);
+    }
+
+    #[test]
+    fn from_points_sorts() {
+        let s = TimeSeries::from_points(vec![(30, 3.0), (10, 1.0), (20, 2.0)]);
+        assert_eq!(s.values(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn evict_before_bounds_memory() {
+        let mut s = TimeSeries::from_points((0..100).map(|t| (t, t as f64)).collect());
+        s.evict_before(90);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.points()[0].0, 90);
+    }
+
+    #[test]
+    fn align_exact_timestamps() {
+        let a = TimeSeries::from_points(vec![(0, 1.0), (60, 2.0), (120, 3.0)]);
+        let b = TimeSeries::from_points(vec![(0, 10.0), (60, 20.0), (120, 30.0)]);
+        let pairs = a.align(&b, 0);
+        assert_eq!(pairs, vec![(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]);
+    }
+
+    #[test]
+    fn align_with_tolerance_and_gaps() {
+        let a = TimeSeries::from_points(vec![(0, 1.0), (60, 2.0), (200, 3.0)]);
+        let b = TimeSeries::from_points(vec![(5, 10.0), (63, 20.0)]);
+        let pairs = a.align(&b, 10);
+        assert_eq!(pairs, vec![(1.0, 10.0), (2.0, 20.0)]);
+    }
+
+    #[test]
+    fn align_rejects_beyond_tolerance() {
+        let a = TimeSeries::from_points(vec![(0, 1.0)]);
+        let b = TimeSeries::from_points(vec![(100, 9.0)]);
+        assert!(a.align(&b, 10).is_empty());
+    }
+
+    #[test]
+    fn resample_averages_buckets() {
+        let s = TimeSeries::from_points(vec![(0, 1.0), (10, 3.0), (100, 5.0)]);
+        let r = s.resample(60);
+        assert_eq!(r.len(), 2);
+        assert!((r.points()[0].1 - 2.0).abs() < 1e-12);
+        assert!((r.points()[1].1 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_negative_timestamps() {
+        let s = TimeSeries::from_points(vec![(-70, 1.0), (-10, 3.0)]);
+        let r = s.resample(60);
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! The Case-3 bimodal service: self-inflicted CPI swings.
+//!
+//! §6.1 Case 3: a front-end web service whose CPI fluctuated between ~3
+//! and ~10 with *no* antagonist — "high CPI corresponds to periods of low
+//! CPU usage, and vice versa. This pattern turns out to be normal for this
+//! application." The minimum-CPU-usage filter of §4.1 exists precisely to
+//! suppress this false alarm.
+
+use cpi2_sim::{ResourceProfile, SimDuration, SimTime, TaskDemand, TaskModel};
+use cpi2_stats::rng::SimRng;
+
+/// A service whose CPU usage and CPI are anti-correlated by design.
+///
+/// In the active phase it serves traffic at moderate CPI; in the idle
+/// phase a housekeeping thread trickles along at terrible CPI (cold
+/// caches, pointer chasing) while overall usage is far below the 0.25
+/// CPU-sec/sec detection floor.
+#[derive(Debug)]
+pub struct BimodalService {
+    /// Active-phase CPU, cores.
+    pub active_cpu: f64,
+    /// Idle-phase CPU, cores (below the detection floor).
+    pub idle_cpu: f64,
+    /// Active-phase length, ticks (most of the time).
+    pub active_ticks: u32,
+    /// Idle-phase length, ticks.
+    pub idle_ticks: u32,
+    tick: u32,
+    rng: SimRng,
+}
+
+impl BimodalService {
+    /// Creates the Case-3 service shape: mostly active at ~3 CPI and 0.35
+    /// cores, with ~4-minute housekeeping lulls at dreadful CPI and usage
+    /// below the detection floor.
+    pub fn new(seed: u64) -> Self {
+        BimodalService {
+            active_cpu: 0.35,
+            idle_cpu: 0.05,
+            active_ticks: 1260,
+            idle_ticks: 240,
+            tick: 0,
+            rng: SimRng::derive(seed, 0xB1D0),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.tick % (self.active_ticks + self.idle_ticks) < self.active_ticks
+    }
+}
+
+impl TaskModel for BimodalService {
+    fn profile(&self) -> ResourceProfile {
+        if self.active() {
+            ResourceProfile {
+                base_cpi: 3.0,
+                cache_mb: 3.0,
+                mpki_solo: 2.0,
+                cache_sensitivity: 1.0,
+                cpi_noise: 0.05,
+            }
+        } else {
+            // Housekeeping: dreadful CPI, negligible usage.
+            ResourceProfile {
+                base_cpi: 14.0,
+                cache_mb: 0.5,
+                mpki_solo: 15.0,
+                cache_sensitivity: 0.5,
+                cpi_noise: 0.08,
+            }
+        }
+    }
+
+    fn demand(&mut self, _now: SimTime, _dt: SimDuration, _rng: &mut SimRng) -> TaskDemand {
+        let want = if self.active() {
+            self.active_cpu * (1.0 + 0.1 * self.rng.normal())
+        } else {
+            self.idle_cpu * (1.0 + 0.1 * self.rng.normal())
+        };
+        self.tick += 1;
+        TaskDemand {
+            cpu_want: want.max(0.01),
+            threads: 6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_and_cpi_anticorrelated() {
+        let mut s = BimodalService::new(1);
+        let mut rng = SimRng::new(0);
+        let mut pairs = Vec::new();
+        for i in 0..2400 {
+            let p = s.profile();
+            let d = s.demand(SimTime::from_secs(i), SimDuration::from_secs(1), &mut rng);
+            pairs.push((d.cpu_want, p.base_cpi));
+        }
+        let usage: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let cpi: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = cpi2_stats::correlation::pearson(&usage, &cpi).unwrap();
+        assert!(r < -0.8, "r={r}");
+    }
+
+    #[test]
+    fn idle_phase_below_detection_floor() {
+        let mut s = BimodalService::new(2);
+        s.tick = s.active_ticks; // Jump to the idle phase.
+        let mut rng = SimRng::new(0);
+        let d = s.demand(SimTime::ZERO, SimDuration::from_secs(1), &mut rng);
+        assert!(
+            d.cpu_want < 0.25,
+            "usage {} must be under the floor",
+            d.cpu_want
+        );
+        assert!(s.profile().base_cpi > 10.0);
+    }
+
+    #[test]
+    fn phases_alternate_on_schedule() {
+        let mut s = BimodalService::new(3);
+        s.active_ticks = 30;
+        s.idle_ticks = 10;
+        let mut rng = SimRng::new(0);
+        let mut highs = 0;
+        let mut lows = 0;
+        for i in 0..80 {
+            let d = s.demand(SimTime::from_secs(i), SimDuration::from_secs(1), &mut rng);
+            if d.cpu_want > 0.2 {
+                highs += 1;
+            } else {
+                lows += 1;
+            }
+        }
+        assert_eq!(highs, 60);
+        assert_eq!(lows, 20);
+    }
+}

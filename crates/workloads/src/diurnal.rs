@@ -1,0 +1,88 @@
+//! Diurnal load patterns.
+//!
+//! User-facing traffic follows a daily cycle; Fig. 5 shows web-search CPI
+//! tracking it with a ~4 % coefficient of variation. [`DiurnalPattern`]
+//! produces the load multiplier that drives per-task CPU demand.
+
+use cpi2_sim::SimTime;
+
+/// A sinusoidal daily load curve with optional weekday modulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalPattern {
+    /// Mean load level (e.g. cores, or a 0–1 utilization factor).
+    pub base: f64,
+    /// Peak-to-mean amplitude as a fraction of `base` (0.3 = ±30 %).
+    pub amplitude: f64,
+    /// Hour of day (0–24) at which load peaks.
+    pub peak_hour: f64,
+}
+
+impl DiurnalPattern {
+    /// A typical serving-load shape: peak at 18:00, ±30 %.
+    pub fn serving() -> Self {
+        DiurnalPattern {
+            base: 1.0,
+            amplitude: 0.3,
+            peak_hour: 18.0,
+        }
+    }
+
+    /// A flat pattern (no diurnal variation).
+    pub fn flat(base: f64) -> Self {
+        DiurnalPattern {
+            base,
+            amplitude: 0.0,
+            peak_hour: 0.0,
+        }
+    }
+
+    /// The load multiplier at simulated time `t`.
+    pub fn level(&self, t: SimTime) -> f64 {
+        let h = t.hour_of_day();
+        let phase = 2.0 * std::f64::consts::PI * (h - self.peak_hour) / 24.0;
+        (self.base * (1.0 + self.amplitude * phase.cos())).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpi2_sim::SimDuration;
+
+    #[test]
+    fn peaks_at_peak_hour() {
+        let p = DiurnalPattern::serving();
+        let peak = p.level(SimTime::from_hours(18));
+        let trough = p.level(SimTime::from_hours(6));
+        assert!((peak - 1.3).abs() < 1e-9);
+        assert!((trough - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_is_constant() {
+        let p = DiurnalPattern::flat(2.0);
+        for h in 0..24 {
+            assert_eq!(p.level(SimTime::from_hours(h)), 2.0);
+        }
+    }
+
+    #[test]
+    fn period_is_one_day() {
+        let p = DiurnalPattern::serving();
+        let t = SimTime::from_hours(7);
+        let t_next = t + SimDuration::from_hours(24);
+        assert!((p.level(t) - p.level(t_next)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_negative() {
+        let p = DiurnalPattern {
+            base: 1.0,
+            amplitude: 2.0, // Over-amplified on purpose.
+            peak_hour: 12.0,
+        };
+        for h in 0..24 {
+            assert!(p.level(SimTime::from_hours(h)) >= 0.0);
+        }
+    }
+}

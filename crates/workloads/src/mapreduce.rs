@@ -1,0 +1,221 @@
+//! MapReduce workers: stragglers, shard processing, and capping reactions.
+//!
+//! §2 notes MapReduce frameworks already handle stragglers by replacement;
+//! §6.2 (Case 6) shows a MapReduce worker that "survived the first
+//! hard-capping (perhaps because it was inactive at the time) but during
+//! the second one it either quit or was terminated by the MapReduce
+//! master". [`MapReduceWorker`] reproduces that behaviour: prolonged
+//! starvation while *actively trying to work* makes it exit.
+
+use cpi2_sim::{
+    ResourceProfile, SimDuration, SimTime, TaskAction, TaskDemand, TaskModel, TickOutcome,
+};
+use cpi2_stats::rng::SimRng;
+
+/// A MapReduce worker task processing a queue of shards.
+#[derive(Debug)]
+pub struct MapReduceWorker {
+    profile: ResourceProfile,
+    /// CPU demand while processing a shard, cores.
+    active_cpu: f64,
+    /// Work per shard in CPU-seconds.
+    shard_cpu_secs: f64,
+    /// Remaining CPU-seconds in the current shard; `None` while idle
+    /// between shards.
+    current_shard: Option<f64>,
+    /// Ticks of idleness between shards (fetching input, waiting for the
+    /// master).
+    idle_gap: u32,
+    idle_left: u32,
+    /// Consecutive ticks the worker wanted CPU but was capped hard.
+    starved_ticks: u32,
+    /// Starvation tolerance before giving up (ticks).
+    starvation_limit: u32,
+    rng: SimRng,
+    shards_done: u64,
+}
+
+impl MapReduceWorker {
+    /// Creates a worker with paper-plausible defaults: 5-core bursts,
+    /// ~2-minute shards, and a 3-minute starvation tolerance.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SimRng::derive(seed, 0x3A9);
+        let idle = rng.range_u64(3, 10) as u32;
+        Self::with_rng(rng, idle)
+    }
+
+    fn with_rng(rng: SimRng, idle: u32) -> Self {
+        MapReduceWorker {
+            profile: ResourceProfile {
+                base_cpi: 1.6,
+                cache_mb: 12.0,
+                mpki_solo: 5.0,
+                cache_sensitivity: 0.4,
+                cpi_noise: 0.04,
+            },
+            active_cpu: 5.0,
+            shard_cpu_secs: 600.0,
+            current_shard: None,
+            idle_gap: idle,
+            idle_left: 0,
+            starved_ticks: 0,
+            starvation_limit: 180,
+            rng,
+            shards_done: 0,
+        }
+    }
+
+    /// Sets the starvation tolerance in ticks (seconds at the default tick).
+    pub fn with_starvation_limit(mut self, ticks: u32) -> Self {
+        self.starvation_limit = ticks;
+        self
+    }
+
+    /// Sets the idle gap between shards, in ticks. Long gaps model workers
+    /// that spend minutes waiting on the master or fetching input — the
+    /// kind that survive a cap "because it was inactive at the time"
+    /// (Case 6).
+    pub fn with_idle_gap(mut self, ticks: u32) -> Self {
+        self.idle_gap = ticks;
+        self.idle_left = ticks;
+        self
+    }
+
+    /// Shards completed so far.
+    pub fn shards_done(&self) -> u64 {
+        self.shards_done
+    }
+}
+
+impl TaskModel for MapReduceWorker {
+    fn profile(&self) -> ResourceProfile {
+        self.profile
+    }
+
+    fn demand(&mut self, _now: SimTime, _dt: SimDuration, _rng: &mut SimRng) -> TaskDemand {
+        if self.current_shard.is_none() {
+            if self.idle_left > 0 {
+                self.idle_left -= 1;
+                return TaskDemand {
+                    cpu_want: 0.05,
+                    threads: 4,
+                };
+            }
+            // Fetch the next shard (slightly variable size).
+            let size = self.shard_cpu_secs * (0.8 + 0.4 * self.rng.f64());
+            self.current_shard = Some(size);
+        }
+        TaskDemand {
+            cpu_want: self.active_cpu,
+            threads: 16,
+        }
+    }
+
+    fn observe(&mut self, _now: SimTime, outcome: &TickOutcome) -> TaskAction {
+        if let Some(left) = self.current_shard.as_mut() {
+            *left -= outcome.cpu_granted;
+            if *left <= 0.0 {
+                self.current_shard = None;
+                self.idle_left = self.idle_gap;
+                self.shards_done += 1;
+            }
+            // Starvation accounting: wanted active CPU, got a trickle.
+            if outcome.capped && outcome.cpu_granted < 0.2 {
+                self.starved_ticks += 1;
+                if self.starved_ticks >= self.starvation_limit {
+                    return TaskAction::Exit; // Case 6: give up, let the
+                                             // master reschedule us.
+                }
+            } else {
+                self.starved_ticks = 0;
+            }
+        }
+        TaskAction::Continue
+    }
+
+    fn transactions(&self, outcome: &TickOutcome, _dt: SimDuration) -> Option<f64> {
+        // One "transaction" per shard-CPU-second of progress.
+        Some(outcome.cpu_granted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(granted: f64, capped: bool) -> TickOutcome {
+        TickOutcome {
+            cpu_granted: granted,
+            capped,
+            cpi: 1.6,
+            instructions: granted * 1e9,
+            l3_misses: 1e5,
+        }
+    }
+
+    #[test]
+    fn processes_shards_with_idle_gaps() {
+        let mut w = MapReduceWorker::new(1);
+        let mut rng = SimRng::new(0);
+        let mut idles = 0;
+        for i in 0..1_000 {
+            let d = w.demand(SimTime::from_secs(i), SimDuration::from_secs(1), &mut rng);
+            if d.cpu_want < 0.1 {
+                idles += 1;
+                w.observe(SimTime::from_secs(i), &outcome(d.cpu_want, false));
+            } else {
+                w.observe(SimTime::from_secs(i), &outcome(5.0, false));
+            }
+        }
+        assert!(w.shards_done() >= 3, "done={}", w.shards_done());
+        assert!(idles > 0, "never idled");
+    }
+
+    #[test]
+    fn survives_capping_while_idle() {
+        // Case 6's first capping: worker inactive (between shards) so the
+        // cap doesn't starve it.
+        let mut w = MapReduceWorker::new(2).with_starvation_limit(10);
+        let mut rng = SimRng::new(0);
+        // Force idle state.
+        w.current_shard = None;
+        w.idle_left = 30;
+        for i in 0..20 {
+            let d = w.demand(SimTime::from_secs(i), SimDuration::from_secs(1), &mut rng);
+            let act = w.observe(SimTime::from_secs(i), &outcome(d.cpu_want.min(0.01), true));
+            assert_eq!(act, TaskAction::Continue, "tick {i}");
+        }
+    }
+
+    #[test]
+    fn exits_under_prolonged_active_starvation() {
+        // Case 6's second capping: worker mid-shard, capped to ~nothing.
+        let mut w = MapReduceWorker::new(3).with_starvation_limit(10);
+        let mut rng = SimRng::new(0);
+        let mut exited = false;
+        for i in 0..50 {
+            w.demand(SimTime::from_secs(i), SimDuration::from_secs(1), &mut rng);
+            if w.observe(SimTime::from_secs(i), &outcome(0.01, true)) == TaskAction::Exit {
+                exited = true;
+                break;
+            }
+        }
+        assert!(exited, "worker should have given up");
+    }
+
+    #[test]
+    fn starvation_counter_resets_on_relief() {
+        let mut w = MapReduceWorker::new(4).with_starvation_limit(10);
+        let mut rng = SimRng::new(0);
+        for i in 0..100 {
+            w.demand(SimTime::from_secs(i), SimDuration::from_secs(1), &mut rng);
+            // Alternate starvation and relief: never 10 consecutive.
+            let o = if i % 5 == 4 {
+                outcome(5.0, false)
+            } else {
+                outcome(0.01, true)
+            };
+            assert_eq!(w.observe(SimTime::from_secs(i), &o), TaskAction::Continue);
+        }
+    }
+}

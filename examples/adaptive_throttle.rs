@@ -1,0 +1,172 @@
+//! Feedback-driven adaptive throttling — the paper's §9 future work.
+//!
+//! "Our fixed hard-capping limits are rather crude. We hope to introduce a
+//! feedback-driven policy that dynamically adjusts the amount of
+//! throttling to keep the victim CPI degradation just below an acceptable
+//! threshold." This example implements that loop with
+//! [`cpi2::core::AdaptiveThrottle`] and compares it with the fixed 0.01
+//! cap: the adaptive policy restores the victim while leaving the
+//! antagonist several times more CPU.
+//!
+//! Run: `cargo run --release --example adaptive_throttle`
+
+use cpi2::core::{AdaptiveThrottle, Cpi2Config};
+use cpi2::harness::Cpi2Harness;
+use cpi2::sim::{
+    Cluster, ClusterConfig, ConstantLoad, JobSpec, Platform, ResourceProfile, SimDuration, TaskId,
+};
+use cpi2::workloads::LsService;
+
+struct Setup {
+    system: Cpi2Harness,
+    victim: TaskId,
+    antagonist: TaskId,
+    machine: cpi2::sim::MachineId,
+    spec_mean: f64,
+}
+
+fn build(seed: u64) -> Setup {
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed,
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), 6);
+    let victim_job = cluster
+        .submit_job(
+            JobSpec::latency_sensitive("victim", 6, 1.2),
+            true,
+            Box::new(move |i| {
+                Box::new(LsService::new(
+                    ResourceProfile::cache_heavy(),
+                    1.2,
+                    12,
+                    seed ^ i as u64,
+                ))
+            }),
+        )
+        .expect("placement");
+    let config = Cpi2Config {
+        min_samples_per_task: 5,
+        auto_throttle: false,
+        ..Cpi2Config::default()
+    };
+    let mut system = Cpi2Harness::new(cluster, config);
+    system.run_for(SimDuration::from_mins(26));
+    let specs = system.force_spec_refresh();
+    let spec_mean = specs
+        .iter()
+        .find(|s| s.jobname == "victim")
+        .unwrap()
+        .cpi_mean;
+    let ant_job = system
+        .cluster
+        .submit_job(
+            JobSpec::best_effort("hog", 1, 1.0),
+            true,
+            Box::new(|_| Box::new(ConstantLoad::new(6.0, 8, ResourceProfile::streaming()))),
+        )
+        .expect("placement");
+    let antagonist = TaskId {
+        job: ant_job,
+        index: 0,
+    };
+    let machine = system.cluster.locate(antagonist).unwrap();
+    let victim = system
+        .cluster
+        .machine(machine)
+        .unwrap()
+        .tasks()
+        .find(|t| t.id.job == victim_job)
+        .map(|t| t.id)
+        .expect("victim co-resident");
+    Setup {
+        system,
+        victim,
+        antagonist,
+        machine,
+        spec_mean,
+    }
+}
+
+/// Runs 5 minutes and returns (victim mean CPI, antagonist mean CPU).
+fn observe(s: &mut Setup) -> (f64, f64) {
+    let mut cpi = 0.0;
+    let mut cpu = 0.0;
+    let mut n = 0u32;
+    for _ in 0..300 {
+        s.system.step();
+        let m = s.system.cluster.machine(s.machine).unwrap();
+        if let (Some(v), Some(a)) = (m.task(s.victim), m.task(s.antagonist)) {
+            if let (Some(vo), Some(ao)) = (v.last_outcome(), a.last_outcome()) {
+                cpi += vo.cpi;
+                cpu += ao.cpu_granted;
+                n += 1;
+            }
+        }
+    }
+    (cpi / n.max(1) as f64, cpu / n.max(1) as f64)
+}
+
+fn main() {
+    // --- Fixed policy: always 0.01 CPU-sec/sec. -------------------------
+    let mut fixed = build(2024);
+    let (base_cpi, base_cpu) = observe(&mut fixed);
+    println!(
+        "uncapped: victim CPI {base_cpi:.2} ({:.1}x spec), antagonist {base_cpu:.2} cores",
+        base_cpi / fixed.spec_mean
+    );
+    let mut fixed_cpis = Vec::new();
+    let mut fixed_cpus = Vec::new();
+    for _ in 0..5 {
+        let until = fixed.system.cluster.now() + SimDuration::from_mins(5);
+        fixed
+            .system
+            .cluster
+            .apply_hard_cap(fixed.antagonist, 0.01, until);
+        let (cpi, cpu) = observe(&mut fixed);
+        fixed_cpis.push(cpi);
+        fixed_cpus.push(cpu);
+    }
+    let fixed_cpi = fixed_cpis.iter().sum::<f64>() / fixed_cpis.len() as f64;
+    let fixed_cpu = fixed_cpus.iter().sum::<f64>() / fixed_cpus.len() as f64;
+    println!("fixed 0.01 cap: victim CPI {fixed_cpi:.2}, antagonist {fixed_cpu:.3} cores");
+
+    // --- Adaptive policy: keep degradation just below 1.25x. -------------
+    let mut adaptive = build(2024);
+    observe(&mut adaptive); // Same uncapped phase for fairness.
+    let mut throttle = AdaptiveThrottle::new(0.5, 1.25);
+    println!("\nadaptive rounds (target degradation ≤ 1.25x):");
+    let mut adaptive_cpi = 0.0;
+    let mut adaptive_cpu = 0.0;
+    for round in 0..5 {
+        let rate = throttle.rate();
+        let until = adaptive.system.cluster.now() + SimDuration::from_mins(5);
+        adaptive
+            .system
+            .cluster
+            .apply_hard_cap(adaptive.antagonist, rate, until);
+        let (cpi, cpu) = observe(&mut adaptive);
+        let degradation = cpi / adaptive.spec_mean;
+        println!(
+            "  round {}: cap {rate:.3} -> victim CPI {cpi:.2} ({degradation:.2}x), antagonist {cpu:.2} cores",
+            round + 1
+        );
+        throttle.update(degradation);
+        adaptive_cpi = cpi;
+        adaptive_cpu = cpu;
+    }
+
+    println!("\ncomparison:");
+    println!("  fixed:    victim {fixed_cpi:.2}, antagonist CPU {fixed_cpu:.3} cores");
+    println!("  adaptive: victim {adaptive_cpi:.2}, antagonist CPU {adaptive_cpu:.3} cores");
+    let degr = adaptive_cpi / adaptive.spec_mean;
+    assert!(
+        degr < 1.5,
+        "adaptive policy should keep the victim near spec (got {degr:.2}x)"
+    );
+    assert!(
+        adaptive_cpu > fixed_cpu * 2.0,
+        "adaptive policy should leave the antagonist more CPU"
+    );
+    println!("\nadaptive_throttle OK (victim within {degr:.2}x of spec at {adaptive_cpu:.2} antagonist cores)");
+}

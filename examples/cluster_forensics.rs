@@ -1,0 +1,109 @@
+//! Performance forensics with the Dremel-like query engine (§5).
+//!
+//! Runs a mixed cluster under CPI² for a few simulated hours, logs every
+//! incident and sample, then answers the paper's example question — "find
+//! the most aggressive antagonists for a job in a particular time window"
+//! — with SQL.
+//!
+//! Run: `cargo run --release --example cluster_forensics`
+
+use cpi2::core::Cpi2Config;
+use cpi2::harness::Cpi2Harness;
+use cpi2::pipeline::Dataset;
+use cpi2::sim::{Cluster, ClusterConfig, JobSpec, Platform, SimDuration};
+use cpi2::workloads::{self, CacheThrasher};
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed: 99,
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), 15);
+    for name in ["bigtable-tablet", "storage-server", "image-frontend"] {
+        cluster
+            .submit_job(
+                JobSpec::latency_sensitive(name, 10, 1.2),
+                true,
+                workloads::factory(name, 3),
+            )
+            .expect("placement");
+    }
+    cluster
+        .submit_job(
+            JobSpec::best_effort("rogue-indexer", 5, 1.0),
+            true,
+            Box::new(|i| Box::new(CacheThrasher::new(8.0, 300, 420, 11 + i as u64))),
+        )
+        .expect("placement");
+    cluster
+        .submit_job(
+            JobSpec::batch("nightly-compile", 5, 1.0),
+            true,
+            Box::new(|i| Box::new(cpi2::workloads::BatchTask::compilation(5 + i as u64))),
+        )
+        .expect("placement");
+
+    let config = Cpi2Config {
+        min_samples_per_task: 5,
+        ..Cpi2Config::default()
+    };
+    let mut system = Cpi2Harness::new(cluster, config);
+    system.record_samples = true;
+
+    println!("running the cluster for 3 simulated hours...");
+    system.run_for(SimDuration::from_mins(35));
+    system.force_spec_refresh();
+    system.run_for(SimDuration::from_hours(3));
+    println!(
+        "collected {} samples, {} incidents, {} caps\n",
+        system.samples.len(),
+        system.incidents().len(),
+        system.caps_applied()
+    );
+
+    // Load the logs into the query engine.
+    let incidents: Vec<_> = system
+        .incidents()
+        .iter()
+        .map(|mi| mi.incident.clone())
+        .collect();
+    let mut ds = Dataset::new();
+    ds.insert_records("incidents", &incidents)
+        .expect("serialize");
+    ds.insert_records("samples", &system.samples)
+        .expect("serialize");
+
+    let queries = [
+        (
+            "Most aggressive antagonists (the paper's example query)",
+            "SELECT suspects.0.jobname, count(*), max(suspects.0.correlation) \
+             FROM incidents GROUP BY suspects.0.jobname ORDER BY count(*) DESC LIMIT 5",
+        ),
+        (
+            "Victim jobs and their incident counts",
+            "SELECT victim_job, count(*), avg(victim_cpi) FROM incidents \
+             GROUP BY victim_job ORDER BY count(*) DESC",
+        ),
+        (
+            "High-confidence incidents in the first simulated hour",
+            "SELECT victim_job, victim_cpi, suspects.0.correlation FROM incidents \
+             WHERE suspects.0.correlation >= 0.35 AND at < 5700000000 \
+             ORDER BY suspects.0.correlation DESC LIMIT 5",
+        ),
+        (
+            "Per-job CPI profile from the sample log",
+            "SELECT jobname, count(*), avg(cpi), max(cpi) FROM samples \
+             GROUP BY jobname ORDER BY avg(cpi) DESC",
+        ),
+    ];
+    for (title, sql) in queries {
+        println!("-- {title}\n   {sql}");
+        match ds.query(sql) {
+            Ok(result) => println!("{result}"),
+            Err(e) => println!("   error: {e}\n"),
+        }
+    }
+
+    assert!(!incidents.is_empty(), "expected incidents to query");
+    println!("cluster_forensics OK");
+}

@@ -1,0 +1,131 @@
+//! The operator's day with CPI² — the §5 interface, end to end.
+//!
+//! The paper: "We provide an interface to system operators so they can
+//! hard-cap suspects, and turn CPI protection on or off for an entire
+//! cluster. Since our applications are written to tolerate failures, an
+//! operator may choose to kill an antagonist task and restart it somewhere
+//! else if it is a persistent offender."
+//!
+//! This example walks that playbook: watch incidents with protection off,
+//! investigate with SQL, cap manually, enable auto-protection, and finally
+//! migrate a persistent offender.
+//!
+//! Run: `cargo run --release --example operator_playbook`
+
+use cpi2::core::Cpi2Config;
+use cpi2::harness::{task_for, Cpi2Harness};
+use cpi2::pipeline::Dataset;
+use cpi2::sim::{Cluster, ClusterConfig, JobSpec, Platform, ResourceProfile, SimDuration};
+use cpi2::workloads::{CacheThrasher, LsService};
+
+fn main() {
+    // A small serving cluster.
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed: 2718,
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), 8);
+    cluster
+        .submit_job(
+            JobSpec::latency_sensitive("checkout-frontend", 12, 1.2),
+            true,
+            Box::new(|i| {
+                Box::new(LsService::new(
+                    ResourceProfile::cache_heavy(),
+                    1.2,
+                    12,
+                    100 + i as u64,
+                ))
+            }),
+        )
+        .expect("placement");
+
+    let config = Cpi2Config {
+        min_samples_per_task: 5,
+        ..Cpi2Config::default()
+    };
+    let mut system = Cpi2Harness::new(cluster, config);
+
+    println!("08:00  specs learned from the overnight window");
+    system.run_for(SimDuration::from_mins(30));
+    for s in system.force_spec_refresh() {
+        println!("       {s}");
+    }
+
+    println!("\n09:00  cluster rollout policy: detection on, enforcement OFF");
+    system.set_protection_enabled(false);
+    system
+        .cluster
+        .submit_job(
+            JobSpec::best_effort("reindex-batch", 2, 1.0),
+            true,
+            Box::new(|i| Box::new(CacheThrasher::new(8.0, 300, 300, 55 + i as u64))),
+        )
+        .expect("placement");
+    system.run_for(SimDuration::from_mins(45));
+    println!(
+        "       pages so far: {} incidents, {} caps (enforcement is off)",
+        system.incidents().len(),
+        system.caps_applied()
+    );
+    assert!(system.caps_applied() == 0);
+
+    println!("\n09:45  operator investigates with SQL over the incident log");
+    let incidents: Vec<_> = system
+        .incidents()
+        .iter()
+        .map(|mi| mi.incident.clone())
+        .collect();
+    let mut ds = Dataset::new();
+    ds.insert_records("incidents", &incidents).expect("records");
+    let report = ds
+        .query(
+            "SELECT suspects.0.jobname, count(*), max(suspects.0.correlation) \
+             FROM incidents WHERE suspects.0.correlation >= 0.35 \
+             GROUP BY suspects.0.jobname ORDER BY count(*) DESC LIMIT 3",
+        )
+        .expect("query");
+    println!("{report}");
+
+    // Pick the top suspect task from the most confident incident.
+    let top = incidents
+        .iter()
+        .filter_map(|i| i.top_suspect())
+        .max_by(|a, b| a.correlation.partial_cmp(&b.correlation).unwrap())
+        .expect("suspects exist");
+    println!(
+        "       verdict: '{}' at correlation {:.2} — cap it manually",
+        top.jobname, top.correlation
+    );
+    let suspect_task = task_for(top.task);
+    assert!(system.operator_cap(suspect_task, 0.1, SimDuration::from_mins(10)));
+    system.run_for(SimDuration::from_mins(10));
+
+    println!("\n10:00  satisfied, the operator turns automatic protection ON");
+    system.set_protection_enabled(true);
+    system.run_for(SimDuration::from_hours(1));
+    println!(
+        "       automatic caps since: {}",
+        system.caps_applied().saturating_sub(1)
+    );
+
+    println!("\n11:00  the offender keeps coming back — migrate it away");
+    let before_machine = system.cluster.locate(suspect_task);
+    match system.operator_migrate(suspect_task) {
+        Some(new_machine) => println!(
+            "       moved {suspect_task:?} from {:?} to {new_machine}",
+            before_machine.expect("was placed")
+        ),
+        None => println!("       task already gone (it may have been respawned elsewhere)"),
+    }
+
+    println!("\n11:05  end-of-morning report");
+    for (job, n, corr) in system.top_antagonists(3) {
+        println!("       {job:<16} capped {n}x (max correlation {corr:.2})");
+    }
+    assert!(
+        system.caps_applied() >= 1,
+        "the playbook should have capped"
+    );
+    println!("\noperator_playbook OK");
+}

@@ -1,0 +1,117 @@
+//! Quickstart: the CPI² core pipeline on hand-made samples.
+//!
+//! Shows the four steps of the paper on plain data, without the cluster
+//! simulator: (1) learn a CPI spec from samples, (2) detect an anomalous
+//! task, (3) identify the antagonist by correlation, (4) decide the hard
+//! cap.
+//!
+//! Run: `cargo run --example quickstart`
+
+use cpi2::core::{
+    cap_for, Agent, AgentCommand, Cpi2Config, CpiSample, SpecBuilder, TaskClass, TaskHandle,
+};
+
+fn sample(task: u64, job: &str, minute: i64, cpi: f64, usage: f64, class: TaskClass) -> CpiSample {
+    CpiSample {
+        task: TaskHandle(task),
+        jobname: job.into(),
+        platforminfo: "westmere".into(),
+        timestamp: minute * 60_000_000,
+        cpu_usage: usage,
+        cpi,
+        l3_mpki: 0.0,
+        class,
+    }
+}
+
+fn main() {
+    let config = Cpi2Config::default();
+
+    // 1. Learn the job's normal behaviour: 10 tasks, ~200 samples each,
+    //    CPI ≈ 1.8 ± a little (the paper's web-search spec).
+    let mut builder = SpecBuilder::new(config.clone());
+    for task in 0..10u64 {
+        for minute in 0..200 {
+            let cpi = 1.8 + 0.05 * ((task as f64 + minute as f64 * 0.7).sin());
+            builder.add_sample(&sample(
+                task,
+                "websearch",
+                minute,
+                cpi,
+                1.0,
+                TaskClass::latency_sensitive(),
+            ));
+        }
+    }
+    let specs = builder.roll_period();
+    let spec = &specs[0];
+    println!("learned spec: {spec}");
+    println!(
+        "2-sigma outlier threshold: {:.2}\n",
+        spec.outlier_threshold(config.outlier_sigma)
+    );
+
+    // 2–4. Run the per-machine agent: a victim whose CPI doubles whenever
+    //      the co-resident batch job burns CPU.
+    let mut agent = Agent::new(config);
+    agent.install_spec(spec.clone());
+    let mut commands: Vec<AgentCommand> = Vec::new();
+    for minute in 0..12 {
+        let bursting = minute % 2 == 1;
+        let batch = vec![
+            sample(
+                0,
+                "websearch",
+                minute,
+                if bursting { 4.0 } else { 1.8 },
+                1.0,
+                TaskClass::latency_sensitive(),
+            ),
+            sample(
+                100,
+                "batch-hog",
+                minute,
+                2.0,
+                if bursting { 6.0 } else { 0.1 },
+                TaskClass::best_effort(),
+            ),
+            sample(101, "innocent", minute, 1.2, 0.5, TaskClass::batch()),
+        ];
+        commands.extend(agent.ingest(&batch));
+    }
+
+    for incident in agent.incidents() {
+        println!(
+            "incident at minute {}: victim={} cpi={:.2} (threshold {:.2})",
+            incident.at / 60_000_000,
+            incident.victim_job,
+            incident.victim_cpi,
+            incident.cthreshold
+        );
+        for s in incident.suspects.iter().take(3) {
+            println!(
+                "  suspect {:<10} correlation {:+.2}",
+                s.jobname, s.correlation
+            );
+        }
+    }
+    let cmd = commands.first().expect("agent should have acted");
+    let AgentCommand::ApplyHardCap {
+        target_job,
+        cpu_rate,
+        ..
+    } = cmd;
+    println!("\nagent decision: hard-cap '{target_job}' to {cpu_rate} CPU-sec/sec");
+
+    // The §5 policy table, for reference.
+    let batch_cap = cap_for(TaskClass::batch(), agent.config()).unwrap();
+    let be_cap = cap_for(TaskClass::best_effort(), agent.config()).unwrap();
+    println!(
+        "policy: batch → {} CPU-sec/sec, best-effort → {} CPU-sec/sec, {} s at a time",
+        batch_cap.cpu_rate,
+        be_cap.cpu_rate,
+        batch_cap.duration_us / 1_000_000
+    );
+    assert_eq!(target_job, "batch-hog");
+    println!("\nquickstart OK");
+}

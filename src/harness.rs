@@ -1,0 +1,372 @@
+//! End-to-end CPI² deployment harness: cluster + samplers + per-machine
+//! agents + aggregation pipeline, advanced under one clock.
+//!
+//! This is the Fig. 6 system assembled: every simulated machine gets a
+//! duty-cycle counter sampler and a local management agent; samples flow
+//! up to the aggregation service, refreshed CPI specs flow back down, and
+//! agent hard-cap commands are executed against the machine's cgroups.
+
+use cpi2_core::{
+    Agent, AgentCommand, Cpi2Config, CpiSample, CpiSpec, Incident, TaskClass, TaskHandle,
+};
+use cpi2_perf::{ClusterSampler, CounterReading};
+use cpi2_pipeline::{Aggregator, SpecStore};
+use cpi2_sim::{Cluster, JobId, MachineId, SchedClass, SimDuration, SimTime, TaskId};
+use std::collections::HashMap;
+
+/// Converts a simulator task id into the agent-facing opaque handle.
+pub fn handle_for(task: TaskId) -> TaskHandle {
+    TaskHandle(((task.job.0 as u64) << 32) | task.index as u64)
+}
+
+/// Recovers the simulator task id from a handle produced by [`handle_for`].
+pub fn task_for(handle: TaskHandle) -> TaskId {
+    TaskId {
+        job: JobId((handle.0 >> 32) as u32),
+        index: (handle.0 & 0xFFFF_FFFF) as u32,
+    }
+}
+
+/// Maps a scheduling class to the agent-facing task class.
+pub fn class_for(class: SchedClass) -> TaskClass {
+    match class {
+        SchedClass::LatencySensitive => TaskClass::latency_sensitive(),
+        SchedClass::Batch => TaskClass::batch(),
+        SchedClass::BestEffort => TaskClass::best_effort(),
+    }
+}
+
+/// An incident together with the machine whose agent reported it.
+#[derive(Debug, Clone)]
+pub struct MachineIncident {
+    /// The reporting machine.
+    pub machine: MachineId,
+    /// The incident.
+    pub incident: Incident,
+}
+
+/// The assembled CPI² system over a simulated cluster.
+pub struct Cpi2Harness {
+    /// The cluster under management.
+    pub cluster: Cluster,
+    config: Cpi2Config,
+    sampler: ClusterSampler,
+    agents: HashMap<MachineId, Agent>,
+    agent_versions: HashMap<MachineId, u64>,
+    /// The spec aggregation service.
+    pub aggregator: Aggregator,
+    /// The versioned spec store.
+    pub spec_store: SpecStore,
+    incidents: Vec<MachineIncident>,
+    /// When true, every sample is retained in [`Cpi2Harness::samples`]
+    /// (off by default: long runs produce millions).
+    pub record_samples: bool,
+    /// Retained samples (only when `record_samples` is set).
+    pub samples: Vec<CpiSample>,
+    caps_applied: u64,
+    /// Cluster-wide protection switch (§5's operator interface: "turn CPI
+    /// protection on or off for an entire cluster"). When off, agents
+    /// still detect and report but cap commands are dropped.
+    protection_enabled: bool,
+    /// §9 future work: automatic antagonist-aware placement. When set,
+    /// a (victim job, antagonist job) pair capped this many times gets an
+    /// anti-affinity constraint and the antagonist is migrated away.
+    pub placement_feedback_after: Option<u32>,
+    offense_counts: HashMap<(JobId, JobId), u32>,
+    migrations_triggered: u64,
+    /// Case-4 remediation: a victim that keeps being anomalous with *no*
+    /// cappable antagonist (chronic neighbourhood contention) is migrated
+    /// to another machine after this many no-action incidents. "The
+    /// correct response in a case like this would be to migrate the
+    /// victim" (§6.1).
+    pub migrate_chronic_victims_after: Option<u32>,
+    chronic_counts: HashMap<TaskId, u32>,
+    victim_migrations: u64,
+}
+
+impl Cpi2Harness {
+    /// Wraps a cluster with a full CPI² deployment.
+    pub fn new(cluster: Cluster, config: Cpi2Config) -> Self {
+        let start = cluster.now().as_us();
+        Cpi2Harness {
+            cluster,
+            config: config.clone(),
+            sampler: ClusterSampler::new(),
+            agents: HashMap::new(),
+            agent_versions: HashMap::new(),
+            aggregator: Aggregator::new(config, start),
+            spec_store: SpecStore::new(),
+            incidents: Vec::new(),
+            record_samples: false,
+            samples: Vec::new(),
+            caps_applied: 0,
+            protection_enabled: true,
+            placement_feedback_after: None,
+            offense_counts: HashMap::new(),
+            migrations_triggered: 0,
+            migrate_chronic_victims_after: None,
+            chronic_counts: HashMap::new(),
+            victim_migrations: 0,
+        }
+    }
+
+    /// Victims migrated by the chronic-contention policy.
+    pub fn victim_migrations(&self) -> u64 {
+        self.victim_migrations
+    }
+
+    /// Turns cluster-wide CPI protection on or off (the §5 operator
+    /// interface). Detection and reporting continue either way.
+    pub fn set_protection_enabled(&mut self, enabled: bool) {
+        self.protection_enabled = enabled;
+    }
+
+    /// Whether cap commands are currently executed.
+    pub fn protection_enabled(&self) -> bool {
+        self.protection_enabled
+    }
+
+    /// Operator action: manually hard-cap a task (§5: "we provide an
+    /// interface to system operators so they can hard-cap suspects").
+    pub fn operator_cap(&mut self, task: TaskId, cpu_rate: f64, duration: SimDuration) -> bool {
+        let until = self.cluster.now() + duration;
+        let ok = self.cluster.apply_hard_cap(task, cpu_rate, until);
+        if ok {
+            self.caps_applied += 1;
+        }
+        ok
+    }
+
+    /// Operator action: kill a persistent offender and restart it on
+    /// another machine — "our version of task migration" (§5).
+    pub fn operator_migrate(&mut self, task: TaskId) -> Option<MachineId> {
+        self.cluster.migrate_task(task).ok()
+    }
+
+    /// Aggregates the incident log into "most aggressive antagonists"
+    /// rows: `(job name, incidents acted on, max correlation)`, sorted by
+    /// count. The operator's forensics overview (§5).
+    pub fn top_antagonists(&self, limit: usize) -> Vec<(String, u64, f64)> {
+        let mut agg: HashMap<String, (u64, f64)> = HashMap::new();
+        for mi in &self.incidents {
+            if let cpi2_core::IncidentAction::HardCap { target_job, .. } = &mi.incident.action {
+                let top_corr = mi
+                    .incident
+                    .top_suspect()
+                    .map(|s| s.correlation)
+                    .unwrap_or(0.0);
+                let e = agg.entry(target_job.clone()).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 = e.1.max(top_corr);
+            }
+        }
+        let mut rows: Vec<(String, u64, f64)> =
+            agg.into_iter().map(|(k, (n, c))| (k, n, c)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(limit);
+        rows
+    }
+
+    /// Migrations triggered by automatic placement feedback.
+    pub fn migrations_triggered(&self) -> u64 {
+        self.migrations_triggered
+    }
+
+    /// The CPI² configuration in force.
+    pub fn config(&self) -> &Cpi2Config {
+        &self.config
+    }
+
+    /// All incidents reported so far (across machines).
+    pub fn incidents(&self) -> &[MachineIncident] {
+        &self.incidents
+    }
+
+    /// Total hard caps the system has applied.
+    pub fn caps_applied(&self) -> u64 {
+        self.caps_applied
+    }
+
+    /// The agent on a machine, if one has been instantiated (agents are
+    /// created lazily at a machine's first sample).
+    pub fn agent(&self, machine: MachineId) -> Option<&Agent> {
+        self.agents.get(&machine)
+    }
+
+    /// Advances the system by one cluster tick: machines run, samplers
+    /// poll, agents detect/correlate/cap, the aggregator ingests, and spec
+    /// refreshes propagate.
+    pub fn step(&mut self) {
+        self.cluster.step();
+        let now = self.cluster.now();
+
+        // Sample every machine and run its agent.
+        let mut pending_caps: Vec<(TaskId, f64, SimTime)> = Vec::new();
+        let mut chronic_victims: Vec<TaskId> = Vec::new();
+        let machine_count = self.cluster.machines().len();
+        for i in 0..machine_count {
+            let machine = &self.cluster.machines()[i];
+            let readings = self.sampler.poll(machine, now);
+            if readings.is_empty() {
+                continue;
+            }
+            let batch: Vec<CpiSample> = readings
+                .iter()
+                .filter_map(|r| {
+                    let t = machine.task(r.task)?;
+                    Some(to_sample(r, class_for(t.class)))
+                })
+                .collect();
+            let machine_id = machine.id;
+
+            // Push samples into the aggregation pipeline.
+            self.aggregator.ingest(&batch);
+            if self.record_samples {
+                self.samples.extend(batch.iter().cloned());
+            }
+
+            // Sync specs down to the agent, then let it analyze.
+            let agent = self
+                .agents
+                .entry(machine_id)
+                .or_insert_with(|| Agent::new(self.config.clone()));
+            let since = self.agent_versions.entry(machine_id).or_insert(0);
+            let store_version = self.spec_store.version();
+            if *since < store_version {
+                for spec in self.spec_store.changed_since(*since) {
+                    agent.install_spec(spec);
+                }
+                *since = store_version;
+            }
+            let commands = agent.ingest(&batch);
+            for inc in agent.take_incidents() {
+                // §9 placement-feedback bookkeeping: count repeat offences
+                // per (victim job, antagonist job) pair.
+                if let cpi2_core::IncidentAction::HardCap { target, .. } = &inc.action {
+                    let pair = (task_for(inc.victim).job, task_for(*target).job);
+                    *self.offense_counts.entry(pair).or_insert(0) += 1;
+                }
+                // Case-4 bookkeeping: repeated anomalies with nothing to cap.
+                if let (Some(limit), cpi2_core::IncidentAction::None { .. }) =
+                    (self.migrate_chronic_victims_after, &inc.action)
+                {
+                    let victim = task_for(inc.victim);
+                    let n = self.chronic_counts.entry(victim).or_insert(0);
+                    *n += 1;
+                    if *n >= limit {
+                        self.chronic_counts.remove(&victim);
+                        chronic_victims.push(victim);
+                    }
+                }
+                self.incidents.push(MachineIncident {
+                    machine: machine_id,
+                    incident: inc,
+                });
+            }
+            for cmd in commands {
+                let AgentCommand::ApplyHardCap {
+                    target,
+                    cpu_rate,
+                    until,
+                    ..
+                } = cmd;
+                pending_caps.push((task_for(target), cpu_rate, SimTime(until)));
+            }
+        }
+
+        // Execute cap commands against the cluster (unless the operator
+        // turned protection off for the cluster).
+        if self.protection_enabled {
+            for (task, rate, until) in pending_caps {
+                if self.cluster.apply_hard_cap(task, rate, until) {
+                    self.caps_applied += 1;
+                }
+
+                // §9 future work: once a pair offends repeatedly, teach the
+                // scheduler to keep them apart and move the offender now.
+                if let Some(threshold) = self.placement_feedback_after {
+                    let victim_jobs: Vec<JobId> = self
+                        .offense_counts
+                        .iter()
+                        .filter(|(&(_, a), &n)| a == task.job && n >= threshold)
+                        .map(|(&(v, _), _)| v)
+                        .collect();
+                    if !victim_jobs.is_empty() {
+                        for v in victim_jobs {
+                            self.cluster.scheduler_mut().add_anti_affinity(v, task.job);
+                            self.offense_counts.remove(&(v, task.job));
+                        }
+                        if self.cluster.migrate_task(task).is_ok() {
+                            self.migrations_triggered += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Migrate chronically contended victims to fresh machines.
+        for victim in chronic_victims {
+            if self.cluster.migrate_task(victim).is_ok() {
+                self.victim_migrations += 1;
+            }
+        }
+
+        // Roll the aggregation period when due.
+        self.aggregator.maybe_refresh(now.as_us(), &self.spec_store);
+    }
+
+    /// Runs the system for a duration (whole ticks).
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.cluster.now() + duration;
+        while self.cluster.now() < end {
+            self.step();
+        }
+    }
+
+    /// Forces an immediate spec refresh and distribution — used by
+    /// experiments to bootstrap specs after a warm-up phase instead of
+    /// waiting 24 simulated hours.
+    pub fn force_spec_refresh(&mut self) -> Vec<CpiSpec> {
+        self.aggregator.refresh_now(&self.spec_store)
+    }
+
+    /// Installs a spec directly into the store (bypassing aggregation) —
+    /// for experiments with known ground-truth specs.
+    pub fn install_spec(&mut self, spec: CpiSpec) {
+        self.spec_store.publish(vec![spec]);
+    }
+}
+
+fn to_sample(r: &CounterReading, class: TaskClass) -> CpiSample {
+    CpiSample {
+        task: handle_for(r.task),
+        jobname: r.job_name.clone(),
+        platforminfo: r.platform.clone(),
+        timestamp: r.timestamp.as_us(),
+        cpu_usage: r.cpu_usage,
+        cpi: r.cpi.unwrap_or(0.0),
+        l3_mpki: r.l3_mpki,
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_roundtrip() {
+        let id = TaskId {
+            job: JobId(12345),
+            index: 678,
+        };
+        assert_eq!(task_for(handle_for(id)), id);
+    }
+
+    #[test]
+    fn class_mapping() {
+        assert!(class_for(SchedClass::LatencySensitive).protected);
+        assert!(class_for(SchedClass::Batch).throttle_eligible());
+        assert!(class_for(SchedClass::BestEffort).best_effort);
+    }
+}

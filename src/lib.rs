@@ -1,0 +1,41 @@
+//! CPI²: CPU performance isolation for shared compute clusters — a
+//! full-system Rust reproduction of Zhang et al., EuroSys 2013.
+//!
+//! This facade crate re-exports the whole workspace and provides the
+//! [`harness::Cpi2Harness`] that assembles the complete deployment: a
+//! simulated shared cluster ([`sim`]), per-cgroup performance-counter
+//! sampling ([`perf`]), per-machine detection/amelioration agents
+//! ([`core`]), and the aggregation/forensics pipeline ([`pipeline`]),
+//! driven by realistic workloads ([`workloads`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cpi2::harness::Cpi2Harness;
+//! use cpi2::sim::{Cluster, ClusterConfig, Platform, JobSpec, SimDuration};
+//! use cpi2::core::Cpi2Config;
+//! use cpi2::workloads;
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::default());
+//! cluster.add_machines(&Platform::westmere(), 4);
+//! cluster
+//!     .submit_job(
+//!         JobSpec::latency_sensitive("websearch-leaf", 8, 2.0),
+//!         true,
+//!         workloads::factory("websearch-leaf", 42),
+//!     )
+//!     .unwrap();
+//! let mut system = Cpi2Harness::new(cluster, Cpi2Config::default());
+//! system.run_for(SimDuration::from_mins(5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use cpi2_core as core;
+pub use cpi2_perf as perf;
+pub use cpi2_pipeline as pipeline;
+pub use cpi2_sim as sim;
+pub use cpi2_stats as stats;
+pub use cpi2_workloads as workloads;

@@ -1,0 +1,371 @@
+//! `cpi2` — command-line front end for the CPI² reproduction.
+//!
+//! ```text
+//! cpi2 simulate [--machines N] [--minutes M] [--seed S] [--thrashers T]
+//!               [--no-protection] [--placement-feedback]
+//! cpi2 forensics [--minutes M] [--seed S] [--query SQL]
+//! cpi2 table2
+//! cpi2 help
+//! ```
+
+use cpi2::core::Cpi2Config;
+use cpi2::harness::Cpi2Harness;
+use cpi2::pipeline::{Dataset, FileLog};
+use cpi2::sim::{Cluster, ClusterConfig, JobSpec, Platform, SimDuration};
+use cpi2::workloads::{self, CacheThrasher};
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--key value` and boolean `--key` pairs.
+struct Args {
+    items: Vec<String>,
+}
+
+impl Args {
+    fn new() -> Self {
+        Args {
+            items: std::env::args().skip(1).collect(),
+        }
+    }
+
+    #[cfg(test)]
+    fn from(items: &[&str]) -> Self {
+        Args {
+            items: items.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn command(&self) -> Option<&str> {
+        self.items.first().map(String::as_str)
+    }
+
+    fn value(&self, key: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.items.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.value(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.items.iter().any(|a| a == key)
+    }
+}
+
+fn usage() {
+    println!(
+        "cpi2 — CPU performance isolation for shared compute clusters\n\
+         (reproduction of Zhang et al., EuroSys 2013)\n\n\
+         USAGE:\n\
+         \x20 cpi2 simulate [--machines N] [--minutes M] [--seed S] [--thrashers T]\n\
+         \x20               [--no-protection] [--placement-feedback] [--log-dir DIR]\n\
+         \x20     Run a mixed cluster under CPI² and report incidents & caps;\n\
+         \x20     --log-dir persists the incident log as rotated JSONL.\n\n\
+         \x20 cpi2 replay --trace FILE [--machines N] [--minutes M] [--seed S]\n\
+         \x20     Replay a JSONL job trace (see traces/sample.jsonl) under CPI².\n\n\
+         \x20 cpi2 forensics [--minutes M] [--seed S] [--query SQL] [--log-dir DIR]\n\
+         \x20     Answer SQL over an incident log — a persisted one\n\
+         \x20     (--log-dir) or one produced by a fresh run.\n\n\
+         \x20 cpi2 table2\n\
+         \x20     Print the paper's Table 2 parameter defaults.\n\n\
+         Every table/figure of the paper has a dedicated experiment binary:\n\
+         \x20 cargo run -p cpi2-bench --release --bin fig01_tenancy   (... fig16, tab01/02,\n\
+         \x20 case1..case6, ablation_params, motivation_quality)"
+    );
+}
+
+fn cmd_replay(args: &Args) -> ExitCode {
+    let Some(path) = args.value("--trace") else {
+        eprintln!("replay requires --trace FILE");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs = match workloads::parse_trace(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let machines: u32 = args.parsed("--machines", 20);
+    let seed: u64 = args.parsed("--seed", 1);
+    let horizon_s = jobs
+        .iter()
+        .map(|j| j.at_s + j.duration_s.unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    let minutes: i64 = args.parsed("--minutes", horizon_s / 60 + 30);
+
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed,
+        overcommit: 2.0,
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), machines);
+    workloads::schedule_trace(&mut cluster, &jobs);
+    let config = Cpi2Config {
+        min_samples_per_task: 5,
+        ..Cpi2Config::default()
+    };
+    let mut system = Cpi2Harness::new(cluster, config);
+
+    println!(
+        "replaying {} jobs from {path} on {machines} machines for {minutes} min...",
+        jobs.len()
+    );
+    // Spec refresh once the earliest jobs have produced samples.
+    system.run_for(SimDuration::from_mins(30));
+    let specs = system.force_spec_refresh();
+    println!("learned {} specs after 30 min", specs.len());
+    system.run_for(SimDuration::from_mins((minutes - 30).max(0)));
+
+    let acted = system
+        .incidents()
+        .iter()
+        .filter(|mi| mi.incident.acted())
+        .count();
+    println!("\nreplay complete:");
+    println!(
+        "  incidents: {} ({} acted)",
+        system.incidents().len(),
+        acted
+    );
+    println!("  hard caps: {}", system.caps_applied());
+    for (job, n, corr) in system.top_antagonists(5) {
+        println!("  antagonist {job:<20} capped {n}x (max correlation {corr:.2})");
+    }
+    ExitCode::SUCCESS
+}
+
+fn build_system(args: &Args) -> Cpi2Harness {
+    let machines: u32 = args.parsed("--machines", 40);
+    let seed: u64 = args.parsed("--seed", 1);
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed,
+        overcommit: 2.0,
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), machines);
+    workloads::submit_typical_mix(&mut cluster, (machines / 40).max(1), seed);
+    let config = Cpi2Config {
+        min_samples_per_task: 5,
+        ..Cpi2Config::default()
+    };
+    let mut system = Cpi2Harness::new(cluster, config);
+    if args.flag("--no-protection") {
+        system.set_protection_enabled(false);
+    }
+    if args.flag("--placement-feedback") {
+        system.placement_feedback_after = Some(3);
+    }
+    if !args.flag("--no-victim-migration") {
+        // Case-4 remediation is on by default: chronically contended
+        // victims with no cappable antagonist move to fresh machines.
+        system.migrate_chronic_victims_after = Some(3);
+    }
+    system
+}
+
+/// Warm up, learn specs, then let the antagonists land (specs must reflect
+/// normal behaviour — the paper's fleet learns from days of mostly-clean
+/// samples before any given interference episode).
+fn warm_up_and_inject(system: &mut Cpi2Harness, args: &Args) {
+    let seed: u64 = args.parsed("--seed", 1);
+    let thrashers: u32 = args.parsed("--thrashers", 6);
+    // A full day of warm-up, as the paper's 24-hour spec refresh: the spec
+    // σ must absorb the diurnal CPI swing (Fig. 5) or afternoon load peaks
+    // masquerade as incidents.
+    system.run_for(SimDuration::from_hours(24));
+    let specs = system.force_spec_refresh();
+    println!("learned {} CPI specs:", specs.len());
+    for s in &specs {
+        println!("  {s}");
+    }
+    if thrashers > 0 {
+        system
+            .cluster
+            .submit_job(
+                JobSpec::best_effort("thrasher", thrashers, 1.0),
+                true,
+                Box::new(move |i| Box::new(CacheThrasher::new(8.0, 300, 300, seed ^ i as u64))),
+            )
+            .ok();
+        println!("{thrashers} thrasher task(s) landed on the cluster");
+    }
+}
+
+fn cmd_simulate(args: &Args) -> ExitCode {
+    let minutes: i64 = args.parsed("--minutes", 120);
+    let mut system = build_system(args);
+    println!(
+        "simulating {} machines for {minutes} min (24h spec warm-up first)...",
+        system.cluster.machines().len()
+    );
+    warm_up_and_inject(&mut system, args);
+    system.run_for(SimDuration::from_mins(minutes));
+
+    println!("\nresults after {minutes} simulated minutes:");
+    let acted = system
+        .incidents()
+        .iter()
+        .filter(|mi| mi.incident.acted())
+        .count();
+    println!(
+        "  incidents reported : {} ({} with a cappable antagonist)",
+        system.incidents().len(),
+        acted
+    );
+    println!("  hard caps applied  : {}", system.caps_applied());
+    println!("  antagonists moved  : {}", system.migrations_triggered());
+    println!(
+        "  victims migrated   : {} (chronic contention, Case-4 policy)",
+        system.victim_migrations()
+    );
+    let top = system.top_antagonists(5);
+    if !top.is_empty() {
+        println!("  top antagonists:");
+        for (job, n, corr) in top {
+            println!("    {job:<24} capped {n} times (max correlation {corr:.2})");
+        }
+    }
+    let machine_days = system.cluster.machines().len() as f64 * minutes as f64 / (24.0 * 60.0);
+    if machine_days > 0.0 {
+        println!(
+            "  incident rate      : {:.2} per machine-day (paper: 0.37)",
+            system.incidents().len() as f64 / machine_days
+        );
+    }
+    if let Some(dir) = args.value("--log-dir") {
+        match persist_incidents(&system, dir) {
+            Ok(n) => println!("  persisted          : {n} incidents to {dir}/incidents.*.jsonl"),
+            Err(e) => eprintln!("  could not persist incidents: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn persist_incidents(system: &Cpi2Harness, dir: &str) -> std::io::Result<usize> {
+    let mut log = FileLog::open(dir, "incidents", 4 << 20)?;
+    for mi in system.incidents() {
+        log.append(&mi.incident)?;
+    }
+    log.flush()?;
+    Ok(system.incidents().len())
+}
+
+fn cmd_forensics(args: &Args) -> ExitCode {
+    let minutes: i64 = args.parsed("--minutes", 120);
+    let default_query = "SELECT victim_job, count(*) FROM incidents \
+                         GROUP BY victim_job ORDER BY count(*) DESC LIMIT 10";
+    let query = args.value("--query").unwrap_or(default_query);
+    let incidents: Vec<cpi2::core::Incident> = if let Some(dir) = args.value("--log-dir") {
+        match FileLog::load(dir, "incidents") {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("cannot load incident log from {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut system = build_system(args);
+        warm_up_and_inject(&mut system, args);
+        system.run_for(SimDuration::from_mins(minutes));
+        system
+            .incidents()
+            .iter()
+            .map(|mi| mi.incident.clone())
+            .collect()
+    };
+    println!(
+        "{} incidents collected; running:\n  {query}\n",
+        incidents.len()
+    );
+    let mut ds = Dataset::new();
+    if let Err(e) = ds.insert_records("incidents", &incidents) {
+        eprintln!("failed to load incidents: {e}");
+        return ExitCode::FAILURE;
+    }
+    match ds.query(query) {
+        Ok(result) => {
+            println!("{result}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("query error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_table2() -> ExitCode {
+    println!("Table 2: CPI2 parameters and their default values\n");
+    for (k, v) in Cpi2Config::default().table2_rows() {
+        println!("  {k:<34} {v}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = Args::new();
+    match args.command() {
+        Some("simulate") => cmd_simulate(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("forensics") => cmd_forensics(&args),
+        Some("table2") => cmd_table2(),
+        Some("help") | None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_command_and_values() {
+        let a = Args::from(&["simulate", "--machines", "40", "--no-protection"]);
+        assert_eq!(a.command(), Some("simulate"));
+        assert_eq!(a.value("--machines"), Some("40"));
+        assert_eq!(a.parsed("--machines", 0u32), 40);
+        assert!(a.flag("--no-protection"));
+        assert!(!a.flag("--placement-feedback"));
+        assert_eq!(a.parsed("--minutes", 120i64), 120);
+    }
+
+    #[test]
+    fn args_bad_value_falls_back_to_default() {
+        let a = Args::from(&["simulate", "--machines", "lots"]);
+        assert_eq!(a.parsed("--machines", 7u32), 7);
+    }
+
+    #[test]
+    fn args_empty() {
+        let a = Args::from(&[]);
+        assert_eq!(a.command(), None);
+        assert_eq!(a.value("--x"), None);
+    }
+
+    #[test]
+    fn args_value_at_end_without_operand() {
+        let a = Args::from(&["forensics", "--query"]);
+        assert_eq!(a.value("--query"), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Chaos test: hours of random job churn, kills, caps and migrations over
+//! the full CPI² stack, asserting global invariants the whole way.
+
+use cpi2::core::Cpi2Config;
+use cpi2::harness::Cpi2Harness;
+use cpi2::sim::{Cluster, ClusterConfig, JobId, JobSpec, Platform, SimDuration, TaskId};
+use cpi2::workloads;
+use cpi2_stats::rng::SimRng;
+
+const JOB_NAMES: [&str; 8] = [
+    "websearch-leaf",
+    "bigtable-tablet",
+    "storage-server",
+    "video-processing",
+    "compilation",
+    "mapreduce",
+    "replayer",
+    "bimodal-frontend",
+];
+
+fn check_invariants(system: &Cpi2Harness) {
+    for m in system.cluster.machines() {
+        // Utilization bounded.
+        let u = m.utilization();
+        assert!((0.0..=1.0 + 1e-9).contains(&u), "{}: utilization {u}", m.id);
+        let mut granted = 0.0;
+        for t in m.tasks() {
+            // Every resident task is locatable through the cluster index.
+            assert_eq!(
+                system.cluster.locate(t.id),
+                Some(m.id),
+                "placement index out of sync for {}",
+                t.id
+            );
+            if let Some(o) = t.last_outcome() {
+                assert!(o.cpi.is_finite() && o.cpi > 0.0, "{}: cpi {}", t.id, o.cpi);
+                assert!(o.cpu_granted >= 0.0);
+                granted += o.cpu_granted;
+            }
+            let c = t.cgroup.counters();
+            assert!(c.cycles >= 0.0 && c.instructions >= 0.0);
+        }
+        assert!(
+            granted <= m.platform.cores as f64 + 1e-6,
+            "{}: over-allocated {granted}",
+            m.id
+        );
+    }
+}
+
+#[test]
+fn hours_of_churn_hold_invariants() {
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed: 0xC405,
+        overcommit: 2.0,
+        preempt_starved_batch_after: Some(120),
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), 10);
+    cluster.add_machines(&Platform::sandy_bridge(), 5);
+
+    let config = Cpi2Config {
+        min_samples_per_task: 5,
+        ..Cpi2Config::default()
+    };
+    let mut system = Cpi2Harness::new(cluster, config);
+    system.placement_feedback_after = Some(3);
+    system.migrate_chronic_victims_after = Some(4);
+
+    let mut rng = SimRng::new(0xD1CE);
+    let mut live_jobs: Vec<(JobId, u32)> = Vec::new();
+
+    // 4 simulated hours in 5-minute rounds, one random action per round.
+    for round in 0..48u32 {
+        match rng.below(5) {
+            // Submit a random job.
+            0 => {
+                let name = JOB_NAMES[rng.below(JOB_NAMES.len() as u64) as usize];
+                let tasks = 1 + rng.below(6) as u32;
+                let spec = if workloads::is_latency_sensitive(name) {
+                    JobSpec::latency_sensitive(name, tasks, 0.5 + rng.f64())
+                } else if rng.chance(0.5) {
+                    JobSpec::batch(name, tasks, 0.5 + rng.f64())
+                } else {
+                    JobSpec::best_effort(name, tasks, 0.5 + rng.f64())
+                };
+                if let Ok(job) = system.cluster.submit_job(
+                    spec,
+                    name != "mapreduce",
+                    workloads::factory(name, round as u64),
+                ) {
+                    live_jobs.push((job, tasks));
+                }
+            }
+            // Kill a random task.
+            1 => {
+                if let Some(&(job, tasks)) = live_jobs.last() {
+                    let index = rng.below(tasks as u64) as u32;
+                    system.cluster.kill_task(TaskId { job, index });
+                }
+            }
+            // Random manual cap.
+            2 => {
+                if let Some(&(job, tasks)) = live_jobs.first() {
+                    let index = rng.below(tasks as u64) as u32;
+                    system.operator_cap(
+                        TaskId { job, index },
+                        0.05 + rng.f64() * 0.5,
+                        SimDuration::from_mins(1 + rng.below(10) as i64),
+                    );
+                }
+            }
+            // Random migration.
+            3 => {
+                if !live_jobs.is_empty() {
+                    let (job, tasks) = live_jobs[rng.below(live_jobs.len() as u64) as usize];
+                    let index = rng.below(tasks as u64) as u32;
+                    system.operator_migrate(TaskId { job, index });
+                }
+            }
+            // Toggle protection.
+            _ => {
+                let on = system.protection_enabled();
+                system.set_protection_enabled(!on);
+            }
+        }
+        if round == 6 {
+            system.force_spec_refresh();
+        }
+        system.run_for(SimDuration::from_mins(5));
+        check_invariants(&system);
+    }
+
+    // The system survived 4 hours of churn; counters and the trace agree
+    // on scale.
+    let placed: usize = system
+        .cluster
+        .machines()
+        .iter()
+        .map(|m| m.task_count())
+        .sum();
+    assert!(placed > 0, "everything died");
+    assert!(
+        system.cluster.trace().len() > 10,
+        "trace should have history"
+    );
+}

@@ -1,0 +1,182 @@
+//! Integration test for the §2 scheduler behaviour: "If the scheduler
+//! guesses wrong, it may need to preempt a batch task and move it to
+//! another machine."
+
+use cpi2::sim::{
+    Cluster, ClusterConfig, ConstantLoad, JobSpec, Platform, ResourceProfile, SimDuration, TaskId,
+    TraceEvent,
+};
+
+/// Builds a cluster where one machine is overcommitted: LS jobs eat all
+/// cores, starving the co-resident batch task, while another machine sits
+/// idle.
+fn overcommitted_cluster(preempt_after: Option<u32>) -> (Cluster, TaskId) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed: 3,
+        overcommit: 2.0,
+        preempt_starved_batch_after: preempt_after,
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), 1); // 12 cores.
+
+    // The batch job lands first (speculative overcommit says yes).
+    let batch = cluster
+        .submit_job(
+            JobSpec::batch("batch", 1, 2.0),
+            true,
+            Box::new(|_| Box::new(ConstantLoad::new(4.0, 8, ResourceProfile::streaming()))),
+        )
+        .unwrap();
+    // Then LS demand shows up and takes the whole machine.
+    cluster
+        .submit_job(
+            JobSpec::latency_sensitive("serving", 3, 4.0),
+            true,
+            Box::new(|_| Box::new(ConstantLoad::new(4.5, 16, ResourceProfile::cache_heavy()))),
+        )
+        .unwrap();
+    // A second, empty machine appears (capacity freed elsewhere).
+    cluster.add_machines(&Platform::westmere(), 1);
+    (
+        cluster,
+        TaskId {
+            job: batch,
+            index: 0,
+        },
+    )
+}
+
+#[test]
+fn starved_batch_task_is_preempted_and_moved() {
+    let (mut cluster, batch_task) = overcommitted_cluster(Some(30));
+    let first_machine = cluster.locate(batch_task).unwrap();
+    cluster.run_for(SimDuration::from_mins(3));
+
+    // The original task was preempted; its replacement lives on the
+    // second machine and gets real CPU there.
+    assert!(
+        cluster.locate(batch_task).is_none(),
+        "starved batch task should have been preempted"
+    );
+    let migrated = cluster
+        .trace()
+        .entries()
+        .any(|e| matches!(e.event, TraceEvent::TaskMigrated { task, .. } if task == batch_task));
+    assert!(
+        migrated,
+        "trace should record the preemption as a migration"
+    );
+    let replacement = TaskId {
+        job: batch_task.job,
+        index: 1,
+    };
+    let new_machine = cluster.locate(replacement).expect("replacement placed");
+    assert_ne!(new_machine, first_machine);
+    let out = cluster
+        .machine(new_machine)
+        .unwrap()
+        .task(replacement)
+        .unwrap()
+        .last_outcome()
+        .copied()
+        .unwrap();
+    assert!(
+        out.cpu_granted > 3.0,
+        "replacement should run freely, got {}",
+        out.cpu_granted
+    );
+}
+
+#[test]
+fn preemption_disabled_leaves_task_starving() {
+    let (mut cluster, batch_task) = overcommitted_cluster(None);
+    cluster.run_for(SimDuration::from_mins(3));
+    let machine = cluster.locate(batch_task).expect("still in place");
+    let t = cluster.machine(machine).unwrap().task(batch_task).unwrap();
+    assert!(t.starved_ticks() > 100, "task should be starving");
+    let out = t.last_outcome().copied().unwrap();
+    assert!(out.cpu_granted < 0.4, "got {}", out.cpu_granted);
+}
+
+#[test]
+fn latency_sensitive_tasks_never_preempted() {
+    // Two LS jobs fighting over one machine: neither may be preempted even
+    // with the policy on.
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed: 5,
+        preempt_starved_batch_after: Some(10),
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), 1);
+    cluster
+        .submit_job(
+            JobSpec::latency_sensitive("a", 2, 6.0),
+            true,
+            Box::new(|_| Box::new(ConstantLoad::new(8.0, 8, ResourceProfile::compute_bound()))),
+        )
+        .unwrap();
+    cluster.add_machines(&Platform::westmere(), 1);
+    cluster.run_for(SimDuration::from_mins(2));
+    let moved = cluster
+        .trace()
+        .entries()
+        .any(|e| matches!(e.event, TraceEvent::TaskMigrated { .. }));
+    assert!(!moved, "LS tasks must not be preempted");
+}
+
+#[test]
+fn scheduled_events_fire_in_order() {
+    use cpi2::sim::ConstantLoad;
+    use cpi2::sim::{ClusterEvent, SimTime};
+
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.add_machines(&Platform::westmere(), 2);
+    // The batch job arrives at t=60s via the event queue; at t=120s it is
+    // hard-capped; at t=180s killed.
+    cluster.schedule_event(
+        SimTime::from_secs(60),
+        ClusterEvent::SubmitJob {
+            spec: JobSpec::batch("late", 1, 1.0),
+            restart_on_exit: false,
+            factory: Box::new(|_| {
+                Box::new(ConstantLoad::new(2.0, 4, ResourceProfile::streaming()))
+            }),
+        },
+    );
+    cluster.run_for(SimDuration::from_secs(59));
+    assert!(cluster.jobs().all(|(_, s)| s.name != "late"));
+    cluster.run_for(SimDuration::from_secs(2));
+    let (job, _) = cluster
+        .jobs()
+        .find(|(_, s)| s.name == "late")
+        .expect("arrived");
+    let task = TaskId { job, index: 0 };
+    assert!(cluster.locate(task).is_some());
+
+    cluster.schedule_event(
+        SimTime::from_secs(120),
+        ClusterEvent::HardCap {
+            task,
+            cpu_rate: 0.05,
+            until: SimTime::from_secs(600),
+        },
+    );
+    cluster.schedule_event(SimTime::from_secs(180), ClusterEvent::KillTask(task));
+    cluster.run_for(SimDuration::from_secs(65));
+    let m = cluster.locate(task).unwrap();
+    let out = cluster
+        .machine(m)
+        .unwrap()
+        .task(task)
+        .unwrap()
+        .last_outcome()
+        .copied()
+        .unwrap();
+    assert!(out.capped, "cap event should have fired");
+    cluster.run_for(SimDuration::from_secs(60));
+    assert!(
+        cluster.locate(task).is_none(),
+        "kill event should have fired"
+    );
+    assert_eq!(cluster.pending_events(), 0);
+}
