@@ -33,19 +33,16 @@ fn bench_harness(c: &mut Criterion) {
     let mut g = c.benchmark_group("cpi2_system");
     for machines in [20u32, 80] {
         g.throughput(Throughput::Elements(machines as u64 * 60));
-        g.bench_function(
-            format!("{machines} machines, 1 simulated minute"),
-            |b| {
-                b.iter_batched(
-                    || assembled(machines),
-                    |mut system| {
-                        system.run_for(SimDuration::from_mins(1));
-                        black_box(system.incidents().len())
-                    },
-                    BatchSize::SmallInput,
-                )
-            },
-        );
+        g.bench_function(format!("{machines} machines, 1 simulated minute"), |b| {
+            b.iter_batched(
+                || assembled(machines),
+                |mut system| {
+                    system.run_for(SimDuration::from_mins(1));
+                    black_box(system.incidents().len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
     }
     g.finish();
 }

@@ -1,0 +1,99 @@
+//! Tiny `--key value` / `--flag` parser shared by the experiment
+//! binaries (mirrors the root `cpi2` CLI's parser, without a dependency
+//! on that binary crate).
+
+/// Parsed command-line items.
+#[derive(Debug)]
+pub struct Args {
+    items: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments (program name excluded).
+    pub fn new() -> Self {
+        Args {
+            items: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from explicit items (tests).
+    pub fn from_items(items: &[&str]) -> Self {
+        Args {
+            items: items.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The raw value following `--key`, if present.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.items.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// The value following `--key` parsed as `T`, or `default` when the
+    /// key is absent or unparsable.
+    pub fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.value(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the boolean `--key` appears.
+    pub fn flag(&self, key: &str) -> bool {
+        self.items.iter().any(|a| a == key)
+    }
+
+    /// First positional item parsed as `T` — the legacy interface of
+    /// binaries that predate keyed flags. A token is positional when
+    /// neither it nor the token before it starts with `--` (so keyed
+    /// values like the `60` in `--seconds 60` don't count; nor does
+    /// anything after a boolean flag, an ambiguity the keyed form
+    /// avoids).
+    pub fn positional<T: std::str::FromStr>(&self) -> Option<T> {
+        self.items
+            .iter()
+            .enumerate()
+            .find(|(i, a)| {
+                !a.starts_with("--") && (*i == 0 || !self.items[i - 1].starts_with("--"))
+            })
+            .and_then(|(_, a)| a.parse().ok())
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_lookup() {
+        let a = Args::from_items(&["--machines", "8", "--quick"]);
+        assert_eq!(a.parsed("--machines", 0u32), 8);
+        assert_eq!(a.parsed("--seconds", 60i64), 60);
+        assert!(a.flag("--quick"));
+        assert!(!a.flag("--slow"));
+        assert_eq!(a.value("--machines"), Some("8"));
+    }
+
+    #[test]
+    fn bare_positional() {
+        let a = Args::from_items(&["150"]);
+        assert_eq!(a.positional::<u32>(), Some(150));
+        let b = Args::from_items(&["150", "--quick"]);
+        assert_eq!(b.positional::<u32>(), Some(150));
+    }
+
+    #[test]
+    fn keyed_values_are_not_positional() {
+        // `fleet_rate --seconds 60` must not read 60 as a machine count.
+        let a = Args::from_items(&["--seconds", "60"]);
+        assert_eq!(a.positional::<u32>(), None);
+    }
+}

@@ -95,10 +95,9 @@ fn main() {
         .incidents()
         .iter()
         .filter(|mi| mi.incident.victim_job == "bimodal-frontend")
-        .filter(|mi| {
-            mi.incident
-                .top_suspect()
-                .is_none_or(|s| s.correlation < 0.35)
+        .filter(|mi| match mi.incident.top_suspect() {
+            Some(s) => s.correlation < 0.35,
+            None => true,
         })
         .count();
 

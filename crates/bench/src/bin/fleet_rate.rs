@@ -1,31 +1,43 @@
-//! Fleet-scale incident rate: §7's headline deployment number.
+//! Fleet-scale incident rate: §7's headline deployment number — plus the
+//! simulator's serial-vs-parallel throughput mode.
 //!
 //! "The measurement part of CPI² has now been rolled out to all of
 //! Google's production machines. It is identifying antagonists at an
 //! average rate of 0.37 times per machine-day." A fleet is *mostly
 //! healthy*: serving tasks spread thin, with occasional short-lived batch
-//! antagonists landing and leaving. This experiment builds that regime —
+//! antagonists landing and leaving. The default mode builds that regime —
 //! 150 machines, sparse serving load, a Poisson stream of transient
 //! thrashers — runs a simulated day, and reports identifications per
 //! machine-day.
 //!
-//! Run: `cargo run -p cpi2-bench --release --bin fleet_rate [machines]`
+//! With `--seconds S` the binary instead measures raw simulator
+//! throughput: the same seeded fleet is advanced `S` simulated seconds
+//! once on the serial path (`parallelism = 1`) and once on the sharded
+//! worker pool, reporting machine-ticks/sec for each, the speedup, and
+//! verifying the two runs produced bit-identical traces. This doubles as
+//! the CI smoke job.
+//!
+//! Run: `cargo run -p cpi2-bench --release --bin fleet_rate -- \
+//!           [--machines N] [--parallelism P] [--seconds S]`
+//! (a bare positional `N` still sets the machine count, as before).
 
 use cpi2::core::Cpi2Config;
 use cpi2::harness::Cpi2Harness;
-use cpi2::sim::{Cluster, ClusterConfig, JobSpec, Platform, SimDuration};
+use cpi2::sim::{
+    default_parallelism, Cluster, ClusterConfig, JobSpec, Platform, SimDuration, TraceEntry,
+};
 use cpi2::workloads::{self, TraceJob};
+use cpi2_bench::args::Args;
 use cpi2_bench::plot;
 use cpi2_stats::rng::SimRng;
+use std::time::Instant;
 
-fn main() {
-    let machines: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150);
+/// Builds the mostly-healthy fleet regime on `machines` machines.
+fn build_fleet(machines: u32, parallelism: usize) -> Cluster {
     let mut cluster = Cluster::new(ClusterConfig {
         seed: 0xF1EE7,
         overcommit: 2.0,
+        parallelism,
         ..ClusterConfig::default()
     });
     cluster.add_machines(&Platform::westmere(), machines);
@@ -60,6 +72,66 @@ fn main() {
             }),
         )
         .expect("placement");
+    cluster
+}
+
+/// `--seconds` mode: serial vs parallel wall-clock for the same fleet.
+fn throughput_mode(machines: u32, seconds: i64, parallelism: usize) {
+    let run = |par: usize| -> (f64, Vec<TraceEntry>) {
+        let mut cluster = build_fleet(machines, par);
+        let start = Instant::now();
+        cluster.run_for(SimDuration::from_secs(seconds));
+        let wall = start.elapsed().as_secs_f64();
+        (wall, cluster.trace().entries().cloned().collect())
+    };
+
+    let tick_s = ClusterConfig::default().tick.as_secs_f64();
+    let machine_ticks = machines as f64 * (seconds as f64 / tick_s);
+    let (serial_wall, serial_trace) = run(1);
+    let (par_wall, par_trace) = run(parallelism);
+    let speedup = serial_wall / par_wall.max(1e-9);
+
+    plot::print_table(
+        &format!("Simulator throughput: {machines} machines x {seconds} simulated seconds"),
+        &["path", "wall time", "machine-ticks/sec"],
+        &[
+            vec![
+                "serial (parallelism 1)".into(),
+                format!("{serial_wall:.3} s"),
+                format!("{:.0}", machine_ticks / serial_wall.max(1e-9)),
+            ],
+            vec![
+                format!("parallel (parallelism {parallelism})"),
+                format!("{par_wall:.3} s"),
+                format!("{:.0}", machine_ticks / par_wall.max(1e-9)),
+            ],
+            vec!["speedup".into(), format!("{speedup:.2}x"), String::new()],
+        ],
+    );
+
+    assert_eq!(
+        serial_trace, par_trace,
+        "parallel run diverged from serial under the same seed"
+    );
+    println!(
+        "\nfleet_rate throughput OK ({} trace entries, serial == parallelism {})",
+        serial_trace.len(),
+        parallelism
+    );
+}
+
+fn main() {
+    let args = Args::new();
+    let machines: u32 = args.parsed("--machines", args.positional().unwrap_or(150));
+    let parallelism: usize = args.parsed("--parallelism", default_parallelism());
+
+    if let Some(seconds) = args.value("--seconds") {
+        let seconds: i64 = seconds.parse().expect("--seconds takes an integer");
+        throughput_mode(machines, seconds, parallelism);
+        return;
+    }
+
+    let mut cluster = build_fleet(machines, parallelism);
 
     // Transient antagonists: a Poisson-ish stream of short-lived thrasher
     // jobs over the measured day (≈ machines/20 arrivals, 60–120 min

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod metrics;
 pub mod plot;
 pub mod probe;

@@ -20,31 +20,42 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Serializes `HashMap`s with non-string keys as vectors of pairs
-/// (serde_json requires string map keys).
+/// (JSON requires string map keys).
 mod pairs {
-    use serde::de::DeserializeOwned;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
     use std::collections::HashMap;
     use std::hash::Hash;
 
-    pub fn serialize<K, V, S>(map: &HashMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    pub fn to_value<K, V>(map: &HashMap<K, V>) -> Value
     where
         K: Serialize,
         V: Serialize,
-        S: Serializer,
     {
-        let items: Vec<(&K, &V)> = map.iter().collect();
-        items.serialize(s)
+        Value::Array(
+            map.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, K, V, D>(d: D) -> Result<HashMap<K, V>, D::Error>
+    pub fn from_value<K, V>(v: &Value) -> Result<HashMap<K, V>, Error>
     where
-        K: DeserializeOwned + Eq + Hash,
-        V: DeserializeOwned,
-        D: Deserializer<'de>,
+        K: Deserialize + Eq + Hash,
+        V: Deserialize,
     {
-        let items: Vec<(K, V)> = Vec::deserialize(d)?;
-        Ok(items.into_iter().collect())
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array of pairs"))?;
+        items
+            .iter()
+            .map(|item| {
+                let kv = item
+                    .as_array()
+                    .filter(|kv| kv.len() == 2)
+                    .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+                Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+            })
+            .collect()
     }
 }
 
@@ -176,7 +187,11 @@ impl Agent {
             st.class = s.class;
             st.last_seen = s.timestamp;
             // Monotonicity guard: a restarted collector may replay.
-            if st.cpi.points().last().is_none_or(|&(t, _)| t < s.timestamp) {
+            let advances = match st.cpi.points().last() {
+                Some(&(t, _)) => t < s.timestamp,
+                None => true,
+            };
+            if advances {
                 st.cpi.push(s.timestamp, s.cpi);
                 st.usage.push(s.timestamp, s.cpu_usage);
             }

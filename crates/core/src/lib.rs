@@ -35,6 +35,7 @@ pub mod correlation;
 pub mod incident;
 pub mod outlier;
 pub mod sample;
+pub mod sharded;
 pub mod spec;
 pub mod specbuilder;
 
@@ -46,5 +47,6 @@ pub use correlation::antagonist_correlation;
 pub use incident::{Incident, IncidentAction};
 pub use outlier::{OutlierDetector, Verdict};
 pub use sample::{CpiSample, JobKey, TaskClass, TaskHandle};
+pub use sharded::{ShardedSpecBuilder, DEFAULT_SPEC_SHARDS};
 pub use spec::CpiSpec;
 pub use specbuilder::SpecBuilder;

@@ -1,0 +1,262 @@
+//! Sharded spec building for parallel sample ingest.
+//!
+//! The aggregation service of Fig. 6 receives the cluster-wide sample
+//! stream; one [`SpecBuilder`] behind a single lock becomes the choke
+//! point once many collector threads feed it. [`ShardedSpecBuilder`]
+//! partitions the builder by a stable hash of the (job, platform) key, so
+//! concurrent ingest threads contend only when they carry samples for the
+//! same shard. Because every key lives wholly inside one shard, merging
+//! the per-shard spec sets reproduces exactly what one unsharded builder
+//! would emit for the same sample stream (property-tested in the
+//! workspace test suite).
+
+use crate::config::Cpi2Config;
+use crate::sample::{CpiSample, JobKey};
+use crate::spec::CpiSpec;
+use crate::specbuilder::SpecBuilder;
+use parking_lot::Mutex;
+
+/// Default shard count for the aggregation service.
+pub const DEFAULT_SPEC_SHARDS: usize = 8;
+
+/// FNV-1a over the key fields; stable across processes and platforms so
+/// shard routing (and therefore any routing-dependent telemetry) is
+/// reproducible run to run.
+fn shard_of(job: &str, platform: &str, shards: usize) -> usize {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in job
+        .bytes()
+        .chain(std::iter::once(0xff))
+        .chain(platform.bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % shards as u64) as usize
+}
+
+/// A [`SpecBuilder`] partitioned into independently locked shards keyed
+/// by (job, platform).
+///
+/// Shared-reference methods take per-shard locks, so the builder can be
+/// ingested into from many threads at once. [`roll_period`] and
+/// [`specs`](ShardedSpecBuilder::specs) merge the shard outputs back into
+/// the same sorted spec set a single [`SpecBuilder`] would produce.
+///
+/// [`roll_period`]: ShardedSpecBuilder::roll_period
+///
+/// # Examples
+///
+/// ```
+/// use cpi2_core::{Cpi2Config, CpiSample, ShardedSpecBuilder, TaskClass, TaskHandle};
+///
+/// let mut config = Cpi2Config::default();
+/// config.min_samples_per_task = 10;
+/// let builder = ShardedSpecBuilder::new(config, 4);
+/// for task in 0..5u64 {
+///     for minute in 0..20 {
+///         builder.add_sample(&CpiSample {
+///             task: TaskHandle(task),
+///             jobname: "websearch".into(),
+///             platforminfo: "westmere".into(),
+///             timestamp: minute * 60_000_000,
+///             cpu_usage: 1.0,
+///             cpi: 1.8,
+///             l3_mpki: 0.0,
+///             class: TaskClass::latency_sensitive(),
+///         });
+///     }
+/// }
+/// let specs = builder.roll_period();
+/// assert_eq!(specs.len(), 1);
+/// assert!((specs[0].cpi_mean - 1.8).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct ShardedSpecBuilder {
+    shards: Vec<Mutex<SpecBuilder>>,
+}
+
+impl ShardedSpecBuilder {
+    /// Creates a builder with `shards` independently locked partitions
+    /// (clamped to at least one).
+    pub fn new(config: Cpi2Config, shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedSpecBuilder {
+            shards: (0..n)
+                .map(|_| Mutex::new(SpecBuilder::new(config.clone())))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes one sample to its shard and adds it to the current period.
+    pub fn add_sample(&self, sample: &CpiSample) {
+        let idx = shard_of(&sample.jobname, &sample.platforminfo, self.shards.len());
+        self.shards[idx].lock().add_sample(sample);
+    }
+
+    /// Adds a batch, taking each shard's lock at most once.
+    ///
+    /// Samples are pre-bucketed by shard, which preserves the relative
+    /// order of samples sharing a key — so the resulting state matches
+    /// feeding the batch to [`add_sample`](Self::add_sample) one by one.
+    pub fn ingest_batch(&self, samples: &[CpiSample]) {
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<&CpiSample>> = vec![Vec::new(); n];
+        for s in samples {
+            buckets[shard_of(&s.jobname, &s.platforminfo, n)].push(s);
+        }
+        for (shard, bucket) in self.shards.iter().zip(buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut b = shard.lock();
+            for s in bucket {
+                b.add_sample(s);
+            }
+        }
+    }
+
+    /// Number of samples accumulated in the current period for a key.
+    pub fn period_samples(&self, key: &JobKey) -> u64 {
+        let idx = shard_of(&key.job, &key.platform, self.shards.len());
+        self.shards[idx].lock().period_samples(key)
+    }
+
+    /// Folds the current period into history on every shard and returns
+    /// the merged, refreshed spec set (sorted by job then platform, like
+    /// [`SpecBuilder::roll_period`]).
+    pub fn roll_period(&self) -> Vec<CpiSpec> {
+        self.merge(|b| b.roll_period())
+    }
+
+    /// Current merged spec set from history (only eligible keys).
+    pub fn specs(&self) -> Vec<CpiSpec> {
+        self.merge(|b| b.specs())
+    }
+
+    fn merge(&self, mut per_shard: impl FnMut(&mut SpecBuilder) -> Vec<CpiSpec>) -> Vec<CpiSpec> {
+        let mut out: Vec<CpiSpec> = Vec::new();
+        for shard in &self.shards {
+            out.extend(per_shard(&mut shard.lock()));
+        }
+        // Keys are disjoint across shards, so a plain re-sort reproduces
+        // the unsharded builder's ordering exactly.
+        out.sort_by(|a, b| {
+            (a.jobname.as_str(), a.platforminfo.as_str())
+                .cmp(&(b.jobname.as_str(), b.platforminfo.as_str()))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{TaskClass, TaskHandle};
+
+    fn sample(job: &str, platform: &str, task: u64, cpi: f64) -> CpiSample {
+        CpiSample {
+            task: TaskHandle(task),
+            jobname: job.into(),
+            platforminfo: platform.into(),
+            timestamp: 0,
+            cpu_usage: 1.0,
+            cpi,
+            l3_mpki: 1.0,
+            class: TaskClass::batch(),
+        }
+    }
+
+    fn config() -> Cpi2Config {
+        Cpi2Config {
+            min_samples_per_task: 10,
+            ..Cpi2Config::default()
+        }
+    }
+
+    #[test]
+    fn matches_unsharded_builder() {
+        let sharded = ShardedSpecBuilder::new(config(), 4);
+        let mut plain = SpecBuilder::new(config());
+        let jobs = ["websearch", "maps", "batchjob", "video"];
+        for (j, job) in jobs.iter().enumerate() {
+            for t in 0..6u64 {
+                for i in 0..15 {
+                    let s = sample(
+                        job,
+                        "westmere",
+                        t,
+                        1.0 + j as f64 * 0.25 + 0.01 * (i % 3) as f64,
+                    );
+                    sharded.add_sample(&s);
+                    plain.add_sample(&s);
+                }
+            }
+        }
+        assert_eq!(sharded.roll_period(), plain.roll_period());
+        assert_eq!(sharded.specs(), plain.specs());
+    }
+
+    #[test]
+    fn batch_ingest_matches_single_sample_path() {
+        let a = ShardedSpecBuilder::new(config(), 3);
+        let b = ShardedSpecBuilder::new(config(), 3);
+        let batch: Vec<CpiSample> = (0..6u64)
+            .flat_map(|t| (0..12).map(move |i| sample("j", "p", t, 1.5 + 0.01 * (i % 5) as f64)))
+            .collect();
+        a.ingest_batch(&batch);
+        for s in &batch {
+            b.add_sample(s);
+        }
+        assert_eq!(a.roll_period(), b.roll_period());
+    }
+
+    #[test]
+    fn routing_is_stable() {
+        let n = 7;
+        let first = shard_of("job-a", "westmere", n);
+        for _ in 0..100 {
+            assert_eq!(shard_of("job-a", "westmere", n), first);
+        }
+        // The separator byte keeps ("ab", "c") and ("a", "bc") apart.
+        assert_ne!(
+            shard_of("ab", "c", usize::MAX),
+            shard_of("a", "bc", usize::MAX)
+        );
+    }
+
+    #[test]
+    fn concurrent_ingest() {
+        use std::sync::Arc;
+        let b = Arc::new(ShardedSpecBuilder::new(config(), 4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        b.add_sample(&sample("shared", "p", t, 1.0 + 0.001 * (i % 10) as f64));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.period_samples(&JobKey::new("shared", "p")), 400);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let b = ShardedSpecBuilder::new(config(), 0);
+        assert_eq!(b.num_shards(), 1);
+        b.add_sample(&sample("j", "p", 0, 1.0));
+        assert_eq!(b.period_samples(&JobKey::new("j", "p")), 1);
+    }
+}

@@ -6,36 +6,48 @@
 //! [`crate::specstore::SpecStore`].
 
 use crate::specstore::SpecStore;
-use cpi2_core::{Cpi2Config, CpiSample, CpiSpec, SpecBuilder};
+use cpi2_core::{Cpi2Config, CpiSample, CpiSpec, ShardedSpecBuilder, DEFAULT_SPEC_SHARDS};
 
 /// Spec aggregation with periodic refresh.
+///
+/// Sample ingest goes through a [`ShardedSpecBuilder`], so heavy batches
+/// only contend per (job, platform) shard rather than on one builder-wide
+/// lock; the merged output is identical to an unsharded builder's.
 #[derive(Debug)]
 pub struct Aggregator {
-    builder: SpecBuilder,
+    builder: ShardedSpecBuilder,
     refresh_period_us: i64,
     next_roll: i64,
     samples_seen: u64,
 }
 
 impl Aggregator {
-    /// Creates an aggregator; the first refresh happens one period after
-    /// `start_us`.
+    /// Creates an aggregator with [`DEFAULT_SPEC_SHARDS`] builder shards;
+    /// the first refresh happens one period after `start_us`.
     pub fn new(config: Cpi2Config, start_us: i64) -> Self {
+        Aggregator::with_shards(config, start_us, DEFAULT_SPEC_SHARDS)
+    }
+
+    /// Creates an aggregator with an explicit builder shard count.
+    pub fn with_shards(config: Cpi2Config, start_us: i64, shards: usize) -> Self {
         let refresh_period_us = config.spec_refresh_hours * 3_600 * 1_000_000;
         Aggregator {
-            builder: SpecBuilder::new(config),
+            builder: ShardedSpecBuilder::new(config, shards),
             refresh_period_us,
             next_roll: start_us + refresh_period_us,
             samples_seen: 0,
         }
     }
 
-    /// Feeds a batch of samples.
+    /// Feeds a batch of samples (one lock acquisition per touched shard).
     pub fn ingest(&mut self, samples: &[CpiSample]) {
-        for s in samples {
-            self.builder.add_sample(s);
-        }
+        self.builder.ingest_batch(samples);
         self.samples_seen += samples.len() as u64;
+    }
+
+    /// The sharded builder, for ingesting from multiple threads at once.
+    pub fn builder(&self) -> &ShardedSpecBuilder {
+        &self.builder
     }
 
     /// Rolls the period if `now_us` passed the refresh boundary; publishes

@@ -5,8 +5,11 @@
 //! service and the forensics log. Channels are `crossbeam` MPMC so a
 //! threaded deployment can run many agent threads against one collector.
 
+use crate::aggregator::Aggregator;
 use cpi2_core::{CpiSample, Incident};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A message from a machine agent to the cluster collector.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +24,7 @@ pub enum AgentMessage {
 #[derive(Debug, Clone)]
 pub struct CollectorHandle {
     tx: Sender<AgentMessage>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl CollectorHandle {
@@ -30,8 +34,22 @@ impl CollectorHandle {
     pub fn send(&self, msg: AgentMessage) -> bool {
         match self.tx.try_send(msg) {
             Ok(()) => true,
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
         }
+    }
+
+    /// Sends one batch of samples; a convenience over
+    /// [`send`](Self::send) for the common per-tick agent push.
+    pub fn send_samples(&self, samples: Vec<CpiSample>) -> bool {
+        self.send(AgentMessage::Samples(samples))
+    }
+
+    /// Sends one batch of incidents.
+    pub fn send_incidents(&self, incidents: Vec<Incident>) -> bool {
+        self.send(AgentMessage::Incidents(incidents))
     }
 }
 
@@ -43,7 +61,7 @@ pub struct Collector {
     rx: Receiver<AgentMessage>,
     samples: Vec<CpiSample>,
     incidents: Vec<Incident>,
-    dropped: u64,
+    dropped: Arc<AtomicU64>,
 }
 
 impl Collector {
@@ -55,7 +73,7 @@ impl Collector {
             rx,
             samples: Vec::new(),
             incidents: Vec::new(),
-            dropped: 0,
+            dropped: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -63,6 +81,7 @@ impl Collector {
     pub fn handle(&self) -> CollectorHandle {
         CollectorHandle {
             tx: self.tx.clone(),
+            dropped: Arc::clone(&self.dropped),
         }
     }
 
@@ -80,6 +99,26 @@ impl Collector {
         n
     }
 
+    /// Drains queued sample batches straight into `agg`, bypassing the
+    /// internal sample buffer; incidents still land in the incident
+    /// buffer. Each queued batch reaches the aggregator as one
+    /// [`Aggregator::ingest`] call, so the sharded builder locks each
+    /// shard at most once per batch. Returns the number of samples
+    /// ingested.
+    pub fn drain_into(&mut self, agg: &mut Aggregator) -> usize {
+        let mut n = 0;
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                AgentMessage::Samples(s) => {
+                    n += s.len();
+                    agg.ingest(&s);
+                }
+                AgentMessage::Incidents(i) => self.incidents.extend(i),
+            }
+        }
+        n
+    }
+
     /// Takes all collected samples.
     pub fn take_samples(&mut self) -> Vec<CpiSample> {
         std::mem::take(&mut self.samples)
@@ -90,9 +129,10 @@ impl Collector {
         std::mem::take(&mut self.incidents)
     }
 
-    /// Messages dropped due to back-pressure (for monitoring).
+    /// Messages dropped due to back-pressure, across all handles (for
+    /// monitoring).
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -132,6 +172,35 @@ mod tests {
         let h = c.handle();
         assert!(h.send(AgentMessage::Samples(vec![sample(1)])));
         assert!(!h.send(AgentMessage::Samples(vec![sample(2)])));
+        assert!(!h.send_samples(vec![sample(3)]));
+        assert_eq!(c.dropped(), 2);
+    }
+
+    #[test]
+    fn drain_into_feeds_aggregator() {
+        use cpi2_core::Cpi2Config;
+
+        let mut c = Collector::new(64);
+        let h = c.handle();
+        for t in 0..6u64 {
+            let batch: Vec<_> = (0..20).map(|_| sample(t * 100)).collect();
+            assert!(h.send_samples(batch));
+        }
+        h.send_incidents(Vec::new());
+        let config = Cpi2Config {
+            min_samples_per_task: 10,
+            ..Cpi2Config::default()
+        };
+        let mut agg = Aggregator::new(config, 0);
+        let n = c.drain_into(&mut agg);
+        assert_eq!(n, 120);
+        assert_eq!(agg.samples_seen(), 120);
+        // Samples went straight to the aggregator, not the local buffer.
+        assert!(c.take_samples().is_empty());
+        let store = crate::specstore::SpecStore::new();
+        let specs = agg.refresh_now(&store);
+        assert_eq!(specs.len(), 1);
+        assert!((specs[0].cpi_mean - 1.5).abs() < 1e-9);
     }
 
     #[test]

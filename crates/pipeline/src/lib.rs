@@ -28,4 +28,4 @@ pub use collector::{AgentMessage, Collector, CollectorHandle};
 pub use filelog::FileLog;
 pub use log::LogTable;
 pub use query::{Dataset, QueryError, QueryResult, Table, Value};
-pub use specstore::SpecStore;
+pub use specstore::{SpecSnapshot, SpecStore};

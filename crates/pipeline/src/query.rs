@@ -773,7 +773,10 @@ impl Dataset {
         let filtered: Vec<&Row> = table
             .rows
             .iter()
-            .filter(|r| q.filter.as_ref().is_none_or(|e| eval_expr(e, r)))
+            .filter(|r| match q.filter.as_ref() {
+                Some(e) => eval_expr(e, r),
+                None => true,
+            })
             .collect();
 
         let has_agg = q

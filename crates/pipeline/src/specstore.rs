@@ -4,15 +4,26 @@
 //! sent back to each machine that is running a task from that job." The
 //! store versions every update so per-machine agents can pull just what
 //! changed since their last sync.
+//!
+//! Publication is a single atomic snapshot swap: [`SpecStore::publish`]
+//! builds the next immutable [`SpecSnapshot`] off to the side and installs
+//! it with one pointer store. Readers grab the current `Arc` and then read
+//! entirely lock-free — an agent mid-pull never blocks on (or observes a
+//! half-applied) refresh.
 
 use cpi2_core::{CpiSpec, JobKey};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A thread-safe, versioned store of CPI specs.
 #[derive(Debug, Default)]
 pub struct SpecStore {
-    inner: RwLock<Inner>,
+    /// The current snapshot; held only long enough to clone the `Arc`.
+    current: RwLock<Arc<Inner>>,
+    /// Serializes publishers so snapshot construction happens outside any
+    /// lock readers touch.
+    publish_lock: Mutex<()>,
 }
 
 #[derive(Debug, Default)]
@@ -21,38 +32,86 @@ struct Inner {
     specs: HashMap<JobKey, (u64, CpiSpec)>,
 }
 
+/// An immutable, lock-free view of the store at one version.
+///
+/// Cheap to clone (an `Arc` bump); every read against the same snapshot
+/// is mutually consistent, no matter how many publishes land in between.
+#[derive(Debug, Clone)]
+pub struct SpecSnapshot {
+    inner: Arc<Inner>,
+}
+
+impl SpecSnapshot {
+    /// The store version this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+
+    /// The spec for a key at this snapshot, if any.
+    pub fn get(&self, key: &JobKey) -> Option<&CpiSpec> {
+        self.inner.specs.get(key).map(|(_, s)| s)
+    }
+
+    /// Number of specs in this snapshot.
+    pub fn len(&self) -> usize {
+        self.inner.specs.len()
+    }
+
+    /// True if the snapshot holds no specs.
+    pub fn is_empty(&self) -> bool {
+        self.inner.specs.is_empty()
+    }
+}
+
 impl SpecStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         SpecStore::default()
     }
 
+    /// The current snapshot, for lock-free reading.
+    pub fn snapshot(&self) -> SpecSnapshot {
+        SpecSnapshot {
+            inner: Arc::clone(&self.current.read()),
+        }
+    }
+
     /// Installs a batch of refreshed specs, bumping the store version.
     /// Returns the new version.
+    ///
+    /// The new spec set becomes visible to readers all at once: the next
+    /// snapshot is assembled while readers continue against the old one,
+    /// then swapped in with a single pointer store.
     pub fn publish(&self, specs: Vec<CpiSpec>) -> u64 {
-        let mut inner = self.inner.write();
-        inner.version += 1;
-        let v = inner.version;
+        let _publishing = self.publish_lock.lock();
+        let cur = Arc::clone(&self.current.read());
+        let mut next = Inner {
+            version: cur.version + 1,
+            specs: cur.specs.clone(),
+        };
+        let v = next.version;
         for s in specs {
-            inner.specs.insert(s.key(), (v, s));
+            next.specs.insert(s.key(), (v, s));
         }
+        *self.current.write() = Arc::new(next);
         v
     }
 
     /// Current store version (bumps on every publish).
     pub fn version(&self) -> u64 {
-        self.inner.read().version
+        self.snapshot().version()
     }
 
     /// The current spec for a key, if any.
     pub fn get(&self, key: &JobKey) -> Option<CpiSpec> {
-        self.inner.read().specs.get(key).map(|(_, s)| s.clone())
+        self.snapshot().get(key).cloned()
     }
 
     /// All specs changed after `since_version` — the delta an agent pulls.
     pub fn changed_since(&self, since_version: u64) -> Vec<CpiSpec> {
-        let inner = self.inner.read();
-        let mut out: Vec<CpiSpec> = inner
+        let snap = self.snapshot();
+        let mut out: Vec<CpiSpec> = snap
+            .inner
             .specs
             .values()
             .filter(|(v, _)| *v > since_version)
@@ -67,7 +126,7 @@ impl SpecStore {
 
     /// Number of stored specs.
     pub fn len(&self) -> usize {
-        self.inner.read().specs.len()
+        self.snapshot().len()
     }
 
     /// True if the store holds no specs.
@@ -125,7 +184,6 @@ mod tests {
 
     #[test]
     fn concurrent_readers() {
-        use std::sync::Arc;
         let store = Arc::new(SpecStore::new());
         store.publish((0..100).map(|i| spec(&format!("j{i}"), 1.0)).collect());
         let handles: Vec<_> = (0..4)
@@ -140,6 +198,57 @@ mod tests {
             .collect();
         for h in handles {
             h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_publishes() {
+        let store = SpecStore::new();
+        store.publish(vec![spec("a", 1.0)]);
+        let snap = store.snapshot();
+        store.publish(vec![spec("a", 9.0), spec("b", 2.0)]);
+        // The old snapshot still answers from its own version.
+        assert_eq!(snap.get(&JobKey::new("a", "p")).unwrap().cpi_mean, 1.0);
+        assert!(snap.get(&JobKey::new("b", "p")).is_none());
+        assert_eq!(snap.len(), 1);
+        // A fresh snapshot sees the whole new batch at once.
+        let snap2 = store.snapshot();
+        assert_eq!(snap2.get(&JobKey::new("a", "p")).unwrap().cpi_mean, 9.0);
+        assert_eq!(snap2.len(), 2);
+        assert!(snap2.version() > snap.version());
+    }
+
+    #[test]
+    fn readers_never_see_a_torn_batch() {
+        // Every publish installs ("x", m) and ("y", m) with the same mean;
+        // a reader that could observe mid-publish state would catch them
+        // disagreeing.
+        let store = Arc::new(SpecStore::new());
+        store.publish(vec![spec("x", 0.0), spec("y", 0.0)]);
+        let writer = {
+            let s = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for m in 1..200 {
+                    s.publish(vec![spec("x", m as f64), spec("y", m as f64)]);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let s = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let snap = s.snapshot();
+                        let x = snap.get(&JobKey::new("x", "p")).unwrap().cpi_mean;
+                        let y = snap.get(&JobKey::new("y", "p")).unwrap().cpi_mean;
+                        assert_eq!(x, y, "torn read at version {}", snap.version());
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
         }
     }
 }

@@ -37,6 +37,12 @@ pub struct ClusterConfig {
     /// scheduler preempts it and restarts it on another machine. `None`
     /// disables preemption.
     pub preempt_starved_batch_after: Option<u32>,
+    /// Worker threads for the per-machine phase of each tick. `1` runs the
+    /// legacy serial path; higher values shard machines across a
+    /// persistent worker pool by [`MachineId`] range. Traces and counters
+    /// are bit-identical across any setting (see `Cluster::step`).
+    /// Defaults to [`std::thread::available_parallelism`].
+    pub parallelism: usize,
 }
 
 impl Default for ClusterConfig {
@@ -47,8 +53,16 @@ impl Default for ClusterConfig {
             overcommit: 1.5,
             trace_capacity: 100_000,
             preempt_starved_batch_after: None,
+            parallelism: default_parallelism(),
         }
     }
+}
+
+/// The machine's available hardware parallelism (≥ 1).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 struct JobInfo {
@@ -91,6 +105,9 @@ pub struct Cluster {
     now: SimTime,
     trace: Trace,
     events: EventQueue,
+    /// Lazily spawned on the first parallel tick; sized to the effective
+    /// worker count and respawned if that count changes.
+    pool: Option<crate::pool::TickPool>,
 }
 
 impl Cluster {
@@ -107,6 +124,7 @@ impl Cluster {
             now: SimTime::ZERO,
             trace,
             events: EventQueue::new(),
+            pool: None,
         }
     }
 
@@ -417,15 +435,39 @@ impl Cluster {
             }
         }
 
+        // Phase 1 — parallel per-machine ticks. Machines are independent
+        // within a tick (each owns its RNG, tasks and counters), so they
+        // are sharded across a persistent worker pool by contiguous
+        // MachineId range. Exits are merged back in machine order, which
+        // makes the trace bit-identical to the serial path under the same
+        // seed.
         let dt = self.config.tick;
-        let mut all_exits = Vec::new();
-        for m in &mut self.machines {
-            let exits = m.tick(self.now, dt);
-            for e in exits {
-                all_exits.push((m.id, e));
+        let now = self.now;
+        let workers = self
+            .config
+            .parallelism
+            .max(1)
+            .min(self.machines.len().max(1));
+        let all_exits: Vec<(MachineId, crate::machine::TaskExit)> = if workers <= 1 {
+            // Legacy serial path (parallelism = 1).
+            let mut exits = Vec::new();
+            for m in &mut self.machines {
+                let id = m.id;
+                exits.extend(m.tick(now, dt).into_iter().map(|e| (id, e)));
             }
-        }
+            exits
+        } else {
+            let pool = match &mut self.pool {
+                Some(p) if p.workers() == workers => p,
+                slot => slot.insert(crate::pool::TickPool::new(workers)),
+            };
+            pool.tick(&mut self.machines, now, dt)
+        };
         self.now += dt;
+
+        // Phase 2 — serial commit: everything below mutates shared cluster
+        // state (scheduler reservations, placements, trace, event queue)
+        // and runs on the caller's thread in deterministic order.
 
         // Batch preemption: the scheduler guessed wrong, move the task.
         if let Some(limit) = self.config.preempt_starved_batch_after {

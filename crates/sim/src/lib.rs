@@ -26,6 +26,7 @@ pub mod interference;
 pub mod job;
 pub mod machine;
 pub mod platform;
+mod pool;
 pub mod schedule;
 pub mod scheduler;
 pub mod task;
@@ -33,7 +34,7 @@ pub mod time;
 pub mod trace;
 
 pub use cgroup::{Cgroup, CounterBlock, HardCap};
-pub use cluster::{Cluster, ClusterConfig, ModelFactory};
+pub use cluster::{default_parallelism, Cluster, ClusterConfig, ModelFactory};
 pub use interference::{InterferenceParams, TaskLoad};
 pub use job::{JobId, JobSpec, Priority, SchedClass, TaskId};
 pub use machine::{Machine, MachineId, ResidentTask, TaskExit};

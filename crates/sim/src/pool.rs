@@ -1,0 +1,179 @@
+//! Persistent worker pool for the parallel per-machine tick phase.
+//!
+//! [`Cluster::step`](crate::cluster::Cluster::step) shards machines
+//! across these workers by contiguous [`MachineId`] range. Machines move
+//! to a worker by value over a channel and come back the same way, so no
+//! borrows cross threads and the pool outlives any one tick — spawning
+//! threads per tick costs tens of microseconds each, which would swamp
+//! the tick work itself on small fleets. Results are reassembled in
+//! shard order, keeping machine order (and therefore the trace) identical
+//! to the serial path.
+
+use crate::machine::{Machine, MachineId, TaskExit};
+use crate::time::{SimDuration, SimTime};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// One tick's worth of work for one worker: a contiguous run of machines
+/// plus the tick window.
+type ShardJob = (Vec<Machine>, SimTime, SimDuration);
+
+/// A worker's answer: its shard index, the machines handed back, and the
+/// exits they produced (in machine order). `Err` means the shard panicked.
+type ShardOutcome = Result<(Vec<Machine>, Vec<(MachineId, TaskExit)>), ()>;
+
+pub(crate) struct TickPool {
+    txs: Vec<Sender<ShardJob>>,
+    rx: Receiver<(usize, ShardOutcome)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl TickPool {
+    /// Spawns `workers` (≥ 1) long-lived worker threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let (res_tx, rx) = unbounded::<(usize, ShardOutcome)>();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for idx in 0..workers.max(1) {
+            let (tx, job_rx) = unbounded::<ShardJob>();
+            let res_tx = res_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok((mut machines, now, dt)) = job_rx.recv() {
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            let mut exits = Vec::new();
+                            for m in &mut machines {
+                                let id = m.id;
+                                exits.extend(m.tick(now, dt).into_iter().map(|e| (id, e)));
+                            }
+                            (machines, exits)
+                        }))
+                        .map_err(|_| ());
+                    if res_tx.send((idx, outcome)).is_err() {
+                        break;
+                    }
+                }
+            }));
+            txs.push(tx);
+        }
+        TickPool { txs, rx, handles }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Runs one tick across the pool: `machines` is carved into contiguous
+    /// shards, dispatched, and reassembled in the original order before
+    /// returning the concatenated exits.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker's machine tick.
+    pub(crate) fn tick(
+        &mut self,
+        machines: &mut Vec<Machine>,
+        now: SimTime,
+        dt: SimDuration,
+    ) -> Vec<(MachineId, TaskExit)> {
+        let total = machines.len();
+        let shard_len = total.div_ceil(self.txs.len()).max(1);
+        let mut rest = std::mem::take(machines);
+        let mut dispatched = 0;
+        while !rest.is_empty() {
+            let tail = if rest.len() > shard_len {
+                rest.split_off(shard_len)
+            } else {
+                Vec::new()
+            };
+            self.txs[dispatched]
+                .send((rest, now, dt))
+                .expect("tick worker exited early");
+            rest = tail;
+            dispatched += 1;
+        }
+        let mut slots: Vec<Option<ShardOutcome>> = (0..dispatched).map(|_| None).collect();
+        for _ in 0..dispatched {
+            let (idx, outcome) = self.rx.recv().expect("tick worker exited early");
+            slots[idx] = Some(outcome);
+        }
+        let mut exits = Vec::new();
+        machines.reserve(total);
+        for slot in slots {
+            let (ms, ex) = slot
+                .expect("every dispatched shard reports once")
+                .expect("machine shard worker panicked");
+            machines.extend(ms);
+            exits.extend(ex);
+        }
+        exits
+    }
+}
+
+impl Drop for TickPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's recv loop.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TickPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickPool")
+            .field("workers", &self.txs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    fn machines(n: u32) -> Vec<Machine> {
+        (0..n)
+            .map(|i| Machine::new(MachineId(i), Platform::westmere(), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn preserves_machine_order() {
+        let mut pool = TickPool::new(3);
+        let mut ms = machines(10);
+        for _ in 0..5 {
+            pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1));
+        }
+        assert_eq!(ms.len(), 10);
+        for (i, m) in ms.iter().enumerate() {
+            assert_eq!(m.id, MachineId(i as u32));
+        }
+    }
+
+    #[test]
+    fn more_workers_than_machines() {
+        let mut pool = TickPool::new(8);
+        let mut ms = machines(3);
+        pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_no_op() {
+        let mut pool = TickPool::new(2);
+        let mut ms = Vec::new();
+        let exits = pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1));
+        assert!(exits.is_empty());
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = TickPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        drop(pool); // must not hang
+    }
+}

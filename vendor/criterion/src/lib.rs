@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset used by this workspace's benches: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput::Elements`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple adaptive wall-clock loop (no statistics, no plots): each
+//! benchmark runs until it accumulates enough samples for a stable
+//! mean, then prints `ns/iter` and optional throughput.
+
+use std::time::{Duration, Instant};
+
+/// How much work one routine invocation represents, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Routine processes this many logical elements per invocation.
+    Elements(u64),
+    /// Routine processes this many bytes per invocation.
+    Bytes(u64),
+}
+
+/// Hint for how expensive `iter_batched` setup inputs are. Ignored here;
+/// every invocation gets a fresh input either way.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Target time to spend measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(100);
+const WARMUP_BUDGET: Duration = Duration::from_millis(20);
+
+/// Per-invocation timer driven by [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            ns_per_iter: 0.0,
+            iterations: 0,
+        }
+    }
+
+    /// Times `routine` in an adaptive loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        while total < MEASURE_BUDGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+
+    /// Times `routine` with a fresh `setup()` input per invocation;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < MEASURE_BUDGET {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            total += start.elapsed();
+            std::hint::black_box(out);
+            iters += 1;
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let ns = b.ns_per_iter;
+    let time = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 / (ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.0} B/s)", n as f64 / (ns / 1e9))
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<55} {time}/iter{rate}  [{} iters]",
+        b.iterations
+    );
+}
+
+/// A named batch of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets the work-per-invocation used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id.into());
+        report(&full, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&id.into(), &b, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Re-export parity with the real crate (`criterion::black_box`).
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new();
+        b.iter(|| std::hint::black_box(41u64) + 1);
+        assert!(b.ns_per_iter > 0.0);
+        assert!(b.iterations > 0);
+    }
+
+    #[test]
+    fn iter_batched_measures_something() {
+        let mut b = Bencher::new();
+        b.iter_batched(
+            || vec![1u64; 16],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.ns_per_iter > 0.0);
+    }
+}

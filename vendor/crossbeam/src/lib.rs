@@ -1,0 +1,334 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`channel`] — MPMC bounded/unbounded channels (a `Mutex<VecDeque>` +
+//!   `Condvar` queue; both ends clonable, like crossbeam's).
+//! * [`thread`] — scoped threads, delegating to `std::thread::scope`
+//!   (stabilized in Rust 1.63, after crossbeam's API was designed).
+
+/// MPMC channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        readable: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error for [`Sender::try_send`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Error for [`Sender::send`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is queued.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error for [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half (clonable).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half (clonable — the channel is MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver(..)")
+        }
+    }
+
+    /// Creates a bounded MPMC channel.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(capacity))
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends without blocking; fails when full or disconnected.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] at capacity, [`TrySendError::Disconnected`]
+        /// when every receiver is dropped.
+        pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.receivers == 0 {
+                return Err(TrySendError::Disconnected(item));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if q.items.len() >= cap {
+                    return Err(TrySendError::Full(item));
+                }
+            }
+            q.items.push_back(item);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+
+        /// Sends, failing only on disconnect. A full bounded channel in this
+        /// stand-in does not block the sender; the queue grows past capacity
+        /// (callers in this workspace use [`Sender::try_send`] on hot paths).
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] when every receiver is dropped.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.receivers == 0 {
+                return Err(SendError(item));
+            }
+            q.items.push_back(item);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.senders -= 1;
+            if q.senders == 0 {
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when drained with no senders left.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match q.items.pop_front() {
+                Some(item) => Ok(item),
+                None if q.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Receives, blocking until a message or disconnect.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when drained with no senders left.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    return Ok(item);
+                }
+                if q.senders == 0 {
+                    return Err(RecvError);
+                }
+                q = self
+                    .shared
+                    .readable
+                    .wait(q)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers -= 1;
+        }
+    }
+}
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle able to spawn threads borrowing from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (crossbeam
+        /// convention) so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow local data.
+    /// All spawned threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Matches crossbeam's signature; `std::thread::scope` propagates child
+    /// panics by panicking, so this never actually returns `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, TrySendError};
+
+    #[test]
+    fn mpmc_flow() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        let rx2 = rx.clone();
+        assert_eq!(rx2.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+    }
+
+    #[test]
+    fn scoped_threads_sum() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for `libc`, exposing only the symbols the optional
+//! `linux-perf` feature of `cpi2-perf` touches. Bindings are declared
+//! against the system C library, exactly as the real crate does.
+#![allow(non_camel_case_types, non_upper_case_globals)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type c_void = std::ffi::c_void;
+pub type pid_t = i32;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type time_t = i64;
+pub type suseconds_t = i64;
+
+/// `getrusage` target: the calling process.
+pub const RUSAGE_SELF: c_int = 0;
+
+/// `perf_event_open(2)` syscall number on x86_64 Linux.
+#[cfg(target_arch = "x86_64")]
+pub const SYS_perf_event_open: c_long = 298;
+/// `perf_event_open(2)` syscall number on aarch64 Linux.
+#[cfg(target_arch = "aarch64")]
+pub const SYS_perf_event_open: c_long = 241;
+/// Fallback syscall number for other architectures (generic syscall table).
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub const SYS_perf_event_open: c_long = 241;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timeval {
+    pub tv_sec: time_t,
+    pub tv_usec: suseconds_t,
+}
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct rusage {
+    pub ru_utime: timeval,
+    pub ru_stime: timeval,
+    pub ru_maxrss: c_long,
+    pub ru_ixrss: c_long,
+    pub ru_idrss: c_long,
+    pub ru_isrss: c_long,
+    pub ru_minflt: c_long,
+    pub ru_majflt: c_long,
+    pub ru_nswap: c_long,
+    pub ru_inblock: c_long,
+    pub ru_oublock: c_long,
+    pub ru_msgsnd: c_long,
+    pub ru_msgrcv: c_long,
+    pub ru_nsignals: c_long,
+    pub ru_nvcsw: c_long,
+    pub ru_nivcsw: c_long,
+}
+
+extern "C" {
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn getrusage(who: c_int, usage: *mut rusage) -> c_int;
+}

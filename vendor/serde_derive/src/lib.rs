@@ -1,0 +1,503 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no syn/quote available
+//! offline). Supports non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants), with the `#[serde(default)]` and
+//! `#[serde(with = "module")]` field attributes. The generated impls target
+//! the concrete `to_value`/`from_value` model of the stand-in `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<NamedField>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// -------------------------------------------------------------- parsing ---
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consumes a run of `#[...]` attributes, extracting serde field attrs.
+    fn attrs(&mut self) -> FieldAttrs {
+        let mut out = FieldAttrs::default();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            parse_attr_body(g.stream(), &mut out);
+                        }
+                        other => panic!("serde_derive: expected [...] after #, got {other:?}"),
+                    }
+                }
+                _ => return out,
+            }
+        }
+    }
+
+    /// Consumes `pub`, `pub(...)` if present.
+    fn visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skips tokens up to (and including) a top-level comma, tracking angle
+    /// brackets so commas inside generic arguments don't terminate early.
+    fn skip_past_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_attr_body(ts: TokenStream, out: &mut FieldAttrs) {
+    let mut c = Cursor::new(ts);
+    match c.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return, // #[doc], #[derive], #[cfg] etc. — not ours.
+    }
+    let Some(TokenTree::Group(g)) = c.next() else {
+        return;
+    };
+    let mut inner = Cursor::new(g.stream());
+    while !inner.at_end() {
+        let key = inner.ident();
+        match key.as_str() {
+            "default" => out.default = true,
+            "with" => {
+                match inner.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                    other => panic!("serde_derive: expected = after with, got {other:?}"),
+                }
+                match inner.next() {
+                    Some(TokenTree::Literal(l)) => {
+                        let s = l.to_string();
+                        out.with = Some(s.trim_matches('"').to_string());
+                    }
+                    other => panic!("serde_derive: expected string after with =, got {other:?}"),
+                }
+            }
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        // Skip a separating comma if present.
+        if let Some(TokenTree::Punct(p)) = inner.peek() {
+            if p.as_char() == ',' {
+                inner.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<NamedField> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = c.attrs();
+        if c.at_end() {
+            break;
+        }
+        c.visibility();
+        let name = c.ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected : after field `{name}`, got {other:?}"),
+        }
+        c.skip_past_comma();
+        fields.push(NamedField { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut count = 0;
+    while !c.at_end() {
+        c.attrs();
+        if c.at_end() {
+            break;
+        }
+        c.visibility();
+        count += 1;
+        c.skip_past_comma();
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.attrs();
+    c.visibility();
+    let kind = c.ident();
+    let name = c.ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline stand-in");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, body }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = c.next() else {
+                panic!("serde_derive: expected enum body");
+            };
+            let mut vc = Cursor::new(g.stream());
+            let mut variants = Vec::new();
+            while !vc.at_end() {
+                vc.attrs();
+                if vc.at_end() {
+                    break;
+                }
+                let vname = vc.ident();
+                let body = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vc.next();
+                        Body::Named(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        vc.next();
+                        Body::Tuple(n)
+                    }
+                    _ => Body::Unit,
+                };
+                vc.skip_past_comma();
+                variants.push(Variant { name: vname, body });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+// -------------------------------------------------------------- codegen ---
+
+fn ser_named_fields(fields: &[NamedField], access: &str) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        let expr = match &f.attrs.with {
+            Some(m) => format!("{m}::to_value(&{access}{f})", f = f.name),
+            None => format!("::serde::Serialize::to_value(&{access}{f})", f = f.name),
+        };
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{n}\"), {expr}),",
+            n = f.name
+        ));
+    }
+    format!("::serde::Value::Object(::std::vec![{entries}])")
+}
+
+fn de_named_fields(fields: &[NamedField]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let expr = if let Some(m) = &f.attrs.with {
+            format!(
+                "{m}::from_value(::serde::get_or_null(__v, \"{n}\"))?",
+                n = f.name
+            )
+        } else if f.attrs.default {
+            format!("::serde::from_field_or_default(__v, \"{n}\")?", n = f.name)
+        } else {
+            format!("::serde::from_field(__v, \"{n}\")?", n = f.name)
+        };
+        inits.push_str(&format!("{n}: {expr},", n = f.name));
+    }
+    inits
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_expr = match body {
+                Body::Unit => "::serde::Value::Null".to_string(),
+                Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                }
+                Body::Named(fields) => ser_named_fields(fields, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                    fn to_value(&self) -> ::serde::Value {{ {body_expr} }}\
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                                (::std::string::String::from(\"{vn}\"), {inner})]),",
+                            binds = binds.join(",")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = ser_named_fields(fields, "*");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                                (::std::string::String::from(\"{vn}\"), {inner})]),",
+                            binds = binds.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                    fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\
+                }}"
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_code = match body {
+                Body::Unit => format!("Ok({name})"),
+                Body::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(__a.get({i})\
+                                 .ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __a = __v.as_array()\
+                         .ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\
+                         Ok({name}({items}))",
+                        items = items.join(",")
+                    )
+                }
+                Body::Named(fields) => {
+                    format!(
+                        "if __v.as_object().is_none() {{\
+                            return Err(::serde::Error::custom(\"expected object for {name}\"));\
+                         }}\
+                         Ok({name} {{ {inits} }})",
+                        inits = de_named_fields(fields)
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                    fn from_value(__v: &::serde::Value) \
+                        -> ::std::result::Result<Self, ::serde::Error> {{ {body_code} }}\
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),"))
+                    }
+                    Body::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(\
+                            ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Body::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(__a.get({i})\
+                                     .ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\
+                                let __a = __inner.as_array()\
+                                    .ok_or_else(|| ::serde::Error::custom(\"expected array\"))?;\
+                                return Ok({name}::{vn}({items}));\
+                             }}",
+                            items = items.join(",")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let expr = if let Some(m) = &f.attrs.with {
+                                format!(
+                                    "{m}::from_value(::serde::get_or_null(__inner, \"{n}\"))?",
+                                    n = f.name
+                                )
+                            } else if f.attrs.default {
+                                format!(
+                                    "::serde::from_field_or_default(__inner, \"{n}\")?",
+                                    n = f.name
+                                )
+                            } else {
+                                format!("::serde::from_field(__inner, \"{n}\")?", n = f.name)
+                            };
+                            inits.push_str(&format!("{n}: {expr},", n = f.name));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{ {inits} }}),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                    fn from_value(__v: &::serde::Value) \
+                        -> ::std::result::Result<Self, ::serde::Error> {{\
+                        if let ::std::option::Option::Some(__s) = __v.as_str() {{\
+                            match __s {{ {unit_arms} _ => {{}} }}\
+                        }}\
+                        if let ::std::option::Option::Some(__obj) = __v.as_object() {{\
+                            if __obj.len() == 1 {{\
+                                let (__tag, __inner) = &__obj[0];\
+                                let _ = __inner;\
+                                match __tag.as_str() {{ {tagged_arms} _ => {{}} }}\
+                            }}\
+                        }}\
+                        Err(::serde::Error::custom(\"unrecognized value for enum {name}\"))\
+                    }}\
+                }}"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (offline stand-in model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (offline stand-in model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
