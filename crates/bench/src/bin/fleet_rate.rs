@@ -17,8 +17,15 @@
 //! verifying the two runs produced bit-identical traces. This doubles as
 //! the CI smoke job.
 //!
+//! With `--telemetry <path|->` the run reports fleet-wide metrics into
+//! the `cpi2-telemetry` registry: periodic JSON snapshots during the
+//! measured day, and a final Prometheus text dump framed by
+//! `# --- cpi telemetry export begin/end ---` markers (written to stdout
+//! when the path is `-`, appended to the file otherwise).
+//!
 //! Run: `cargo run -p cpi2-bench --release --bin fleet_rate -- \
-//!           [--machines N] [--parallelism P] [--seconds S]`
+//!           [--machines N] [--parallelism P] [--seconds S] \
+//!           [--telemetry PATH|-]`
 //! (a bare positional `N` still sets the machine count, as before).
 
 use cpi2::core::Cpi2Config;
@@ -26,18 +33,48 @@ use cpi2::harness::Cpi2Harness;
 use cpi2::sim::{
     default_parallelism, Cluster, ClusterConfig, JobSpec, Platform, SimDuration, TraceEntry,
 };
+use cpi2::telemetry::Telemetry;
 use cpi2::workloads::{self, TraceJob};
 use cpi2_bench::args::Args;
 use cpi2_bench::plot;
 use cpi2_stats::rng::SimRng;
 use std::time::Instant;
 
+/// Writes `text` to the telemetry sink: stdout when `path` is `-`,
+/// appended to the file otherwise.
+fn emit(path: &str, text: &str) {
+    if path == "-" {
+        print!("{text}");
+    } else {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open telemetry sink");
+        f.write_all(text.as_bytes()).expect("write telemetry sink");
+    }
+}
+
+/// Emits the final Prometheus dump between grep-friendly comment markers.
+fn dump_export(telemetry: &Telemetry, path: &str) {
+    if let Some(text) = telemetry.prometheus_text() {
+        emit(
+            path,
+            &format!(
+                "# --- cpi telemetry export begin ---\n{text}# --- cpi telemetry export end ---\n"
+            ),
+        );
+    }
+}
+
 /// Builds the mostly-healthy fleet regime on `machines` machines.
-fn build_fleet(machines: u32, parallelism: usize) -> Cluster {
+fn build_fleet(machines: u32, parallelism: usize, telemetry: &Telemetry) -> Cluster {
     let mut cluster = Cluster::new(ClusterConfig {
         seed: 0xF1EE7,
         overcommit: 2.0,
         parallelism,
+        telemetry: telemetry.clone(),
         ..ClusterConfig::default()
     });
     cluster.add_machines(&Platform::westmere(), machines);
@@ -76,9 +113,12 @@ fn build_fleet(machines: u32, parallelism: usize) -> Cluster {
 }
 
 /// `--seconds` mode: serial vs parallel wall-clock for the same fleet.
-fn throughput_mode(machines: u32, seconds: i64, parallelism: usize) {
+/// The timed comparison always runs bare (telemetry disabled) so the
+/// numbers stay comparable; with `--telemetry` a third, fully
+/// instrumented harness run over the same fleet feeds the export.
+fn throughput_mode(machines: u32, seconds: i64, parallelism: usize, telemetry_path: Option<&str>) {
     let run = |par: usize| -> (f64, Vec<TraceEntry>) {
-        let mut cluster = build_fleet(machines, par);
+        let mut cluster = build_fleet(machines, par, &Telemetry::disabled());
         let start = Instant::now();
         cluster.run_for(SimDuration::from_secs(seconds));
         let wall = start.elapsed().as_secs_f64();
@@ -118,20 +158,39 @@ fn throughput_mode(machines: u32, seconds: i64, parallelism: usize) {
         serial_trace.len(),
         parallelism
     );
+
+    if let Some(path) = telemetry_path {
+        let telemetry = Telemetry::enabled();
+        let cluster = build_fleet(machines, parallelism, &telemetry);
+        let config = Cpi2Config {
+            min_samples_per_task: 5,
+            ..Cpi2Config::default()
+        };
+        let mut system = Cpi2Harness::new(cluster, config);
+        system.run_for(SimDuration::from_secs(seconds));
+        println!("collector dropped: {}", system.collector_dropped());
+        dump_export(&telemetry, path);
+    }
 }
 
 fn main() {
     let args = Args::new();
     let machines: u32 = args.parsed("--machines", args.positional().unwrap_or(150));
     let parallelism: usize = args.parsed("--parallelism", default_parallelism());
+    let telemetry_path = args.value("--telemetry").map(str::to_string);
+    let telemetry = if telemetry_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
 
     if let Some(seconds) = args.value("--seconds") {
         let seconds: i64 = seconds.parse().expect("--seconds takes an integer");
-        throughput_mode(machines, seconds, parallelism);
+        throughput_mode(machines, seconds, parallelism, telemetry_path.as_deref());
         return;
     }
 
-    let mut cluster = build_fleet(machines, parallelism);
+    let mut cluster = build_fleet(machines, parallelism, &telemetry);
 
     // Transient antagonists: a Poisson-ish stream of short-lived thrasher
     // jobs over the measured day (≈ machines/20 arrivals, 60–120 min
@@ -164,7 +223,18 @@ fn main() {
     system.force_spec_refresh();
 
     // Measure the next 22 hours (antagonists arrive from hour 25 on).
-    system.run_for(SimDuration::from_hours(22));
+    // With telemetry on, snapshot the registry as JSON every 2 simulated
+    // hours so the measured day leaves a time series, not just a total.
+    if let Some(path) = &telemetry_path {
+        for _ in 0..11 {
+            system.run_for(SimDuration::from_hours(2));
+            if let Some(json) = system.telemetry().json_snapshot() {
+                emit(path, &format!("{json}\n"));
+            }
+        }
+    } else {
+        system.run_for(SimDuration::from_hours(22));
+    }
 
     let identifications = system
         .incidents()
@@ -208,8 +278,16 @@ fn main() {
                 format!("{}", system.caps_applied()),
                 "enforcement was opt-in".into(),
             ],
+            vec![
+                "collector batches dropped".into(),
+                format!("{}", system.collector_dropped()),
+                "pipeline is lossy by design".into(),
+            ],
         ],
     );
+    if let Some(path) = &telemetry_path {
+        dump_export(system.telemetry(), path);
+    }
     assert!(
         (0.01..=5.0).contains(&rate),
         "identification rate {rate} outside the paper's order of magnitude"

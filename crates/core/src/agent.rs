@@ -16,6 +16,7 @@ use crate::outlier::{OutlierDetector, Verdict};
 use crate::sample::{CpiSample, JobKey, TaskClass, TaskHandle};
 use crate::spec::CpiSpec;
 use cpi2_stats::timeseries::TimeSeries;
+use cpi2_telemetry::{Counter, Histo, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -56,6 +57,37 @@ mod pairs {
                 Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
             })
             .collect()
+    }
+}
+
+/// Cached telemetry handles for the agent's hot paths.
+///
+/// Resolved once in [`Agent::set_telemetry`]; the `Default` (all handles
+/// disabled) costs one branch per update. Detection latency is recorded in
+/// *sim-time* microseconds — the gap between a task entering its violation
+/// window and the incident that fires — so the histogram is deterministic.
+#[derive(Debug, Clone, Default)]
+struct AgentMetrics {
+    telemetry: Telemetry,
+    samples: Counter,
+    violations: Counter,
+    incidents_hard_cap: Counter,
+    incidents_none: Counter,
+    detection_latency_us: Histo,
+    correlation_runs: Counter,
+}
+
+impl AgentMetrics {
+    fn new(telemetry: &Telemetry) -> AgentMetrics {
+        AgentMetrics {
+            telemetry: telemetry.clone(),
+            samples: telemetry.counter("cpi_agent_samples_total", &[]),
+            violations: telemetry.counter("cpi_agent_outlier_violations_total", &[]),
+            incidents_hard_cap: telemetry.counter("cpi_incidents_total", &[("action", "hard_cap")]),
+            incidents_none: telemetry.counter("cpi_incidents_total", &[("action", "none")]),
+            detection_latency_us: telemetry.histogram("cpi_agent_detection_latency_us", &[]),
+            correlation_runs: telemetry.counter("cpi_agent_correlation_runs_total", &[]),
+        }
     }
 }
 
@@ -108,6 +140,10 @@ pub struct Agent {
     #[serde(with = "pairs")]
     last_incident: HashMap<TaskHandle, i64>,
     incidents: Vec<Incident>,
+    /// Telemetry handles are runtime wiring, not state: checkpoints store
+    /// `null` and restores come back disabled (re-attach after restore).
+    #[serde(with = "cpi2_telemetry::serde_stub")]
+    metrics: AgentMetrics,
 }
 
 impl Agent {
@@ -126,7 +162,16 @@ impl Agent {
             active_caps: HashMap::new(),
             last_incident: HashMap::new(),
             incidents: Vec::new(),
+            metrics: AgentMetrics::default(),
         }
+    }
+
+    /// Attaches (or replaces) the telemetry registry this agent reports
+    /// to. Agents default to disabled telemetry; call this after
+    /// construction — or after [`Agent::restore`], since checkpoints do
+    /// not carry telemetry wiring.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = AgentMetrics::new(telemetry);
     }
 
     /// The agent's configuration.
@@ -178,6 +223,7 @@ impl Agent {
     pub fn ingest(&mut self, samples: &[CpiSample]) -> Vec<AgentCommand> {
         let mut commands = Vec::new();
         let window_us = self.config.correlation_window_s * 1_000_000;
+        self.metrics.samples.add(samples.len() as u64);
 
         // Record histories first so the analysis sees this batch.
         for s in samples {
@@ -222,6 +268,12 @@ impl Agent {
                 continue;
             };
             let verdict = st.detector.observe(s, &spec, &self.config);
+            if matches!(verdict, Verdict::Flagged | Verdict::Anomalous) {
+                self.metrics.violations.inc();
+            }
+            // When this flag entered the live violation window: the start
+            // of the streak that may become an incident below.
+            let window_entry = st.detector.first_flag_at();
             if verdict != Verdict::Anomalous {
                 continue;
             }
@@ -237,6 +289,12 @@ impl Agent {
                 continue;
             }
             self.last_analysis = s.timestamp;
+            if let Some(entry) = window_entry {
+                // Sim-time µs from violation-window entry to incident.
+                self.metrics
+                    .detection_latency_us
+                    .record((s.timestamp - entry) as f64);
+            }
             if let Some(cmd) = self.analyze(s, &spec, window_us) {
                 commands.push(cmd);
             }
@@ -252,6 +310,7 @@ impl Agent {
         spec: &CpiSpec,
         window_us: i64,
     ) -> Option<AgentCommand> {
+        self.metrics.correlation_runs.inc();
         let cthreshold = spec.outlier_threshold(self.config.outlier_sigma);
         let victim_state = self.tasks.get(&victim.task)?;
         let victim_cpi = victim_state
@@ -332,6 +391,20 @@ impl Agent {
             IncidentAction::None { .. } => None,
         };
 
+        match &action {
+            IncidentAction::HardCap { .. } => self.metrics.incidents_hard_cap.inc(),
+            IncidentAction::None { .. } => self.metrics.incidents_none.inc(),
+        }
+        self.metrics.telemetry.event("incident", || {
+            let kind = match &action {
+                IncidentAction::HardCap { target_job, .. } => format!("hard_cap {target_job}"),
+                IncidentAction::None { reason } => format!("none ({reason})"),
+            };
+            format!(
+                "victim={} job={} cpi={:.3} threshold={:.3} action={kind}",
+                victim.task.0, victim.jobname, victim.cpi, cthreshold
+            )
+        });
         self.last_incident.insert(victim.task, victim.timestamp);
         self.incidents.push(Incident {
             at: victim.timestamp,

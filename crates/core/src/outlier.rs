@@ -94,6 +94,16 @@ impl OutlierDetector {
         self.flags.len()
     }
 
+    /// Timestamp (µs) of the oldest flag still inside the violation
+    /// window, i.e. when the task *entered* its current violation streak.
+    ///
+    /// Telemetry uses this to measure detection latency: the sim-time gap
+    /// between the first live violation and the incident that it
+    /// eventually triggers.
+    pub fn first_flag_at(&self) -> Option<i64> {
+        self.flags.front().copied()
+    }
+
     /// Clears all state (e.g. after an incident is resolved).
     pub fn reset(&mut self) {
         self.flags.clear();
@@ -193,6 +203,63 @@ mod tests {
         d.observe(&sample(2, 2.5, 1.0), &spec(), &cfg);
         let v = d.observe(&sample(3, 2.5, 1.0), &spec(), &cfg);
         assert_eq!(v, Verdict::Anomalous);
+    }
+
+    #[test]
+    fn exactly_three_violations_at_the_window_edge() {
+        // Flags at t=0s, 60s; third violation lands exactly at the
+        // 5-minute mark. Eviction uses `t <= now - window`, so the t=0
+        // flag is evicted at t=300s — only two flags remain live and the
+        // verdict stays Flagged, not Anomalous.
+        let mut d = OutlierDetector::new();
+        let cfg = Cpi2Config::default();
+        assert_eq!(cfg.violation_window_s, 300, "test assumes 5-min window");
+        assert_eq!(cfg.violations_required, 3, "test assumes 3-violation bar");
+        d.observe(&sample(0, 2.5, 1.0), &spec(), &cfg);
+        d.observe(&sample(1, 2.5, 1.0), &spec(), &cfg);
+        let v = d.observe(&sample(5, 2.5, 1.0), &spec(), &cfg);
+        assert_eq!(v, Verdict::Flagged);
+        assert_eq!(d.flag_count(), 2);
+        // One microsecond inside the window the verdict flips: flags at
+        // 1 min and 2 min are both strictly younger than now - 300 s.
+        let mut d = OutlierDetector::new();
+        d.observe(&sample(1, 2.5, 1.0), &spec(), &cfg);
+        d.observe(&sample(2, 2.5, 1.0), &spec(), &cfg);
+        let mut s = sample(6, 2.5, 1.0);
+        s.timestamp -= 1; // 359.999999 s: the 60 s flag survives (barely)
+        assert_eq!(d.observe(&s, &spec(), &cfg), Verdict::Anomalous);
+    }
+
+    #[test]
+    fn window_eviction_is_oldest_first() {
+        let mut d = OutlierDetector::new();
+        let cfg = Cpi2Config::default();
+        d.observe(&sample(0, 2.5, 1.0), &spec(), &cfg);
+        d.observe(&sample(2, 2.5, 1.0), &spec(), &cfg);
+        assert_eq!(d.first_flag_at(), Some(0));
+        // t=6min evicts t=0 (6 min old) but keeps t=2min (4 min old):
+        // the front of the window advances monotonically.
+        d.observe(&sample(6, 2.5, 1.0), &spec(), &cfg);
+        assert_eq!(d.first_flag_at(), Some(2 * 60_000_000));
+        assert_eq!(d.flag_count(), 2);
+        // A later eviction never resurrects older entries.
+        d.observe(&sample(12, 2.5, 1.0), &spec(), &cfg);
+        assert_eq!(d.first_flag_at(), Some(12 * 60_000_000));
+        assert_eq!(d.flag_count(), 1);
+    }
+
+    #[test]
+    fn first_flag_tracks_streak_entry() {
+        let mut d = OutlierDetector::new();
+        let cfg = Cpi2Config::default();
+        assert_eq!(d.first_flag_at(), None);
+        d.observe(&sample(3, 2.5, 1.0), &spec(), &cfg);
+        assert_eq!(d.first_flag_at(), Some(3 * 60_000_000));
+        // Normal samples don't move the streak entry point.
+        d.observe(&sample(4, 1.8, 1.0), &spec(), &cfg);
+        assert_eq!(d.first_flag_at(), Some(3 * 60_000_000));
+        d.reset();
+        assert_eq!(d.first_flag_at(), None);
     }
 
     #[test]

@@ -76,6 +76,9 @@ fn shard_of(job: &str, platform: &str, shards: usize) -> usize {
 #[derive(Debug)]
 pub struct ShardedSpecBuilder {
     shards: Vec<Mutex<SpecBuilder>>,
+    /// Wall-clock µs each shard spends producing its spec set in
+    /// [`merge`](Self::merge); disabled by default.
+    shard_build_us: cpi2_telemetry::Histo,
 }
 
 impl ShardedSpecBuilder {
@@ -87,7 +90,14 @@ impl ShardedSpecBuilder {
             shards: (0..n)
                 .map(|_| Mutex::new(SpecBuilder::new(config.clone())))
                 .collect(),
+            shard_build_us: cpi2_telemetry::Histo::default(),
         }
+    }
+
+    /// Attaches telemetry: records per-shard spec-build duration under
+    /// `cpi_spec_build_shard_duration_us`.
+    pub fn set_telemetry(&mut self, telemetry: &cpi2_telemetry::Telemetry) {
+        self.shard_build_us = telemetry.histogram("cpi_spec_build_shard_duration_us", &[]);
     }
 
     /// Number of shards.
@@ -144,7 +154,9 @@ impl ShardedSpecBuilder {
     fn merge(&self, mut per_shard: impl FnMut(&mut SpecBuilder) -> Vec<CpiSpec>) -> Vec<CpiSpec> {
         let mut out: Vec<CpiSpec> = Vec::new();
         for shard in &self.shards {
+            let timer = self.shard_build_us.timer();
             out.extend(per_shard(&mut shard.lock()));
+            timer.stop();
         }
         // Keys are disjoint across shards, so a plain re-sort reproduces
         // the unsharded builder's ordering exactly.

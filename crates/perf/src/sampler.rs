@@ -11,6 +11,7 @@
 use crate::backend::CounterSource;
 use crate::reading::CounterReading;
 use cpi2_sim::{CounterBlock, SimDuration, SimTime, TaskId};
+use cpi2_telemetry::{Counter, Gauge, Histo, Telemetry};
 use std::collections::HashMap;
 
 /// Sampling schedule parameters.
@@ -58,18 +59,54 @@ struct OpenWindow {
     baseline: HashMap<TaskId, CounterBlock>,
 }
 
+/// Cached telemetry handles for duty-cycle samplers.
+#[derive(Debug, Clone, Default)]
+struct SamplerMetrics {
+    /// Counting windows closed.
+    windows_total: Counter,
+    /// Counter readings produced across all closed windows.
+    readings_total: Counter,
+    /// Duty-cycle coverage of the last closed window: achieved counting
+    /// span over the schedule period (paper target: 10 s / 60 s ≈ 0.167).
+    duty_cycle_coverage: Gauge,
+    /// Readings per closed window — how many cgroups shared (multiplexed)
+    /// the counters within one duty cycle.
+    multiplex_occupancy: Histo,
+}
+
+impl SamplerMetrics {
+    fn new(telemetry: &Telemetry) -> SamplerMetrics {
+        SamplerMetrics {
+            windows_total: telemetry.counter("cpi_sampler_windows_total", &[]),
+            readings_total: telemetry.counter("cpi_sampler_readings_total", &[]),
+            duty_cycle_coverage: telemetry.gauge("cpi_sampler_duty_cycle_coverage", &[]),
+            multiplex_occupancy: telemetry.histogram("cpi_sampler_multiplex_occupancy", &[]),
+        }
+    }
+}
+
 /// Per-machine duty-cycle sampler.
 #[derive(Debug)]
 pub struct MachineSampler {
     config: SamplerConfig,
     open: Option<OpenWindow>,
+    metrics: SamplerMetrics,
 }
 
 impl MachineSampler {
-    /// Creates a sampler with the given schedule.
+    /// Creates a sampler with the given schedule (telemetry disabled).
     pub fn new(config: SamplerConfig) -> Self {
+        MachineSampler::with_telemetry(config, &Telemetry::disabled())
+    }
+
+    /// Creates a sampler reporting window/coverage metrics to `telemetry`.
+    pub fn with_telemetry(config: SamplerConfig, telemetry: &Telemetry) -> Self {
         config.validate();
-        MachineSampler { config, open: None }
+        MachineSampler {
+            config,
+            open: None,
+            metrics: SamplerMetrics::new(telemetry),
+        }
     }
 
     /// True if `now` falls inside the counting window of its period.
@@ -142,6 +179,12 @@ impl MachineSampler {
                         overhead_us: d.context_switches as f64 * source.counter_switch_us(),
                     });
                 }
+                self.metrics.windows_total.inc();
+                self.metrics.readings_total.add(out.len() as u64);
+                self.metrics
+                    .duty_cycle_coverage
+                    .set(window.as_us() as f64 / self.config.period.as_us() as f64);
+                self.metrics.multiplex_occupancy.record(out.len() as f64);
                 out
             }
             _ => Vec::new(),
@@ -154,24 +197,37 @@ impl MachineSampler {
 #[derive(Debug, Default)]
 pub struct ClusterSampler {
     samplers: HashMap<u32, MachineSampler>,
+    telemetry: Telemetry,
 }
 
 impl ClusterSampler {
-    /// Creates an empty cluster sampler.
+    /// Creates an empty cluster sampler (telemetry disabled).
     pub fn new() -> Self {
         ClusterSampler::default()
+    }
+
+    /// Creates a cluster sampler whose lazily created per-machine
+    /// samplers all report to `telemetry`. The per-machine handles share
+    /// one fleet-wide series per metric, matching how the paper's daemon
+    /// reports into a shared monitoring system.
+    pub fn with_telemetry(telemetry: &Telemetry) -> Self {
+        ClusterSampler {
+            samplers: HashMap::new(),
+            telemetry: telemetry.clone(),
+        }
     }
 
     /// Polls one counter source, lazily creating its sampler with a
     /// staggered phase.
     pub fn poll(&mut self, source: &dyn CounterSource, now: SimTime) -> Vec<CounterReading> {
+        let telemetry = &self.telemetry;
         let sampler = self.samplers.entry(source.source_id()).or_insert_with(|| {
             let base = SamplerConfig::default();
             let slots = ((base.period.as_us() - base.window.as_us()) / cpi2_sim::time::US_PER_SEC)
                 as u64
                 + 1;
             let phase = SimDuration::from_secs((source.source_id() as u64 % slots) as i64);
-            MachineSampler::new(SamplerConfig { phase, ..base })
+            MachineSampler::with_telemetry(SamplerConfig { phase, ..base }, telemetry)
         });
         sampler.poll(source, now)
     }
@@ -328,6 +384,28 @@ mod tests {
             }
         }
         assert_ne!(t0.unwrap(), t1.unwrap(), "phases should differ");
+    }
+
+    #[test]
+    fn telemetry_tracks_windows_coverage_and_occupancy() {
+        let telemetry = Telemetry::enabled();
+        let mut m = machine_with_task(2.0);
+        let mut s = MachineSampler::with_telemetry(SamplerConfig::default(), &telemetry);
+        let readings = drive(&mut m, &mut s, 300);
+        assert_eq!(readings.len(), 5);
+        let text = telemetry.prometheus_text().unwrap();
+        assert!(text.contains("cpi_sampler_windows_total 5"), "{text}");
+        assert!(text.contains("cpi_sampler_readings_total 5"), "{text}");
+        // 10 s window of a 60 s period; the closing poll lands on whole
+        // ticks so coverage is near but not exactly 1/6.
+        assert!(
+            text.contains("cpi_sampler_duty_cycle_coverage 0.16"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cpi_sampler_multiplex_occupancy_count 5"),
+            "{text}"
+        );
     }
 
     #[test]

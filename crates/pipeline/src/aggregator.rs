@@ -7,6 +7,7 @@
 
 use crate::specstore::SpecStore;
 use cpi2_core::{Cpi2Config, CpiSample, CpiSpec, ShardedSpecBuilder, DEFAULT_SPEC_SHARDS};
+use cpi2_telemetry::{Counter, Histo, Telemetry};
 
 /// Spec aggregation with periodic refresh.
 ///
@@ -19,6 +20,29 @@ pub struct Aggregator {
     refresh_period_us: i64,
     next_roll: i64,
     samples_seen: u64,
+    metrics: AggregatorMetrics,
+}
+
+/// Cached telemetry handles for the aggregation service.
+#[derive(Debug, Default)]
+struct AggregatorMetrics {
+    telemetry: Telemetry,
+    batch_size: Histo,
+    samples_total: Counter,
+    build_duration_us: Histo,
+    specs_published_total: Counter,
+}
+
+impl AggregatorMetrics {
+    fn new(telemetry: &Telemetry) -> AggregatorMetrics {
+        AggregatorMetrics {
+            telemetry: telemetry.clone(),
+            batch_size: telemetry.histogram("cpi_aggregator_batch_size", &[]),
+            samples_total: telemetry.counter("cpi_aggregator_samples_total", &[]),
+            build_duration_us: telemetry.histogram("cpi_spec_build_duration_us", &[]),
+            specs_published_total: telemetry.counter("cpi_specs_published_total", &[]),
+        }
+    }
 }
 
 impl Aggregator {
@@ -36,13 +60,24 @@ impl Aggregator {
             refresh_period_us,
             next_roll: start_us + refresh_period_us,
             samples_seen: 0,
+            metrics: AggregatorMetrics::default(),
         }
+    }
+
+    /// Attaches telemetry to the aggregator and its sharded builder:
+    /// ingest batch sizes, whole-refresh and per-shard spec-build
+    /// durations, and published-spec counts.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = AggregatorMetrics::new(telemetry);
+        self.builder.set_telemetry(telemetry);
     }
 
     /// Feeds a batch of samples (one lock acquisition per touched shard).
     pub fn ingest(&mut self, samples: &[CpiSample]) {
         self.builder.ingest_batch(samples);
         self.samples_seen += samples.len() as u64;
+        self.metrics.batch_size.record(samples.len() as f64);
+        self.metrics.samples_total.add(samples.len() as u64);
     }
 
     /// The sharded builder, for ingesting from multiple threads at once.
@@ -59,14 +94,18 @@ impl Aggregator {
         while self.next_roll <= now_us {
             self.next_roll += self.refresh_period_us;
         }
-        let specs = self.builder.roll_period();
-        store.publish(specs.clone());
-        Some(specs)
+        Some(self.refresh_now(store))
     }
 
     /// Forces an immediate refresh (operator action / tests).
     pub fn refresh_now(&mut self, store: &SpecStore) -> Vec<CpiSpec> {
+        let timer = self.metrics.build_duration_us.timer();
         let specs = self.builder.roll_period();
+        timer.stop();
+        self.metrics.specs_published_total.add(specs.len() as u64);
+        self.metrics.telemetry.event("spec_refresh", || {
+            format!("published {} specs", specs.len())
+        });
         store.publish(specs.clone());
         specs
     }

@@ -7,6 +7,7 @@
 
 use crate::aggregator::Aggregator;
 use cpi2_core::{CpiSample, Incident};
+use cpi2_telemetry::{Counter, Telemetry};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -25,6 +26,29 @@ pub enum AgentMessage {
 pub struct CollectorHandle {
     tx: Sender<AgentMessage>,
     dropped: Arc<AtomicU64>,
+    metrics: CollectorMetrics,
+}
+
+/// Cached telemetry handles shared by the collector and its handles.
+///
+/// `dropped_total` mirrors the message-level [`Collector::dropped`]
+/// counter into the registry so back-pressure loss is finally visible in
+/// exports instead of only through an accessor nothing called.
+#[derive(Debug, Clone, Default)]
+struct CollectorMetrics {
+    messages_total: Counter,
+    samples_total: Counter,
+    dropped_total: Counter,
+}
+
+impl CollectorMetrics {
+    fn new(telemetry: &Telemetry) -> CollectorMetrics {
+        CollectorMetrics {
+            messages_total: telemetry.counter("cpi_collector_messages_total", &[]),
+            samples_total: telemetry.counter("cpi_collector_samples_total", &[]),
+            dropped_total: telemetry.counter("cpi_collector_dropped_total", &[]),
+        }
+    }
 }
 
 impl CollectorHandle {
@@ -32,10 +56,19 @@ impl CollectorHandle {
     /// pipeline is lossy by design — §4.1 detection runs locally, so lost
     /// telemetry degrades aggregation only). Returns `false` if dropped.
     pub fn send(&self, msg: AgentMessage) -> bool {
+        let samples = match &msg {
+            AgentMessage::Samples(s) => s.len() as u64,
+            AgentMessage::Incidents(_) => 0,
+        };
         match self.tx.try_send(msg) {
-            Ok(()) => true,
+            Ok(()) => {
+                self.metrics.messages_total.inc();
+                self.metrics.samples_total.add(samples);
+                true
+            }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.metrics.dropped_total.inc();
                 false
             }
         }
@@ -62,11 +95,19 @@ pub struct Collector {
     samples: Vec<CpiSample>,
     incidents: Vec<Incident>,
     dropped: Arc<AtomicU64>,
+    metrics: CollectorMetrics,
 }
 
 impl Collector {
-    /// Creates a collector with the given channel capacity.
+    /// Creates a collector with the given channel capacity (telemetry
+    /// disabled; see [`Collector::with_telemetry`]).
     pub fn new(capacity: usize) -> Self {
+        Collector::with_telemetry(capacity, &Telemetry::disabled())
+    }
+
+    /// Creates a collector whose handles report ingest/drop counters to
+    /// `telemetry`.
+    pub fn with_telemetry(capacity: usize, telemetry: &Telemetry) -> Self {
         let (tx, rx) = bounded(capacity);
         Collector {
             tx,
@@ -74,6 +115,7 @@ impl Collector {
             samples: Vec::new(),
             incidents: Vec::new(),
             dropped: Arc::new(AtomicU64::new(0)),
+            metrics: CollectorMetrics::new(telemetry),
         }
     }
 
@@ -82,6 +124,7 @@ impl Collector {
         CollectorHandle {
             tx: self.tx.clone(),
             dropped: Arc::clone(&self.dropped),
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -201,6 +244,22 @@ mod tests {
         let specs = agg.refresh_now(&store);
         assert_eq!(specs.len(), 1);
         assert!((specs[0].cpi_mean - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_counts_ingest_and_drops() {
+        let tel = Telemetry::enabled();
+        let c = Collector::with_telemetry(1, &tel);
+        let h = c.handle();
+        assert!(h.send_samples(vec![sample(1), sample(2)]));
+        assert!(!h.send_samples(vec![sample(3)]));
+        assert!(!h.send_incidents(Vec::new()));
+        let text = tel.prometheus_text().unwrap();
+        assert!(text.contains("cpi_collector_messages_total 1"), "{text}");
+        assert!(text.contains("cpi_collector_samples_total 2"), "{text}");
+        assert!(text.contains("cpi_collector_dropped_total 2"), "{text}");
+        // The registry mirrors the message-level accessor.
+        assert_eq!(c.dropped(), 2);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! half-applied) refresh.
 
 use cpi2_core::{CpiSpec, JobKey};
+use cpi2_telemetry::{Counter, Histo, Telemetry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,6 +25,11 @@ pub struct SpecStore {
     /// Serializes publishers so snapshot construction happens outside any
     /// lock readers touch.
     publish_lock: Mutex<()>,
+    /// Snapshot swaps performed by [`SpecStore::publish`].
+    swaps_total: Counter,
+    /// Version lag observed by [`SpecStore::changed_since`] callers: how
+    /// many publishes a reader was behind when it synced.
+    reader_staleness: Histo,
 }
 
 #[derive(Debug, Default)]
@@ -69,6 +75,12 @@ impl SpecStore {
         SpecStore::default()
     }
 
+    /// Attaches telemetry: snapshot-swap counts and reader staleness.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.swaps_total = telemetry.counter("cpi_specstore_swaps_total", &[]);
+        self.reader_staleness = telemetry.histogram("cpi_specstore_reader_staleness", &[]);
+    }
+
     /// The current snapshot, for lock-free reading.
     pub fn snapshot(&self) -> SpecSnapshot {
         SpecSnapshot {
@@ -94,6 +106,7 @@ impl SpecStore {
             next.specs.insert(s.key(), (v, s));
         }
         *self.current.write() = Arc::new(next);
+        self.swaps_total.inc();
         v
     }
 
@@ -110,6 +123,8 @@ impl SpecStore {
     /// All specs changed after `since_version` — the delta an agent pulls.
     pub fn changed_since(&self, since_version: u64) -> Vec<CpiSpec> {
         let snap = self.snapshot();
+        self.reader_staleness
+            .record(snap.version().saturating_sub(since_version) as f64);
         let mut out: Vec<CpiSpec> = snap
             .inner
             .specs

@@ -13,7 +13,9 @@ use crate::scheduler::{PlacementError, Scheduler};
 use crate::task::{TaskInstance, TaskModel};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent};
+use cpi2_telemetry::{Counter, Histo, Telemetry};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Factory producing a fresh behaviour model for task `index` of a job.
 ///
@@ -43,6 +45,11 @@ pub struct ClusterConfig {
     /// are bit-identical across any setting (see `Cluster::step`).
     /// Defaults to [`std::thread::available_parallelism`].
     pub parallelism: usize,
+    /// Telemetry sink for simulator metrics (tick counts, per-phase
+    /// durations, CFS throttle events, worker-pool utilization). The
+    /// default is a disabled no-op handle: metric calls cost one branch
+    /// and wall clocks are never read.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ClusterConfig {
@@ -54,7 +61,42 @@ impl Default for ClusterConfig {
             trace_capacity: 100_000,
             preempt_starved_batch_after: None,
             parallelism: default_parallelism(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+}
+
+/// Cached telemetry handles for the simulator core.
+#[derive(Debug, Clone, Default)]
+struct SimMetrics {
+    /// Ticks executed (`Cluster::step` calls).
+    ticks: Counter,
+    /// Wall-clock µs of the parallel per-machine phase of each tick.
+    phase_machines: Histo,
+    /// Wall-clock µs of the serial commit phase of each tick.
+    phase_commit: Histo,
+    /// CFS-bandwidth throttle events: machine ticks where the cgroup
+    /// model granted less CPU than tasks wanted.
+    throttle_events: Counter,
+    /// Worker-pool gauges/histograms, shared with [`crate::pool::TickPool`].
+    pool: crate::pool::PoolMetrics,
+}
+
+impl SimMetrics {
+    fn new(telemetry: &Telemetry) -> SimMetrics {
+        SimMetrics {
+            ticks: telemetry.counter("cpi_sim_ticks_total", &[]),
+            phase_machines: telemetry
+                .histogram("cpi_sim_tick_phase_duration_us", &[("phase", "machines")]),
+            phase_commit: telemetry
+                .histogram("cpi_sim_tick_phase_duration_us", &[("phase", "commit")]),
+            throttle_events: telemetry.counter("cpi_sim_throttle_events_total", &[]),
+            pool: crate::pool::PoolMetrics::new(telemetry),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.ticks.enabled()
     }
 }
 
@@ -108,6 +150,10 @@ pub struct Cluster {
     /// Lazily spawned on the first parallel tick; sized to the effective
     /// worker count and respawned if that count changes.
     pool: Option<crate::pool::TickPool>,
+    metrics: SimMetrics,
+    /// Fleet-wide throttle-event total observed after the previous tick,
+    /// so each tick adds only its delta to the counter.
+    last_throttle_total: u64,
 }
 
 impl Cluster {
@@ -115,6 +161,7 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         let scheduler = Scheduler::new(config.overcommit, config.seed);
         let trace = Trace::new(config.trace_capacity);
+        let metrics = SimMetrics::new(&config.telemetry);
         Cluster {
             config,
             machines: Vec::new(),
@@ -125,7 +172,14 @@ impl Cluster {
             trace,
             events: EventQueue::new(),
             pool: None,
+            metrics,
+            last_throttle_total: 0,
         }
+    }
+
+    /// The telemetry handle this cluster reports to (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.config.telemetry
     }
 
     /// Schedules a deferred event (job arrival, scripted kill/cap/migrate)
@@ -443,6 +497,9 @@ impl Cluster {
         // seed.
         let dt = self.config.tick;
         let now = self.now;
+        let measure = self.metrics.enabled();
+        self.metrics.ticks.inc();
+        let phase_start = measure.then(Instant::now);
         let workers = self
             .config
             .parallelism
@@ -461,9 +518,24 @@ impl Cluster {
                 Some(p) if p.workers() == workers => p,
                 slot => slot.insert(crate::pool::TickPool::new(workers)),
             };
-            pool.tick(&mut self.machines, now, dt)
+            pool.tick(&mut self.machines, now, dt, Some(&self.metrics.pool))
         };
         self.now += dt;
+        let phase_start = phase_start.map(|t| {
+            self.metrics
+                .phase_machines
+                .record(t.elapsed().as_secs_f64() * 1e6);
+            Instant::now()
+        });
+        if measure {
+            // Telemetry is observational only: the throttle tally reads the
+            // machines' own deterministic counters and never feeds back.
+            let total: u64 = self.machines.iter().map(Machine::throttle_events).sum();
+            self.metrics
+                .throttle_events
+                .add(total.saturating_sub(self.last_throttle_total));
+            self.last_throttle_total = total;
+        }
 
         // Phase 2 — serial commit: everything below mutates shared cluster
         // state (scheduler reservations, placements, trace, event queue)
@@ -543,6 +615,11 @@ impl Cluster {
                     );
                 }
             }
+        }
+        if let Some(t) = phase_start {
+            self.metrics
+                .phase_commit
+                .record(t.elapsed().as_secs_f64() * 1e6);
         }
     }
 
@@ -738,6 +815,53 @@ mod tests {
         assert!(c.locate(TaskId { job, index: 0 }).is_some());
         let placed: usize = c.machines().iter().map(|m| m.task_count()).sum();
         assert_eq!(placed, 1);
+    }
+
+    #[test]
+    fn telemetry_counts_ticks_phases_and_throttles() {
+        let telemetry = Telemetry::enabled();
+        let mut c = Cluster::new(ClusterConfig {
+            telemetry: telemetry.clone(),
+            parallelism: 2,
+            ..ClusterConfig::default()
+        });
+        c.add_machines(&Platform::westmere(), 4);
+        // Hard-cap a hungry task so the CFS bandwidth model must throttle.
+        let job = c
+            .submit_job(
+                JobSpec::best_effort("hog", 1, 4.0),
+                true,
+                Box::new(|_| Box::new(ConstantLoad::new(4.0, 8, ResourceProfile::compute_bound()))),
+            )
+            .unwrap();
+        assert!(c.apply_hard_cap(TaskId { job, index: 0 }, 0.1, SimTime::from_mins(5)));
+        c.run_for(SimDuration::from_secs(5));
+        let text = telemetry.prometheus_text().unwrap();
+        assert!(text.contains("cpi_sim_ticks_total 5"), "{text}");
+        assert!(
+            text.contains("cpi_sim_tick_phase_duration_us{phase=\"machines\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cpi_sim_tick_phase_duration_us{phase=\"commit\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        let throttles: u64 = c.machines().iter().map(Machine::throttle_events).sum();
+        assert!(throttles > 0, "oversubscribed fleet must throttle");
+        assert!(
+            text.contains(&format!("cpi_sim_throttle_events_total {throttles}")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn telemetry_disabled_reads_no_clock_and_counts_nothing() {
+        let mut c = small_cluster();
+        c.submit_job(JobSpec::batch("b", 2, 1.0), true, constant_factory(1.0))
+            .unwrap();
+        c.run_for(SimDuration::from_secs(3));
+        assert!(c.telemetry().prometheus_text().is_none());
+        assert_eq!(c.last_throttle_total, 0);
     }
 
     #[test]

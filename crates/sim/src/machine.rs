@@ -105,6 +105,9 @@ pub struct Machine {
     params: InterferenceParams,
     rng: SimRng,
     last_utilization: f64,
+    /// Cumulative count of task-ticks where the CFS bandwidth model
+    /// clamped a task below its demand (cluster telemetry reads deltas).
+    throttle_events: u64,
 }
 
 impl Machine {
@@ -117,7 +120,14 @@ impl Machine {
             params: InterferenceParams::default(),
             rng: SimRng::derive(seed, id.0 as u64),
             last_utilization: 0.0,
+            throttle_events: 0,
         }
+    }
+
+    /// Cumulative CFS-bandwidth throttle events on this machine: task-ticks
+    /// where the cgroup clamped CPU below what the task wanted.
+    pub fn throttle_events(&self) -> u64 {
+        self.throttle_events
     }
 
     /// Overrides the interference model parameters (for ablations).
@@ -211,7 +221,9 @@ impl Machine {
             t.threads = d.threads;
             let want = d.cpu_want.max(0.0);
             let allowed = t.cgroup.clamp_cpu(want, now, dt);
-            capped_flags.push(allowed < want - 1e-12);
+            let capped = allowed < want - 1e-12;
+            self.throttle_events += u64::from(capped);
+            capped_flags.push(capped);
             wants.push(allowed);
         }
 

@@ -11,16 +11,47 @@
 
 use crate::machine::{Machine, MachineId, TaskExit};
 use crate::time::{SimDuration, SimTime};
+use cpi2_telemetry::{Gauge, Histo, Telemetry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-/// One tick's worth of work for one worker: a contiguous run of machines
-/// plus the tick window.
-type ShardJob = (Vec<Machine>, SimTime, SimDuration);
+/// One tick's worth of work for one worker: a contiguous run of machines,
+/// the tick window, and whether to measure shard wall-clock time (clock
+/// reads are skipped entirely when telemetry is disabled).
+type ShardJob = (Vec<Machine>, SimTime, SimDuration, bool);
 
-/// A worker's answer: its shard index, the machines handed back, and the
-/// exits they produced (in machine order). `Err` means the shard panicked.
-type ShardOutcome = Result<(Vec<Machine>, Vec<(MachineId, TaskExit)>), ()>;
+/// A worker's answer: the machines handed back, the exits they produced
+/// (in machine order), and busy wall-clock µs when measurement was on.
+/// `Err` means the shard panicked.
+type ShardOutcome = Result<(Vec<Machine>, Vec<(MachineId, TaskExit)>, u64), ()>;
+
+/// Cached telemetry handles for the worker pool, resolved by
+/// [`crate::cluster::Cluster`] when its config carries live telemetry.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PoolMetrics {
+    /// Wall-clock µs each dispatched shard spent ticking its machines.
+    pub(crate) shard_busy_us: Histo,
+    /// Mean worker utilization over the last parallel tick: total shard
+    /// busy time divided by (dispatched shards × tick wall time).
+    pub(crate) utilization: Gauge,
+    /// Shards dispatched in the last parallel tick.
+    pub(crate) shards: Gauge,
+}
+
+impl PoolMetrics {
+    pub(crate) fn new(telemetry: &Telemetry) -> PoolMetrics {
+        PoolMetrics {
+            shard_busy_us: telemetry.histogram("cpi_sim_pool_shard_busy_us", &[]),
+            utilization: telemetry.gauge("cpi_sim_pool_utilization", &[]),
+            shards: telemetry.gauge("cpi_sim_pool_shards", &[]),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.shard_busy_us.enabled()
+    }
+}
 
 pub(crate) struct TickPool {
     txs: Vec<Sender<ShardJob>>,
@@ -38,15 +69,19 @@ impl TickPool {
             let (tx, job_rx) = unbounded::<ShardJob>();
             let res_tx = res_tx.clone();
             handles.push(std::thread::spawn(move || {
-                while let Ok((mut machines, now, dt)) = job_rx.recv() {
+                while let Ok((mut machines, now, dt, measure)) = job_rx.recv() {
                     let outcome =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            let started = measure.then(Instant::now);
                             let mut exits = Vec::new();
                             for m in &mut machines {
                                 let id = m.id;
                                 exits.extend(m.tick(now, dt).into_iter().map(|e| (id, e)));
                             }
-                            (machines, exits)
+                            let busy_us = started.map_or(0, |t| {
+                                t.elapsed().as_micros().min(u64::MAX as u128) as u64
+                            });
+                            (machines, exits, busy_us)
                         }))
                         .map_err(|_| ());
                     if res_tx.send((idx, outcome)).is_err() {
@@ -76,7 +111,10 @@ impl TickPool {
         machines: &mut Vec<Machine>,
         now: SimTime,
         dt: SimDuration,
+        metrics: Option<&PoolMetrics>,
     ) -> Vec<(MachineId, TaskExit)> {
+        let measure = metrics.is_some_and(PoolMetrics::enabled);
+        let wall_start = measure.then(Instant::now);
         let total = machines.len();
         let shard_len = total.div_ceil(self.txs.len()).max(1);
         let mut rest = std::mem::take(machines);
@@ -88,7 +126,7 @@ impl TickPool {
                 Vec::new()
             };
             self.txs[dispatched]
-                .send((rest, now, dt))
+                .send((rest, now, dt, measure))
                 .expect("tick worker exited early");
             rest = tail;
             dispatched += 1;
@@ -99,13 +137,31 @@ impl TickPool {
             slots[idx] = Some(outcome);
         }
         let mut exits = Vec::new();
+        let mut total_busy_us = 0u64;
         machines.reserve(total);
         for slot in slots {
-            let (ms, ex) = slot
+            let (ms, ex, busy_us) = slot
                 .expect("every dispatched shard reports once")
                 .expect("machine shard worker panicked");
             machines.extend(ms);
             exits.extend(ex);
+            total_busy_us += busy_us;
+            if measure {
+                if let Some(metrics) = metrics {
+                    metrics.shard_busy_us.record(busy_us as f64);
+                }
+            }
+        }
+        if let (Some(metrics), Some(wall_start)) = (metrics, wall_start) {
+            if dispatched > 0 {
+                metrics.shards.set(dispatched as f64);
+                let wall_us = wall_start.elapsed().as_secs_f64() * 1e6;
+                if wall_us > 0.0 {
+                    metrics
+                        .utilization
+                        .set(total_busy_us as f64 / (wall_us * dispatched as f64));
+                }
+            }
         }
         exits
     }
@@ -145,7 +201,7 @@ mod tests {
         let mut pool = TickPool::new(3);
         let mut ms = machines(10);
         for _ in 0..5 {
-            pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1));
+            pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1), None);
         }
         assert_eq!(ms.len(), 10);
         for (i, m) in ms.iter().enumerate() {
@@ -157,7 +213,7 @@ mod tests {
     fn more_workers_than_machines() {
         let mut pool = TickPool::new(8);
         let mut ms = machines(3);
-        pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1));
+        pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1), None);
         assert_eq!(ms.len(), 3);
     }
 
@@ -165,7 +221,7 @@ mod tests {
     fn empty_fleet_is_a_no_op() {
         let mut pool = TickPool::new(2);
         let mut ms = Vec::new();
-        let exits = pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1));
+        let exits = pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1), None);
         assert!(exits.is_empty());
         assert!(ms.is_empty());
     }

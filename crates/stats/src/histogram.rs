@@ -92,6 +92,65 @@ impl Histogram {
     }
 }
 
+/// Quantile over pre-bucketed counts by linear interpolation within the
+/// containing bucket.
+///
+/// `buckets` is a sequence of `(lo, hi, count)` rows in ascending order;
+/// degenerate rows with `hi <= lo` (saturating under/overflow buckets that
+/// have no real width) contribute their count at position `lo`. Returns
+/// `None` when the total count is zero. `q` is clamped to `[0, 1]`.
+///
+/// This is the quantile engine behind both [`Histogram::quantile`] and the
+/// log-bucketed telemetry histograms in `cpi2-telemetry`.
+pub fn bucket_quantile(buckets: &[(f64, f64, u64)], q: f64) -> Option<f64> {
+    let total: u64 = buckets.iter().map(|&(_, _, n)| n).sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Rank of the target observation, 1-based; q=0 → first, q=1 → last.
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for &(lo, hi, n) in buckets {
+        if n == 0 {
+            continue;
+        }
+        if seen + n >= rank {
+            if hi <= lo {
+                return Some(lo);
+            }
+            // Interpolate within the bucket: the rank-th observation sits
+            // (rank - seen) of the way through the n observations here.
+            let frac = (rank - seen) as f64 / n as f64;
+            return Some(lo + (hi - lo) * frac);
+        }
+        seen += n;
+    }
+    // Unreachable for consistent inputs; defend against rounding.
+    buckets
+        .iter()
+        .rev()
+        .find(|&&(_, _, n)| n > 0)
+        .map(|&(lo, hi, _)| if hi <= lo { lo } else { hi })
+}
+
+impl Histogram {
+    /// Quantile estimate by linear interpolation within bins.
+    ///
+    /// Underflow observations count at `lo`, overflow observations at
+    /// `hi` (the saturation points). Returns `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let mut rows = Vec::with_capacity(self.counts.len() + 2);
+        rows.push((self.lo, self.lo, self.underflow));
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            rows.push((self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w, n));
+        }
+        rows.push((self.hi, self.hi, self.overflow));
+        bucket_quantile(&rows, q)
+    }
+}
+
 /// Empirical distribution built from a sample, giving CDF and quantiles.
 #[derive(Debug, Clone)]
 pub struct Ecdf {
@@ -217,6 +276,76 @@ mod tests {
         let h = Histogram::new(0.0, 10.0, 10);
         assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
         assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_quantile_empty_is_none() {
+        assert_eq!(bucket_quantile(&[], 0.5), None);
+        assert_eq!(bucket_quantile(&[(0.0, 1.0, 0), (1.0, 2.0, 0)], 0.5), None);
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn bucket_quantile_single_sample() {
+        // One observation in one bucket: every quantile lands inside it.
+        let rows = [(2.0, 4.0, 1)];
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = bucket_quantile(&rows, q).unwrap();
+            assert!((2.0..=4.0).contains(&v), "q={q} v={v}");
+        }
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(7.3);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((7.0..=8.0).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn bucket_quantile_all_in_one_bucket() {
+        let rows = [(0.0, 1.0, 0), (1.0, 2.0, 100), (2.0, 4.0, 0)];
+        let p50 = bucket_quantile(&rows, 0.5).unwrap();
+        let p99 = bucket_quantile(&rows, 0.99).unwrap();
+        assert!((1.0..=2.0).contains(&p50));
+        assert!((1.0..=2.0).contains(&p99));
+        assert!(p50 <= p99, "quantiles must be monotone: {p50} vs {p99}");
+        assert!((p50 - 1.5).abs() < 1e-9, "midpoint expected, got {p50}");
+    }
+
+    #[test]
+    fn bucket_quantile_saturating_overflow() {
+        // Degenerate overflow bucket (hi <= lo): reports the saturation
+        // point itself, never interpolates past it.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..10 {
+            h.push(3.5);
+        }
+        for _ in 0..90 {
+            h.push(1e9); // all saturate into overflow
+        }
+        assert_eq!(h.quantile(0.99), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        let p5 = h.quantile(0.05).unwrap();
+        assert!((3.0..=4.0).contains(&p5), "p5={p5}");
+    }
+
+    #[test]
+    fn bucket_quantile_underflow_saturates_at_lo() {
+        let mut h = Histogram::new(5.0, 10.0, 5);
+        for _ in 0..100 {
+            h.push(-3.0);
+        }
+        assert_eq!(h.quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn bucket_quantile_is_monotone_in_q() {
+        let rows = [(0.0, 1.0, 7), (1.0, 2.0, 13), (2.0, 4.0, 29), (4.0, 4.0, 3)];
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let v = bucket_quantile(&rows, i as f64 / 20.0).unwrap();
+            assert!(v >= last, "q={} v={v} last={last}", i as f64 / 20.0);
+            last = v;
+        }
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Metric cells and the cheap handles components hold onto.
+//!
+//! A component asks [`crate::Telemetry`] for a handle once (at
+//! construction) and then updates through it on the hot path. Handles are
+//! `Option<Arc<Cell>>` under the hood: with telemetry disabled the option
+//! is `None` and every update is a single branch — no allocation, no
+//! atomics, no lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of log-spaced histogram buckets. Bucket 0 covers `[0, 1)`;
+/// bucket `i ≥ 1` covers `[2^(i-1), 2^i)`; the last bucket saturates.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Backing cell of a monotonic counter.
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    value: AtomicU64,
+}
+
+impl CounterCell {
+    pub(crate) fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Backing cell of a gauge (an `f64` stored as bits).
+#[derive(Debug)]
+pub(crate) struct GaugeCell {
+    bits: AtomicU64,
+}
+
+impl Default for GaugeCell {
+    fn default() -> Self {
+        GaugeCell {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl GaugeCell {
+    pub(crate) fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Backing cell of a log-bucketed histogram.
+///
+/// Updates are lock-free: one atomic add on the bucket, one on the count,
+/// and a CAS loop folding the observation into the running sum.
+#[derive(Debug)]
+pub(crate) struct HistoCell {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Default for HistoCell {
+    fn default() -> Self {
+        HistoCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+/// Index of the log bucket holding `v` (negatives and NaN land in 0).
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < 1.0 {
+        return 0;
+    }
+    ((v.log2().floor() as usize) + 1).min(HIST_BUCKETS - 1)
+}
+
+/// `[lo, hi)` edges of bucket `i`.
+pub(crate) fn bucket_edges(i: usize) -> (f64, f64) {
+    if i == 0 {
+        (0.0, 1.0)
+    } else {
+        (2f64.powi(i as i32 - 1), 2f64.powi(i as i32))
+    }
+}
+
+impl HistoCell {
+    pub(crate) fn record(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let add = if v.is_finite() { v } else { 0.0 };
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// `(lo, hi, count)` rows for [`cpi2_stats::histogram::bucket_quantile`].
+    pub(crate) fn bucket_rows(&self) -> Vec<(f64, f64, u64)> {
+        (0..HIST_BUCKETS)
+            .map(|i| {
+                let (lo, hi) = bucket_edges(i);
+                (lo, hi, self.buckets[i].load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+
+    /// Quantile readout over the log buckets; `None` while empty.
+    pub(crate) fn quantile(&self, q: f64) -> Option<f64> {
+        cpi2_stats::histogram::bucket_quantile(&self.bucket_rows(), q)
+    }
+}
+
+/// A monotonic counter handle. Clone-cheap; all clones share one cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<CounterCell>>);
+
+impl Counter {
+    /// Whether updates actually land anywhere.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge handle holding the latest `f64` value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// Whether updates actually land anywhere.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        if let Some(c) = &self.0 {
+            c.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.bits.load(Ordering::Relaxed)))
+    }
+}
+
+/// A log-bucketed histogram handle with p50/p95/p99 readout.
+#[derive(Debug, Clone, Default)]
+pub struct Histo(pub(crate) Option<Arc<HistoCell>>);
+
+impl Histo {
+    /// Whether updates actually land anywhere. Hot paths use this to skip
+    /// even the clock read that would feed [`Histo::record`].
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        if let Some(c) = &self.0 {
+            c.record(v);
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.count())
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| c.sum())
+    }
+
+    /// Quantile readout; `None` while empty (or disabled).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.0.as_ref().and_then(|c| c.quantile(q))
+    }
+
+    /// Starts a wall-clock timer that records elapsed microseconds into
+    /// this histogram when stopped or dropped. Free when disabled (the
+    /// clock is never read).
+    pub fn timer(&self) -> HistTimer {
+        HistTimer {
+            start: self.0.as_ref().map(|_| Instant::now()),
+            histo: self.clone(),
+        }
+    }
+}
+
+/// Guard returned by [`Histo::timer`].
+#[derive(Debug)]
+pub struct HistTimer {
+    start: Option<Instant>,
+    histo: Histo,
+}
+
+impl HistTimer {
+    /// Stops the timer now, recording the elapsed microseconds.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.histo.record(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::default();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.enabled());
+        let g = Gauge::default();
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+        let h = Histo::default();
+        h.record(1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        h.timer().stop();
+    }
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(0.99), 0);
+        assert_eq!(bucket_index(1.0), 1);
+        assert_eq!(bucket_index(1.99), 1);
+        assert_eq!(bucket_index(2.0), 2);
+        assert_eq!(bucket_index(1e300), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn histogram_cell_quantiles() {
+        let cell = HistoCell::default();
+        for _ in 0..100 {
+            cell.record(3.0); // bucket [2, 4)
+        }
+        assert_eq!(cell.count(), 100);
+        assert!((cell.sum() - 300.0).abs() < 1e-9);
+        let p50 = cell.quantile(0.5).unwrap();
+        assert!((2.0..=4.0).contains(&p50), "p50={p50}");
+    }
+}

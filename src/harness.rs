@@ -10,8 +10,9 @@ use cpi2_core::{
     Agent, AgentCommand, Cpi2Config, CpiSample, CpiSpec, Incident, TaskClass, TaskHandle,
 };
 use cpi2_perf::{ClusterSampler, CounterReading};
-use cpi2_pipeline::{Aggregator, SpecStore};
+use cpi2_pipeline::{Aggregator, Collector, CollectorHandle, SpecStore};
 use cpi2_sim::{Cluster, JobId, MachineId, SchedClass, SimDuration, SimTime, TaskId};
+use cpi2_telemetry::Telemetry;
 use std::collections::HashMap;
 
 /// Converts a simulator task id into the agent-facing opaque handle.
@@ -57,6 +58,15 @@ pub struct Cpi2Harness {
     pub aggregator: Aggregator,
     /// The versioned spec store.
     pub spec_store: SpecStore,
+    /// Telemetry handle shared by every component (adopted from the
+    /// cluster's [`cpi2_sim::ClusterConfig::telemetry`]).
+    telemetry: Telemetry,
+    /// The cluster-wide collector (Fig. 6's left half): per-machine
+    /// sample batches travel through its bounded channel before reaching
+    /// the aggregation service, so back-pressure loss is modeled and
+    /// counted instead of assumed away.
+    collector: Collector,
+    collector_handle: CollectorHandle,
     incidents: Vec<MachineIncident>,
     /// When true, every sample is retained in [`Cpi2Harness::samples`]
     /// (off by default: long runs produce millions).
@@ -85,17 +95,32 @@ pub struct Cpi2Harness {
 }
 
 impl Cpi2Harness {
-    /// Wraps a cluster with a full CPI² deployment.
+    /// Wraps a cluster with a full CPI² deployment. The harness adopts
+    /// the cluster's telemetry handle
+    /// ([`cpi2_sim::ClusterConfig::telemetry`]), so enabling telemetry
+    /// there instruments the whole stack — samplers, agents, collector,
+    /// aggregator and spec store included.
     pub fn new(cluster: Cluster, config: Cpi2Config) -> Self {
         let start = cluster.now().as_us();
+        let telemetry = cluster.telemetry().clone();
+        let collector =
+            Collector::with_telemetry((cluster.machines().len() * 4).max(1024), &telemetry);
+        let collector_handle = collector.handle();
+        let mut aggregator = Aggregator::new(config.clone(), start);
+        aggregator.set_telemetry(&telemetry);
+        let mut spec_store = SpecStore::new();
+        spec_store.set_telemetry(&telemetry);
         Cpi2Harness {
             cluster,
-            config: config.clone(),
-            sampler: ClusterSampler::new(),
+            config,
+            sampler: ClusterSampler::with_telemetry(&telemetry),
             agents: HashMap::new(),
             agent_versions: HashMap::new(),
-            aggregator: Aggregator::new(config, start),
-            spec_store: SpecStore::new(),
+            aggregator,
+            spec_store,
+            telemetry,
+            collector,
+            collector_handle,
             incidents: Vec::new(),
             record_samples: false,
             samples: Vec::new(),
@@ -177,6 +202,17 @@ impl Cpi2Harness {
         &self.config
     }
 
+    /// The telemetry handle every component reports to (disabled unless
+    /// the cluster was built with one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Sample batches dropped by the collector under back-pressure.
+    pub fn collector_dropped(&self) -> u64 {
+        self.collector.dropped()
+    }
+
     /// All incidents reported so far (across machines).
     pub fn incidents(&self) -> &[MachineIncident] {
         &self.incidents
@@ -219,17 +255,16 @@ impl Cpi2Harness {
                 .collect();
             let machine_id = machine.id;
 
-            // Push samples into the aggregation pipeline.
-            self.aggregator.ingest(&batch);
             if self.record_samples {
                 self.samples.extend(batch.iter().cloned());
             }
 
             // Sync specs down to the agent, then let it analyze.
-            let agent = self
-                .agents
-                .entry(machine_id)
-                .or_insert_with(|| Agent::new(self.config.clone()));
+            let agent = self.agents.entry(machine_id).or_insert_with(|| {
+                let mut a = Agent::new(self.config.clone());
+                a.set_telemetry(&self.telemetry);
+                a
+            });
             let since = self.agent_versions.entry(machine_id).or_insert(0);
             let store_version = self.spec_store.version();
             if *since < store_version {
@@ -272,7 +307,15 @@ impl Cpi2Harness {
                 } = cmd;
                 pending_caps.push((task_for(target), cpu_rate, SimTime(until)));
             }
+
+            // Detection ran locally (§4.1); now push the batch up the
+            // collection pipeline. A saturated collector drops it —
+            // aggregation degrades, local detection already happened.
+            self.collector_handle.send_samples(batch);
         }
+
+        // Drain collected batches into the aggregation service.
+        self.collector.drain_into(&mut self.aggregator);
 
         // Execute cap commands against the cluster (unless the operator
         // turned protection off for the cluster).
@@ -368,5 +411,39 @@ mod tests {
         assert!(class_for(SchedClass::LatencySensitive).protected);
         assert!(class_for(SchedClass::Batch).throttle_eligible());
         assert!(class_for(SchedClass::BestEffort).best_effort);
+    }
+
+    #[test]
+    fn harness_wires_telemetry_end_to_end() {
+        use cpi2_sim::{ClusterConfig, JobSpec, Platform};
+
+        let telemetry = Telemetry::enabled();
+        let mut cluster = cpi2_sim::Cluster::new(ClusterConfig {
+            telemetry: telemetry.clone(),
+            ..ClusterConfig::default()
+        });
+        cluster.add_machines(&Platform::westmere(), 2);
+        cluster
+            .submit_job(
+                JobSpec::latency_sensitive("svc", 4, 1.0),
+                true,
+                cpi2_workloads::factory("websearch-leaf", 42),
+            )
+            .unwrap();
+        let mut system = Cpi2Harness::new(cluster, Cpi2Config::default());
+        system.run_for(SimDuration::from_mins(3));
+        assert!(system.telemetry().is_enabled());
+        let text = system.telemetry().prometheus_text().unwrap();
+        // Every layer reported into the one registry.
+        for metric in [
+            "cpi_sim_ticks_total",
+            "cpi_sampler_windows_total",
+            "cpi_agent_samples_total",
+            "cpi_collector_messages_total",
+            "cpi_aggregator_samples_total",
+        ] {
+            assert!(text.contains(metric), "missing {metric} in:\n{text}");
+        }
+        assert_eq!(system.collector_dropped(), 0);
     }
 }

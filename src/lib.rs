@@ -38,4 +38,5 @@ pub use cpi2_perf as perf;
 pub use cpi2_pipeline as pipeline;
 pub use cpi2_sim as sim;
 pub use cpi2_stats as stats;
+pub use cpi2_telemetry as telemetry;
 pub use cpi2_workloads as workloads;

@@ -2,10 +2,15 @@
 //! worker pool has to produce bit-identical results to the serial path —
 //! the same simulator trace tick for tick, and the same published CPI
 //! specs out of the aggregation pipeline.
+//!
+//! Both runs execute with telemetry *enabled*: the metrics layer is
+//! observational only, and these tests pin that down — instrumented runs
+//! must stay bit-identical across worker counts.
 
 use cpi2::core::{Cpi2Config, CpiSpec};
 use cpi2::harness::Cpi2Harness;
 use cpi2::sim::{Cluster, ClusterConfig, Platform, SimDuration, TraceEntry};
+use cpi2::telemetry::Telemetry;
 use cpi2::workloads;
 
 const MACHINES: u32 = 16;
@@ -16,6 +21,7 @@ fn build_system(parallelism: usize) -> Cpi2Harness {
         seed: SEED,
         overcommit: 2.0,
         parallelism,
+        telemetry: Telemetry::enabled(),
         ..ClusterConfig::default()
     });
     cluster.add_machines(&Platform::westmere(), MACHINES);
