@@ -18,16 +18,16 @@ use crate::spec::CpiSpec;
 use cpi2_stats::timeseries::TimeSeries;
 use cpi2_telemetry::{Counter, Histo, Telemetry};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// Serializes `HashMap`s with non-string keys as vectors of pairs
-/// (JSON requires string map keys).
+/// Serializes `BTreeMap`s with non-string keys as vectors of pairs
+/// (JSON requires string map keys). Ordered maps also make checkpoint
+/// blobs byte-stable across runs.
 mod pairs {
     use serde::{Deserialize, Error, Serialize, Value};
-    use std::collections::HashMap;
-    use std::hash::Hash;
+    use std::collections::BTreeMap;
 
-    pub fn to_value<K, V>(map: &HashMap<K, V>) -> Value
+    pub fn to_value<K, V>(map: &BTreeMap<K, V>) -> Value
     where
         K: Serialize,
         V: Serialize,
@@ -39,9 +39,9 @@ mod pairs {
         )
     }
 
-    pub fn from_value<K, V>(v: &Value) -> Result<HashMap<K, V>, Error>
+    pub fn from_value<K, V>(v: &Value) -> Result<BTreeMap<K, V>, Error>
     where
-        K: Deserialize + Eq + Hash,
+        K: Deserialize + Ord,
         V: Deserialize,
     {
         let items = v
@@ -49,12 +49,9 @@ mod pairs {
             .ok_or_else(|| Error::custom("expected array of pairs"))?;
         items
             .iter()
-            .map(|item| {
-                let kv = item
-                    .as_array()
-                    .filter(|kv| kv.len() == 2)
-                    .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
-                Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+            .map(|item| match item.as_array().map(Vec::as_slice) {
+                Some([k, v]) => Ok((K::from_value(k)?, V::from_value(v)?)),
+                _ => Err(Error::custom("expected [key, value] pair")),
             })
             .collect()
     }
@@ -128,17 +125,19 @@ struct TaskState {
 pub struct Agent {
     config: Cpi2Config,
     #[serde(with = "pairs")]
-    specs: HashMap<JobKey, CpiSpec>,
+    specs: BTreeMap<JobKey, CpiSpec>,
+    // BTreeMap: the correlation pass iterates co-resident tasks, and the
+    // suspect ranking it feeds must not depend on hash order.
     #[serde(with = "pairs")]
-    tasks: HashMap<TaskHandle, TaskState>,
+    tasks: BTreeMap<TaskHandle, TaskState>,
     /// µs timestamp of the last correlation analysis (rate limiting, §4.2).
     last_analysis: i64,
     /// Caps the agent has issued: target → expiry µs.
     #[serde(with = "pairs")]
-    active_caps: HashMap<TaskHandle, i64>,
+    active_caps: BTreeMap<TaskHandle, i64>,
     /// Last incident report per victim (deduplication cooldown).
     #[serde(with = "pairs")]
-    last_incident: HashMap<TaskHandle, i64>,
+    last_incident: BTreeMap<TaskHandle, i64>,
     incidents: Vec<Incident>,
     /// Telemetry handles are runtime wiring, not state: checkpoints store
     /// `null` and restores come back disabled (re-attach after restore).
@@ -153,14 +152,16 @@ impl Agent {
     ///
     /// Panics if the configuration fails validation.
     pub fn new(config: Cpi2Config) -> Self {
+        // lint: allow(panic) — documented constructor contract: `new`
+        // panics on an invalid config by design (see doc comment).
         config.validate().expect("valid CPI2 configuration");
         Agent {
             config,
-            specs: HashMap::new(),
-            tasks: HashMap::new(),
+            specs: BTreeMap::new(),
+            tasks: BTreeMap::new(),
             last_analysis: i64::MIN / 2,
-            active_caps: HashMap::new(),
-            last_incident: HashMap::new(),
+            active_caps: BTreeMap::new(),
+            last_incident: BTreeMap::new(),
             incidents: Vec::new(),
             metrics: AgentMetrics::default(),
         }

@@ -64,8 +64,7 @@ pub fn rank_suspects(
         .collect();
     out.sort_by(|a, b| {
         b.correlation
-            .partial_cmp(&a.correlation)
-            .expect("finite correlations")
+            .total_cmp(&a.correlation)
             .then(a.task.cmp(&b.task))
     });
     out

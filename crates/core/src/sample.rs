@@ -24,7 +24,7 @@ impl std::fmt::Display for TaskHandle {
 
 /// Aggregation key: job × hardware platform (§3.1: "CPI² does separate CPI
 /// calculations for each platform a job runs on").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobKey {
     /// Job name.
     pub job: String,

@@ -10,7 +10,7 @@ use crate::sample::{CpiSample, JobKey, TaskHandle};
 use crate::spec::CpiSpec;
 use cpi2_stats::ewma::AgeWeighted;
 use cpi2_stats::summary::RunningStats;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Accumulates one aggregation period ("day") of samples for one key.
 #[derive(Debug, Default)]
@@ -65,8 +65,10 @@ struct KeyHistory {
 #[derive(Debug)]
 pub struct SpecBuilder {
     config: Cpi2Config,
-    current: HashMap<JobKey, PeriodAccum>,
-    history: HashMap<JobKey, KeyHistory>,
+    // BTreeMap: period rollover and spec extraction iterate these maps,
+    // and spec ordering must be stable across processes and hash seeds.
+    current: BTreeMap<JobKey, PeriodAccum>,
+    history: BTreeMap<JobKey, KeyHistory>,
 }
 
 impl SpecBuilder {
@@ -74,8 +76,8 @@ impl SpecBuilder {
     pub fn new(config: Cpi2Config) -> Self {
         SpecBuilder {
             config,
-            current: HashMap::new(),
-            history: HashMap::new(),
+            current: BTreeMap::new(),
+            history: BTreeMap::new(),
         }
     }
 
@@ -106,7 +108,7 @@ impl SpecBuilder {
     /// `min_tasks` distinct tasks this period and at least
     /// `min_samples_per_task × min_tasks` samples overall.
     pub fn roll_period(&mut self) -> Vec<CpiSpec> {
-        for (key, acc) in self.current.drain() {
+        for (key, acc) in std::mem::take(&mut self.current) {
             let h = self.history.entry(key).or_default();
             if acc.cpi.count() > 0 {
                 h.cpi.fold_day(

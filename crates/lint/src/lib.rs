@@ -1,0 +1,256 @@
+//! `cpi2-lint`: workspace invariant linter.
+//!
+//! Statically enforces the properties the test suite otherwise only
+//! checks dynamically:
+//!
+//! - **D — determinism** (`cpi2-sim`, `cpi2-core`, `cpi2-pipeline`,
+//!   `cpi2-stats`): no wall-clock reads outside the telemetry-gated
+//!   allowlist, no `thread::spawn` outside the worker pool, no
+//!   iteration over hash-ordered `HashMap`/`HashSet`, no
+//!   `env::var`/random calls feeding committed sim state.
+//! - **S — panic-freedom** (`cpi2-core`, `cpi2-perf`): no `.unwrap()`,
+//!   `.expect(`, `panic!`-family macros or `[…]` indexing in hot paths.
+//! - **L — lock discipline**: no lock acquisition while a prior guard
+//!   is live in the same function scope.
+//! - **T — telemetry hygiene**: metric names must be string literals.
+//!
+//! Findings are waivable inline with
+//! `// lint: allow(<rule>) — <reason>`; a waiver without a reason is
+//! itself a finding.
+
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+pub use rules::{check_file, Finding, Rule, RuleSet};
+
+use model::FileModel;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints one file's source text under `rules`; `path` is used only for
+/// reporting.
+pub fn lint_source(path: &str, src: &str, rules: &RuleSet) -> Vec<Finding> {
+    let model = FileModel::build(src);
+    check_file(path, &model, rules)
+}
+
+/// The rule set for a workspace-relative path, or `None` if the file is
+/// out of scope (vendored code, the linter itself, generated files).
+///
+/// This table is the policy: which invariants each crate must uphold.
+pub fn ruleset_for(rel: &str) -> Option<RuleSet> {
+    let rel = rel.replace('\\', "/");
+    if rel.starts_with("vendor/") || rel.starts_with("crates/lint/") {
+        return None;
+    }
+    let mut rs = RuleSet::default();
+    let determinism = |rs: &mut RuleSet| {
+        rs.clock = true;
+        rs.spawn = true;
+        rs.map_iter = true;
+        rs.env_random = true;
+    };
+    if rel.starts_with("crates/sim/") {
+        // The fleet simulator commits state that must be bit-identical
+        // across parallelism levels.
+        determinism(&mut rs);
+        rs.locks = true;
+        rs.metric_name = true;
+        if rel.ends_with("/cluster.rs") || rel.ends_with("/pool.rs") {
+            // Telemetry-gated phase timing: wall time is read only to be
+            // *reported*, never committed to sim state.
+            rs.clock_line_allow = vec!["measure.then(Instant::now)", "use std::time::Instant"];
+        }
+        if rel.ends_with("/pool.rs") {
+            // The worker pool is the one sanctioned spawn site.
+            rs.spawn_allowed = true;
+        }
+    } else if rel.starts_with("crates/core/") {
+        // The agent runs on every machine of the cluster: deterministic
+        // *and* panic-free.
+        determinism(&mut rs);
+        rs.panics = true;
+        rs.slice_index = true;
+        rs.locks = true;
+        rs.metric_name = true;
+    } else if rel.starts_with("crates/pipeline/") {
+        determinism(&mut rs);
+        rs.locks = true;
+        rs.metric_name = true;
+    } else if rel.starts_with("crates/stats/") {
+        determinism(&mut rs);
+    } else if rel.starts_with("crates/perf/") {
+        // Sampler hot path must not panic. Lock discipline is off: the
+        // perf counter API's `.read()` is not a lock.
+        rs.panics = true;
+        rs.slice_index = true;
+        rs.metric_name = true;
+    } else if rel.starts_with("crates/telemetry/") {
+        // Telemetry legitimately reads clocks and forwards dynamic names
+        // internally; only lock discipline applies.
+        rs.locks = true;
+    } else if rel.starts_with("crates/workloads/")
+        || rel.starts_with("crates/bench/")
+        || rel.starts_with("src/")
+    {
+        rs.metric_name = true;
+    } else {
+        return None;
+    }
+    Some(rs)
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every in-scope source file under the workspace `root`.
+///
+/// Only `src/` trees are scanned (crate `tests/` and `benches/` dirs are
+/// integration-test code and out of scope by design).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for c in crate_dirs {
+            let src = c.join("src");
+            if src.is_dir() {
+                walk(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, &mut files)?;
+    }
+
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(rules) = ruleset_for(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &src, &rules));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    Ok(findings)
+}
+
+/// Renders findings one per line as `path:line: rule: message`.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    for f in findings {
+        s.push_str(&f.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders findings as a JSON array (hand-rolled: the linter takes no
+/// dependencies, vendored or otherwise).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"path\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&f.path),
+            f.line,
+            json_str(f.rule.name()),
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_table_covers_the_workspace() {
+        let sim = ruleset_for("crates/sim/src/scheduler.rs").expect("sim in scope");
+        assert!(sim.map_iter && sim.clock && !sim.panics);
+        let core = ruleset_for("crates/core/src/agent.rs").expect("core in scope");
+        assert!(core.map_iter && core.panics && core.locks);
+        let perf = ruleset_for("crates/perf/src/sampler.rs").expect("perf in scope");
+        assert!(perf.panics && !perf.locks && !perf.map_iter);
+        assert!(ruleset_for("vendor/serde/src/lib.rs").is_none());
+        assert!(ruleset_for("crates/lint/src/lexer.rs").is_none());
+        let tel = ruleset_for("crates/telemetry/src/registry.rs").expect("telemetry in scope");
+        assert!(tel.locks && !tel.clock);
+    }
+
+    #[test]
+    fn pool_rs_gets_spawn_and_clock_allowances() {
+        let pool = ruleset_for("crates/sim/src/pool.rs").expect("pool in scope");
+        assert!(pool.spawn_allowed);
+        assert!(!pool.clock_line_allow.is_empty());
+        let machine = ruleset_for("crates/sim/src/machine.rs").expect("machine in scope");
+        assert!(!machine.spawn_allowed);
+        assert!(machine.clock_line_allow.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let f = Finding {
+            path: "a.rs".into(),
+            line: 3,
+            rule: Rule::Panic,
+            message: "say \"hi\"\\\n".into(),
+        };
+        let j = render_json(std::slice::from_ref(&f));
+        assert!(j.contains(r#""message":"say \"hi\"\\\n""#));
+        assert!(render_json(&[]).trim() == "[]");
+    }
+}

@@ -1,0 +1,86 @@
+//! CLI entry point: `cargo run -p cpi2-lint -- --workspace [--format json]`.
+
+use cpi2_lint::{lint_workspace, render_json, render_text};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cpi2-lint --workspace [--format text|json] [--root <dir>]\n\
+         \n\
+         Lints the cpi2 workspace for determinism, panic-freedom, lock\n\
+         discipline and telemetry hygiene. Exits non-zero when any\n\
+         unwaived finding remains."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some(f @ ("text" | "json")) => format = f.to_string(),
+                    _ => return usage(),
+                }
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => return usage(),
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    if !workspace {
+        return usage();
+    }
+
+    // Default root: the workspace containing this crate
+    // (crates/lint/../..), so the binary works from any cwd under
+    // `cargo run -p cpi2-lint`.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cpi2-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match format.as_str() {
+        "json" => print!("{}", render_json(&findings)),
+        _ => {
+            print!("{}", render_text(&findings));
+            if findings.is_empty() {
+                eprintln!("cpi2-lint: workspace clean");
+            } else {
+                eprintln!("cpi2-lint: {} finding(s)", findings.len());
+            }
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

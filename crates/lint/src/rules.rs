@@ -1,0 +1,644 @@
+//! The invariant rules: determinism (D), panic-freedom (S), lock
+//! discipline (L) and telemetry hygiene (T), run over a [`FileModel`].
+
+use crate::model::FileModel;
+use crate::lexer::{Tok, TokKind};
+use std::fmt;
+
+/// A lint rule identifier — also the name used in waiver comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D: wall-clock reads (`Instant::now`, `SystemTime`, `std::time`).
+    Clock,
+    /// D: `std::thread::spawn` outside the worker pool.
+    ThreadSpawn,
+    /// D: iteration over `HashMap`/`HashSet` (order-unstable).
+    MapIter,
+    /// D: `env::var` / `random`-named calls in committed sim state.
+    EnvRandom,
+    /// S: `.unwrap()` / `.expect(` / `panic!` / `unreachable!` in hot
+    /// paths.
+    Panic,
+    /// S: `[expr]` slice indexing in hot paths.
+    SliceIndex,
+    /// L: taking a lock while a prior guard is live in the same scope.
+    NestedLock,
+    /// T: non-literal metric name passed to the telemetry registry.
+    MetricName,
+    /// Waiver-syntax problems (missing reason, unknown rule).
+    Waiver,
+}
+
+impl Rule {
+    /// The waiver / output name of the rule.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Clock => "clock",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::MapIter => "map-iter",
+            Rule::EnvRandom => "env-random",
+            Rule::Panic => "panic",
+            Rule::SliceIndex => "slice-index",
+            Rule::NestedLock => "nested-lock",
+            Rule::MetricName => "metric-name",
+            Rule::Waiver => "waiver",
+        }
+    }
+
+    /// All rule names (for waiver validation).
+    pub fn known_names() -> &'static [&'static str] {
+        &[
+            "clock",
+            "thread-spawn",
+            "map-iter",
+            "env-random",
+            "panic",
+            "slice-index",
+            "nested-lock",
+            "metric-name",
+        ]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, keyed `path:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules run for one file, plus file-specific allowances.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    /// D: clock reads.
+    pub clock: bool,
+    /// D: thread spawns.
+    pub spawn: bool,
+    /// D: map iteration.
+    pub map_iter: bool,
+    /// D: env/random.
+    pub env_random: bool,
+    /// S: panic sites.
+    pub panics: bool,
+    /// S: slice indexing.
+    pub slice_index: bool,
+    /// L: nested locks.
+    pub locks: bool,
+    /// T: metric-name literals.
+    pub metric_name: bool,
+    /// Clock reads are allowed on lines containing one of these
+    /// substrings (the telemetry-gated `measure.then(Instant::now)`
+    /// sites).
+    pub clock_line_allow: Vec<&'static str>,
+    /// `thread::spawn` is allowed anywhere in this file (the worker
+    /// pool).
+    pub spawn_allowed: bool,
+}
+
+impl RuleSet {
+    /// Every rule on, no allowances — what fixtures run under.
+    pub fn all() -> RuleSet {
+        RuleSet {
+            clock: true,
+            spawn: true,
+            map_iter: true,
+            env_random: true,
+            panics: true,
+            slice_index: true,
+            locks: true,
+            metric_name: true,
+            clock_line_allow: Vec::new(),
+            spawn_allowed: false,
+        }
+    }
+}
+
+/// Runs every enabled rule over one file and returns unwaived findings
+/// (plus waiver-syntax findings).
+pub fn check_file(path: &str, model: &FileModel, rules: &RuleSet) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    if rules.clock {
+        clock_rule(model, rules, &mut raw);
+    }
+    if rules.spawn && !rules.spawn_allowed {
+        spawn_rule(model, &mut raw);
+    }
+    if rules.map_iter {
+        map_iter_rule(model, &mut raw);
+    }
+    if rules.env_random {
+        env_random_rule(model, &mut raw);
+    }
+    if rules.panics {
+        panic_rule(model, &mut raw);
+    }
+    if rules.slice_index {
+        slice_index_rule(model, &mut raw);
+    }
+    if rules.locks {
+        lock_rule(model, &mut raw);
+    }
+    if rules.metric_name {
+        metric_rule(model, &mut raw);
+    }
+
+    let mut out = Vec::new();
+    for (line, rule, message) in raw {
+        match model.waiver_for(line, rule.name()) {
+            Some(w) if w.has_reason => {}
+            Some(w) => out.push(Finding {
+                path: path.to_string(),
+                line: w.line,
+                rule: Rule::Waiver,
+                message: format!(
+                    "waiver for `{}` has no reason; write `// lint: allow({}) — <reason>`",
+                    rule.name(),
+                    rule.name()
+                ),
+            }),
+            None => out.push(Finding {
+                path: path.to_string(),
+                line,
+                rule,
+                message,
+            }),
+        }
+    }
+    // Malformed waivers are reported even when nothing matched them:
+    // an unknown rule name is a typo that silently waives nothing.
+    for ws in model.waivers.values() {
+        for w in ws {
+            if !Rule::known_names().contains(&w.rule.as_str()) {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: w.line,
+                    rule: Rule::Waiver,
+                    message: format!("waiver names unknown rule `{}`", w.rule),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.dedup();
+    out
+}
+
+type Raw = Vec<(usize, Rule, String)>;
+
+/// True if tokens at `i..` match the `::`-separated ident path `parts`
+/// (e.g. `["Instant", "now"]` matches `Instant :: now`).
+fn path_at(toks: &[Tok], i: usize, parts: &[&str]) -> bool {
+    let mut j = i;
+    for (n, part) in parts.iter().enumerate() {
+        if n > 0 {
+            if !(toks.get(j).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            j += 2;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident(part)) {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+fn clock_rule(model: &FileModel, rules: &RuleSet, out: &mut Raw) {
+    let toks = &model.toks;
+    for i in 0..toks.len() {
+        if model.in_test(i) {
+            continue;
+        }
+        let hit = if path_at(toks, i, &["Instant", "now"]) {
+            Some("`Instant::now()` wall-clock read")
+        } else if toks[i].is_ident("SystemTime") {
+            Some("`SystemTime` wall-clock read")
+        } else if path_at(toks, i, &["std", "time"]) {
+            Some("`std::time` clock type in a determinism-critical crate")
+        } else {
+            None
+        };
+        let Some(msg) = hit else { continue };
+        let line = toks[i].line;
+        let text = model.line_text(line);
+        if rules.clock_line_allow.iter().any(|pat| text.contains(pat)) {
+            continue;
+        }
+        // `use std::time::Instant;` on an allowlisted file is implied by
+        // its allowed call sites; elsewhere the import itself is banned.
+        out.push((line, Rule::Clock, msg.to_string()));
+    }
+}
+
+fn spawn_rule(model: &FileModel, out: &mut Raw) {
+    let toks = &model.toks;
+    for i in 0..toks.len() {
+        if model.in_test(i) {
+            continue;
+        }
+        if path_at(toks, i, &["thread", "spawn"]) {
+            out.push((
+                toks[i].line,
+                Rule::ThreadSpawn,
+                "`thread::spawn` outside the worker pool breaks the \
+                 deterministic sharding contract"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn map_iter_rule(model: &FileModel, out: &mut Raw) {
+    const ITER_METHODS: [&str; 5] = ["iter", "iter_mut", "keys", "values", "values_mut"];
+    let toks = &model.toks;
+    for i in 0..toks.len() {
+        if model.in_test(i) {
+            continue;
+        }
+        // `name . iter ( )` where `name` is a known map binding.
+        if i >= 2
+            && toks[i].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[i].text.as_str())
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].kind == TokKind::Ident
+            && model.map_names.contains(&toks[i - 2].text)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push((
+                toks[i].line,
+                Rule::MapIter,
+                format!(
+                    "iteration over hash-ordered `{}` (`.{}()`): order is \
+                     not deterministic — use BTreeMap/BTreeSet or sort",
+                    toks[i - 2].text, toks[i].text
+                ),
+            ));
+        }
+        // `for … in [&][mut] path.to.name {`
+        if toks[i].is_ident("for") {
+            if let Some((line, name)) = for_loop_over_map(model, i) {
+                out.push((
+                    line,
+                    Rule::MapIter,
+                    format!(
+                        "`for … in &{name}` iterates a hash-ordered map: \
+                         order is not deterministic — use BTreeMap/BTreeSet \
+                         or sort"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// If the `for` loop starting at token `i` iterates `&map` (a bare
+/// possibly-dotted path ending in a known map name), returns (line, name).
+fn for_loop_over_map(model: &FileModel, i: usize) -> Option<(usize, String)> {
+    let toks = &model.toks;
+    // Find `in` before the loop body `{`.
+    let mut j = i + 1;
+    let mut in_idx = None;
+    while j < toks.len() && !toks[j].is_punct('{') {
+        if toks[j].is_ident("in") {
+            in_idx = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    let mut k = in_idx? + 1;
+    while k < toks.len() && (toks[k].is_punct('&') || toks[k].is_ident("mut")) {
+        k += 1;
+    }
+    // Accept only a plain path `a.b.c` up to the `{`: any call or other
+    // punctuation means the iterated value is not the raw map.
+    let mut last_ident: Option<&Tok> = None;
+    while k < toks.len() && !toks[k].is_punct('{') {
+        match toks[k].kind {
+            TokKind::Ident => last_ident = Some(&toks[k]),
+            TokKind::Punct if toks[k].is_punct('.') => {}
+            _ => return None,
+        }
+        k += 1;
+    }
+    let last = last_ident?;
+    if model.map_names.contains(&last.text) {
+        Some((last.line, last.text.clone()))
+    } else {
+        None
+    }
+}
+
+fn env_random_rule(model: &FileModel, out: &mut Raw) {
+    let toks = &model.toks;
+    for i in 0..toks.len() {
+        if model.in_test(i) {
+            continue;
+        }
+        if path_at(toks, i, &["env", "var"]) {
+            out.push((
+                toks[i].line,
+                Rule::EnvRandom,
+                "`env::var` makes committed sim state depend on the \
+                 environment"
+                    .to_string(),
+            ));
+        } else if toks[i].kind == TokKind::Ident
+            && (toks[i].text.to_ascii_lowercase().contains("random")
+                || toks[i].text == "thread_rng")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push((
+                toks[i].line,
+                Rule::EnvRandom,
+                format!(
+                    "`{}` call: nondeterministic randomness in committed \
+                     sim state (seed a `SimRng` instead)",
+                    toks[i].text
+                ),
+            ));
+        }
+    }
+}
+
+fn panic_rule(model: &FileModel, out: &mut Raw) {
+    let toks = &model.toks;
+    for i in 0..toks.len() {
+        if model.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()` exactly (not `.unwrap_or…`).
+        if i >= 1
+            && t.is_ident("unwrap")
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct(')'))
+        {
+            out.push((
+                t.line,
+                Rule::Panic,
+                "`.unwrap()` in a hot path: propagate the error or handle \
+                 the None case"
+                    .to_string(),
+            ));
+        }
+        if i >= 1
+            && t.is_ident("expect")
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            out.push((
+                t.line,
+                Rule::Panic,
+                "`.expect(…)` in a hot path: propagate the error or handle \
+                 the None case"
+                    .to_string(),
+            ));
+        }
+        for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+            if t.is_ident(mac) && toks.get(i + 1).is_some_and(|p| p.is_punct('!')) {
+                out.push((
+                    t.line,
+                    Rule::Panic,
+                    format!("`{mac}!` in a hot path: return an error instead"),
+                ));
+            }
+        }
+    }
+}
+
+fn slice_index_rule(model: &FileModel, out: &mut Raw) {
+    let toks = &model.toks;
+    for i in 1..toks.len() {
+        if model.in_test(i) {
+            continue;
+        }
+        if !toks[i].is_punct('[') {
+            continue;
+        }
+        // Indexing only: `expr[…]` — the previous token ends an
+        // expression. `#[attr]`, `&[…]`, `= […]`, `vec![…]`, `: [T; N]`
+        // are not indexing.
+        let prev = &toks[i - 1];
+        let is_index = prev.kind == TokKind::Ident && !is_keyword(&prev.text)
+            || prev.is_punct(')')
+            || prev.is_punct(']');
+        if !is_index {
+            continue;
+        }
+        // `[..]` (full-range) cannot panic.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(']'))
+        {
+            continue;
+        }
+        out.push((
+            toks[i].line,
+            Rule::SliceIndex,
+            "`[…]` indexing can panic: use `.get(…)` or prove the bound \
+             and waive"
+                .to_string(),
+        ));
+    }
+}
+
+/// Keywords that may directly precede `[` without it being indexing
+/// (`return [a, b]`, `break [x]`, `in [1, 2]`…).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "move" | "as"
+    )
+}
+
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// True if tokens at `i` form `. lock ( )` (no arguments) and `i` is the
+/// method name.
+fn lock_call_at(toks: &[Tok], i: usize) -> bool {
+    i >= 1
+        && toks[i].kind == TokKind::Ident
+        && LOCK_METHODS.contains(&toks[i].text.as_str())
+        && toks[i - 1].is_punct('.')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+}
+
+fn lock_rule(model: &FileModel, out: &mut Raw) {
+    let toks = &model.toks;
+    // Find each fn body and scan it with a live-guard stack.
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && !model.in_test(i) {
+            if let Some((body_start, body_end)) = fn_body(toks, i) {
+                scan_fn_for_locks(model, body_start, body_end, out);
+                i = body_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Token range of the `{…}` body of the fn whose `fn` keyword is at `i`
+/// (exclusive of the braces), or `None` for body-less declarations.
+fn fn_body(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
+    let mut j = i + 1;
+    // The body `{` is the first `{` outside the parameter parens /
+    // generic brackets; a `;` first means a trait method declaration.
+    let mut parens = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('(') {
+            parens += 1;
+        } else if toks[j].is_punct(')') {
+            parens -= 1;
+        } else if parens == 0 && toks[j].is_punct(';') {
+            return None;
+        } else if parens == 0 && toks[j].is_punct('{') {
+            let mut braces = 1usize;
+            let start = j + 1;
+            let mut k = start;
+            while k < toks.len() && braces > 0 {
+                if toks[k].is_punct('{') {
+                    braces += 1;
+                } else if toks[k].is_punct('}') {
+                    braces -= 1;
+                }
+                k += 1;
+            }
+            return Some((start, k.saturating_sub(1)));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Scans one fn body: records guards from `let g = ….lock();` statements
+/// and flags any later lock call while a guard is live at an enclosing
+/// depth. `drop(g)` and scope exit release guards.
+fn scan_fn_for_locks(model: &FileModel, start: usize, end: usize, out: &mut Raw) {
+    let toks = &model.toks;
+    let mut guards: Vec<(String, usize)> = Vec::new(); // (name, depth)
+    let mut i = start;
+    while i < end {
+        let d = model.depth[i];
+        guards.retain(|&(_, gd)| gd <= d);
+        if toks[i].is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            if let Some(name) = toks.get(i + 2).map(|t| t.text.clone()) {
+                guards.retain(|(g, _)| *g != name);
+            }
+        }
+        if lock_call_at(toks, i) {
+            if let Some((holder, _)) = guards.first() {
+                out.push((
+                    toks[i].line,
+                    Rule::NestedLock,
+                    format!(
+                        "`.{}()` while guard `{holder}` is still live: \
+                         nested locking risks deadlock under shard \
+                         contention",
+                        toks[i].text
+                    ),
+                ));
+            }
+            // Does this call create a *held* guard? Only when the lock
+            // call ends a `let <name> = …;` statement (possibly through
+            // `?`): a lock temporary inside a larger expression dies at
+            // the statement's end.
+            let mut j = i + 3; // past `( )`
+            while j < end && toks[j].is_punct('?') {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct(';')) {
+                if let Some(name) = let_binding_name(toks, i, start) {
+                    if name != "_" {
+                        guards.push((name, d));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The `let [mut] <name>` binding of the statement containing token `i`,
+/// scanning back at most to `floor`.
+fn let_binding_name(toks: &[Tok], i: usize, floor: usize) -> Option<String> {
+    let mut k = i;
+    while k > floor {
+        k -= 1;
+        if toks[k].is_punct(';') || toks[k].is_punct('{') || toks[k].is_punct('}') {
+            return None;
+        }
+        if toks[k].is_ident("let") {
+            let mut n = k + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            return toks.get(n).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+        }
+    }
+    None
+}
+
+const METRIC_METHODS: [&str; 4] = ["counter", "gauge", "histogram", "event"];
+
+fn metric_rule(model: &FileModel, out: &mut Raw) {
+    let toks = &model.toks;
+    for i in 1..toks.len() {
+        if model.in_test(i) {
+            continue;
+        }
+        if toks[i].kind == TokKind::Ident
+            && METRIC_METHODS.contains(&toks[i].text.as_str())
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            match toks.get(i + 2) {
+                // Literal name: fine. Empty call (`registry.counter()`)
+                // is someone else's API: skip.
+                Some(t) if t.kind == TokKind::Str || t.is_punct(')') => {}
+                Some(t) => out.push((
+                    t.line,
+                    Rule::MetricName,
+                    format!(
+                        "metric name passed to `.{}(…)` must be a string \
+                         literal (dynamic names create unbounded \
+                         cardinality)",
+                        toks[i].text
+                    ),
+                )),
+                None => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Fixture-based self-tests: for every rule, a known-bad snippet must
+//! fire and a known-good snippet must come back clean — so a regression
+//! in the lexer or a rule pass is caught here, not by a silently-green
+//! workspace gate.
+
+use cpi2_lint::{lint_source, Finding, Rule, RuleSet};
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = format!(
+        "{}/tests/fixtures/{}.rs",
+        env!("CARGO_MANIFEST_DIR"),
+        name
+    );
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    lint_source(&format!("{name}.rs"), &src, &RuleSet::all())
+}
+
+/// Asserts the bad fixture fires `rule` (at least `min` times) and the
+/// clean fixture produces no findings at all under the full rule set.
+fn assert_pair(rule: Rule, min: usize) {
+    let slug = rule.name().replace('-', "_");
+    let bad = lint_fixture(&format!("{slug}_bad"));
+    let hits = bad.iter().filter(|f| f.rule == rule).count();
+    assert!(
+        hits >= min,
+        "{slug}_bad.rs: expected ≥{min} `{rule}` finding(s), got {hits}:\n{bad:#?}"
+    );
+    for f in &bad {
+        assert!(f.line > 0, "finding must carry a line: {f:?}");
+    }
+    let clean = lint_fixture(&format!("{slug}_clean"));
+    assert!(
+        clean.is_empty(),
+        "{slug}_clean.rs must be clean, got:\n{clean:#?}"
+    );
+}
+
+#[test]
+fn clock_fixture_pair() {
+    assert_pair(Rule::Clock, 2);
+}
+
+#[test]
+fn thread_spawn_fixture_pair() {
+    assert_pair(Rule::ThreadSpawn, 1);
+}
+
+#[test]
+fn map_iter_fixture_pair() {
+    assert_pair(Rule::MapIter, 2);
+}
+
+#[test]
+fn env_random_fixture_pair() {
+    assert_pair(Rule::EnvRandom, 2);
+}
+
+#[test]
+fn panic_fixture_pair() {
+    assert_pair(Rule::Panic, 4);
+}
+
+#[test]
+fn slice_index_fixture_pair() {
+    assert_pair(Rule::SliceIndex, 2);
+}
+
+#[test]
+fn nested_lock_fixture_pair() {
+    assert_pair(Rule::NestedLock, 1);
+}
+
+#[test]
+fn metric_name_fixture_pair() {
+    assert_pair(Rule::MetricName, 1);
+}
+
+#[test]
+fn waiver_without_reason_still_fails() {
+    let findings = lint_fixture("waiver_noreason");
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::Waiver),
+        "reasonless waiver must be reported as a `waiver` finding:\n{findings:#?}"
+    );
+    // The reasonless waiver must not silently suppress nothing AND pass:
+    // the file as a whole still fails.
+    assert!(!findings.is_empty());
+}
+
+#[test]
+fn findings_render_with_path_line_rule() {
+    let findings = lint_fixture("panic_bad");
+    let first = findings.first().expect("panic_bad fires");
+    let line = first.to_string();
+    assert!(
+        line.starts_with("panic_bad.rs:") && line.contains(": panic: "),
+        "diagnostic format `path:line: rule: message`, got {line:?}"
+    );
+}

@@ -1,0 +1,8 @@
+//! Fixture: unwaived wall-clock reads must fire the `clock` rule.
+use std::time::{Instant, SystemTime};
+
+fn tick() -> u64 {
+    let started = Instant::now();
+    let _wall = SystemTime::now();
+    started.elapsed().as_micros() as u64
+}

@@ -1,0 +1,7 @@
+//! Fixture: environment reads and ad-hoc randomness must fire `env-random`.
+fn seed() -> u64 {
+    if let Ok(s) = std::env::var("CPI2_SEED") {
+        return s.parse().unwrap_or_default();
+    }
+    random_u64()
+}

@@ -1,0 +1,4 @@
+//! Fixture: seeded SimRng draws are fine.
+fn jitter(rng: &mut SimRng) -> u64 {
+    rng.below(100)
+}

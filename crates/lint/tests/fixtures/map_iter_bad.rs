@@ -1,0 +1,19 @@
+//! Fixture: iterating a hash-ordered map must fire `map-iter`.
+use std::collections::{HashMap, HashSet};
+
+struct Books {
+    jobs: HashMap<u64, u32>,
+}
+
+fn total(b: &Books) -> u32 {
+    let mut sum = 0;
+    for (_id, n) in &b.jobs {
+        sum += n;
+    }
+    sum
+}
+
+fn names(seen: HashSet<String>) -> Vec<String> {
+    let seen = seen;
+    seen.iter().cloned().collect()
+}

@@ -1,0 +1,17 @@
+//! Fixture: ordered maps, waived iteration, and non-iterating use are fine.
+use std::collections::{BTreeMap, HashMap};
+
+struct Books {
+    jobs: BTreeMap<u64, u32>,
+    index: HashMap<u64, u32>,
+}
+
+fn total(b: &Books) -> u32 {
+    let mut sum = 0;
+    for (_id, n) in &b.jobs {
+        sum += n;
+    }
+    sum += b.index.get(&0).copied().unwrap_or_default();
+    // lint: allow(map-iter) — summation is order-independent.
+    sum + b.index.values().sum::<u32>()
+}

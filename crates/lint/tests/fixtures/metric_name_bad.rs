@@ -1,0 +1,4 @@
+//! Fixture: dynamic metric names must fire `metric-name`.
+fn wire(telemetry: &Telemetry, shard: usize) -> Counter {
+    telemetry.counter(format!("cpi_shard_{shard}_total"), &[])
+}

@@ -1,0 +1,4 @@
+//! Fixture: literal metric names (with dynamic label values) are fine.
+fn wire(telemetry: &Telemetry, shard: &str) -> Counter {
+    telemetry.counter("cpi_shard_samples_total", &[("shard", shard)])
+}

@@ -1,0 +1,7 @@
+//! Fixture: acquiring a lock while a guard is live must fire `nested-lock`.
+fn publish(store: &Store) {
+    let guard = store.publish_lock.lock();
+    let cur = store.current.read();
+    drop(cur);
+    drop(guard);
+}

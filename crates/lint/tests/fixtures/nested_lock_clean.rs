@@ -1,0 +1,11 @@
+//! Fixture: sequential guards, dropped guards and scoped guards are fine.
+fn publish(store: &Store) {
+    {
+        let staged = store.staging.lock();
+        staged.prepare();
+    }
+    let guard = store.publish_lock.lock();
+    drop(guard);
+    let cur = store.current.read();
+    cur.inspect();
+}

@@ -1,0 +1,12 @@
+//! Fixture: panic sites in non-test code must fire `panic`.
+fn hot(map: &Map, key: &Key) -> u64 {
+    let a = map.get(key).unwrap();
+    let b = map.get(key).expect("key present");
+    if a != b {
+        panic!("inconsistent map");
+    }
+    match a {
+        0 => b,
+        _ => unreachable!("a is always zero"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: propagated errors, defaults, waivers and test unwraps are fine.
+fn hot(map: &Map, key: &Key) -> Result<u64, Error> {
+    let a = map.get(key).ok_or(Error::Missing)?;
+    let b = map.get(key).copied().unwrap_or_default();
+    // lint: allow(panic) — documented constructor contract.
+    let c = checked(a).expect("validated by caller");
+    Ok(a + b + c)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

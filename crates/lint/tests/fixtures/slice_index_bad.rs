@@ -1,0 +1,5 @@
+//! Fixture: panicking `[...]` indexing must fire `slice-index`.
+fn first_two(xs: &[u64]) -> u64 {
+    let head = xs[0];
+    head + xs[1]
+}

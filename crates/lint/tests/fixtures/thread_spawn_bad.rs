@@ -1,0 +1,6 @@
+//! Fixture: ad-hoc thread spawns must fire `thread-spawn`.
+fn run(machines: Vec<Machine>) {
+    for m in machines {
+        std::thread::spawn(move || m.tick());
+    }
+}

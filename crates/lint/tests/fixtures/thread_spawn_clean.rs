@@ -1,0 +1,13 @@
+//! Fixture: spawns confined to test code are fine.
+fn run(pool: &TickPool, machines: &mut [Machine]) {
+    pool.tick(machines);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn concurrent_probe() {
+        let h = std::thread::spawn(|| 1 + 1);
+        assert_eq!(h.join().unwrap(), 2);
+    }
+}

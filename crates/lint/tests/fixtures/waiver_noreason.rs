@@ -1,0 +1,5 @@
+//! Fixture: a waiver without a reason must still fail (as `waiver`).
+fn hot(map: &Map, key: &Key) -> u64 {
+    // lint: allow(panic)
+    map.get(key).unwrap()
+}

@@ -121,7 +121,7 @@ impl MachineSampler {
     /// schedule says so, and on window close returns one reading per task
     /// that was present at both edges.
     pub fn poll(&mut self, source: &dyn CounterSource, now: SimTime) -> Vec<CounterReading> {
-        match (&self.open, self.in_window(now)) {
+        match (self.open.take(), self.in_window(now)) {
             (None, true) => {
                 // Window opens: snapshot baselines.
                 let baseline = source
@@ -135,9 +135,8 @@ impl MachineSampler {
                 });
                 Vec::new()
             }
-            (Some(_), false) => {
+            (Some(w), false) => {
                 // Window closes: produce deltas.
-                let w = self.open.take().expect("window open");
                 let window = now - w.started;
                 if window.as_us() <= 0 {
                     return Vec::new();
@@ -187,7 +186,11 @@ impl MachineSampler {
                 self.metrics.multiplex_occupancy.record(out.len() as f64);
                 out
             }
-            _ => Vec::new(),
+            (open, _) => {
+                // Mid-window or idle between windows: keep state as-is.
+                self.open = open;
+                Vec::new()
+            }
         }
     }
 }

@@ -102,7 +102,9 @@ impl FileLog {
     pub fn append<T: Serialize>(&mut self, record: &T) -> io::Result<()> {
         let mut line = serde_json::to_vec(record)?;
         line.push(b'\n');
-        if self.writer.is_none() || self.written + line.len() as u64 > self.max_segment_bytes {
+        let fits =
+            self.writer.is_some() && self.written + line.len() as u64 <= self.max_segment_bytes;
+        if !fits {
             if let Some(mut w) = self.writer.take() {
                 w.flush()?;
                 self.segment += 1;
@@ -114,7 +116,10 @@ impl FileLog {
             self.written = file.metadata()?.len();
             self.writer = Some(BufWriter::new(file));
         }
-        let w = self.writer.as_mut().expect("opened above");
+        let Some(w) = self.writer.as_mut() else {
+            // Rotation above always installs a writer; fail soft if not.
+            return Err(io::Error::other("log writer unavailable"));
+        };
         w.write_all(&line)?;
         self.written += line.len() as u64;
         Ok(())
@@ -185,77 +190,82 @@ mod tests {
     }
 
     #[test]
-    fn append_and_load_roundtrip() {
+    fn append_and_load_roundtrip() -> io::Result<()> {
         let dir = tmp("roundtrip");
         {
-            let mut log = FileLog::open(&dir, "incidents", 1 << 20).unwrap();
+            let mut log = FileLog::open(&dir, "incidents", 1 << 20)?;
             for i in 0..100 {
-                log.append(&rec(i)).unwrap();
+                log.append(&rec(i))?;
             }
-            log.flush().unwrap();
+            log.flush()?;
         }
-        let back: Vec<Rec> = FileLog::load(&dir, "incidents").unwrap();
+        let back: Vec<Rec> = FileLog::load(&dir, "incidents")?;
         assert_eq!(back.len(), 100);
         assert_eq!(back[42], rec(42));
         let _ = fs::remove_dir_all(&dir);
+        Ok(())
     }
 
     #[test]
-    fn rotation_splits_segments_and_preserves_order() {
+    fn rotation_splits_segments_and_preserves_order() -> io::Result<()> {
         let dir = tmp("rotate");
-        let mut log = FileLog::open(&dir, "log", 256).unwrap();
+        let mut log = FileLog::open(&dir, "log", 256)?;
         for i in 0..100 {
-            log.append(&rec(i)).unwrap();
+            log.append(&rec(i))?;
         }
-        log.flush().unwrap();
-        let segments = log.segments().unwrap();
+        log.flush()?;
+        let segments = log.segments()?;
         assert!(segments.len() > 2, "expected rotation, got {segments:?}");
-        let back: Vec<Rec> = FileLog::load(&dir, "log").unwrap();
+        let back: Vec<Rec> = FileLog::load(&dir, "log")?;
         assert_eq!(back.len(), 100);
         for (i, r) in back.iter().enumerate() {
             assert_eq!(r.id, i as u32, "order preserved across segments");
         }
         let _ = fs::remove_dir_all(&dir);
+        Ok(())
     }
 
     #[test]
-    fn reopen_continues_in_new_segment() {
+    fn reopen_continues_in_new_segment() -> io::Result<()> {
         let dir = tmp("reopen");
         {
-            let mut log = FileLog::open(&dir, "log", 1 << 20).unwrap();
-            log.append(&rec(1)).unwrap();
+            let mut log = FileLog::open(&dir, "log", 1 << 20)?;
+            log.append(&rec(1))?;
         }
         {
-            let mut log = FileLog::open(&dir, "log", 1 << 20).unwrap();
-            log.append(&rec(2)).unwrap();
+            let mut log = FileLog::open(&dir, "log", 1 << 20)?;
+            log.append(&rec(2))?;
         }
-        let segments = FileLog::segments_in(&dir, "log").unwrap();
+        let segments = FileLog::segments_in(&dir, "log")?;
         assert_eq!(segments.len(), 2);
-        let back: Vec<Rec> = FileLog::load(&dir, "log").unwrap();
+        let back: Vec<Rec> = FileLog::load(&dir, "log")?;
         assert_eq!(back, vec![rec(1), rec(2)]);
         let _ = fs::remove_dir_all(&dir);
+        Ok(())
     }
 
     #[test]
-    fn distinct_logs_do_not_mix() {
+    fn distinct_logs_do_not_mix() -> io::Result<()> {
         let dir = tmp("mix");
-        let mut a = FileLog::open(&dir, "alpha", 1 << 20).unwrap();
-        let mut b = FileLog::open(&dir, "beta", 1 << 20).unwrap();
-        a.append(&rec(1)).unwrap();
-        b.append(&rec(2)).unwrap();
-        a.flush().unwrap();
-        b.flush().unwrap();
-        let alpha: Vec<Rec> = FileLog::load(&dir, "alpha").unwrap();
-        let beta: Vec<Rec> = FileLog::load(&dir, "beta").unwrap();
+        let mut a = FileLog::open(&dir, "alpha", 1 << 20)?;
+        let mut b = FileLog::open(&dir, "beta", 1 << 20)?;
+        a.append(&rec(1))?;
+        b.append(&rec(2))?;
+        a.flush()?;
+        b.flush()?;
+        let alpha: Vec<Rec> = FileLog::load(&dir, "alpha")?;
+        let beta: Vec<Rec> = FileLog::load(&dir, "beta")?;
         assert_eq!(alpha, vec![rec(1)]);
         assert_eq!(beta, vec![rec(2)]);
         let _ = fs::remove_dir_all(&dir);
+        Ok(())
     }
 
     #[test]
-    fn load_missing_log_is_empty() {
+    fn load_missing_log_is_empty() -> io::Result<()> {
         let dir = tmp("missing");
-        let back: Vec<Rec> = FileLog::load(&dir, "nope").unwrap();
+        let back: Vec<Rec> = FileLog::load(&dir, "nope")?;
         assert!(back.is_empty());
+        Ok(())
     }
 }

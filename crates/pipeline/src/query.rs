@@ -826,7 +826,10 @@ impl Dataset {
                     columns.extend(keys);
                 }
                 SelectItem::Column(c) => columns.push(c.clone()),
-                SelectItem::Aggregate(_) => unreachable!("handled by grouped()"),
+                // `execute` routes any aggregate select to `grouped()`;
+                // if one slips through, name the column like `grouped()`
+                // would rather than crash the query engine.
+                SelectItem::Aggregate(a) => columns.push(agg_name(a)),
             }
         }
         let rows = filtered
@@ -889,7 +892,9 @@ impl Dataset {
 mod tests {
     use super::*;
 
-    fn sample_dataset() -> Dataset {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn sample_dataset() -> Result<Dataset, serde_json::Error> {
         #[derive(Serialize)]
         struct Inc {
             job: &'static str,
@@ -930,59 +935,56 @@ mod tests {
             },
         ];
         let mut ds = Dataset::new();
-        ds.insert_records("incidents", &recs).unwrap();
-        ds
+        ds.insert_records("incidents", &recs)?;
+        Ok(ds)
     }
 
     #[test]
-    fn select_star() {
-        let ds = sample_dataset();
-        let r = ds.query("SELECT * FROM incidents").unwrap();
+    fn select_star() -> TestResult {
+        let ds = sample_dataset()?;
+        let r = ds.query("SELECT * FROM incidents")?;
         assert_eq!(r.rows.len(), 5);
         assert!(r.columns.contains(&"correlation".to_string()));
+        Ok(())
     }
 
     #[test]
-    fn where_filters() {
-        let ds = sample_dataset();
-        let r = ds
-            .query("SELECT antagonist FROM incidents WHERE correlation >= 0.4")
-            .unwrap();
+    fn where_filters() -> TestResult {
+        let ds = sample_dataset()?;
+        let r = ds.query("SELECT antagonist FROM incidents WHERE correlation >= 0.4")?;
         assert_eq!(r.rows.len(), 3);
+        Ok(())
     }
 
     #[test]
-    fn where_string_and_bool() {
-        let ds = sample_dataset();
-        let r = ds
-            .query("SELECT correlation FROM incidents WHERE job = 'bigtable' AND acted = true")
-            .unwrap();
+    fn where_string_and_bool() -> TestResult {
+        let ds = sample_dataset()?;
+        let r =
+            ds.query("SELECT correlation FROM incidents WHERE job = 'bigtable' AND acted = true")?;
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0], Value::Num(0.41));
+        Ok(())
     }
 
     #[test]
-    fn or_precedence() {
-        let ds = sample_dataset();
+    fn or_precedence() -> TestResult {
+        let ds = sample_dataset()?;
         // AND binds tighter: job='bigtable' OR (job='websearch' AND corr>0.5)
-        let r = ds
-            .query(
-                "SELECT job FROM incidents WHERE job = 'bigtable' OR job = 'websearch' AND correlation > 0.5",
-            )
-            .unwrap();
+        let r = ds.query(
+            "SELECT job FROM incidents WHERE job = 'bigtable' OR job = 'websearch' AND correlation > 0.5",
+        )?;
         assert_eq!(r.rows.len(), 3);
+        Ok(())
     }
 
     #[test]
-    fn group_by_with_aggregates() {
+    fn group_by_with_aggregates() -> TestResult {
         // The §5 forensics query: most aggressive antagonists for a job.
-        let ds = sample_dataset();
-        let r = ds
-            .query(
-                "SELECT antagonist, count(*), avg(correlation) FROM incidents \
-                 WHERE job = 'websearch' GROUP BY antagonist ORDER BY count(*) DESC",
-            )
-            .unwrap();
+        let ds = sample_dataset()?;
+        let r = ds.query(
+            "SELECT antagonist, count(*), avg(correlation) FROM incidents \
+             WHERE job = 'websearch' GROUP BY antagonist ORDER BY count(*) DESC",
+        )?;
         assert_eq!(
             r.columns,
             vec!["antagonist", "count(*)", "avg(correlation)"]
@@ -990,57 +992,56 @@ mod tests {
         assert_eq!(r.rows[0][0], Value::Str("video".into()));
         assert_eq!(r.rows[0][1], Value::Num(2.0));
         assert_eq!(r.rows[0][2], Value::Num(0.49));
+        Ok(())
     }
 
     #[test]
-    fn global_aggregate_without_group_by() {
-        let ds = sample_dataset();
-        let r = ds
-            .query("SELECT count(*), max(correlation) FROM incidents")
-            .unwrap();
+    fn global_aggregate_without_group_by() -> TestResult {
+        let ds = sample_dataset()?;
+        let r = ds.query("SELECT count(*), max(correlation) FROM incidents")?;
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0], Value::Num(5.0));
         assert_eq!(r.rows[0][1], Value::Num(0.52));
+        Ok(())
     }
 
     #[test]
-    fn order_and_limit() {
-        let ds = sample_dataset();
-        let r = ds
-            .query(
-                "SELECT antagonist, correlation FROM incidents ORDER BY correlation DESC LIMIT 2",
-            )
-            .unwrap();
+    fn order_and_limit() -> TestResult {
+        let ds = sample_dataset()?;
+        let r = ds.query(
+            "SELECT antagonist, correlation FROM incidents ORDER BY correlation DESC LIMIT 2",
+        )?;
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][1], Value::Num(0.52));
         assert_eq!(r.rows[1][1], Value::Num(0.46));
+        Ok(())
     }
 
     #[test]
-    fn min_sum_aggregates() {
-        let ds = sample_dataset();
-        let r = ds
-            .query("SELECT min(correlation), sum(correlation) FROM incidents")
-            .unwrap();
+    fn min_sum_aggregates() -> TestResult {
+        let ds = sample_dataset()?;
+        let r = ds.query("SELECT min(correlation), sum(correlation) FROM incidents")?;
         assert_eq!(r.rows[0][0], Value::Num(0.2));
         let Value::Num(s) = r.rows[0][1] else {
-            panic!()
+            return Err("sum(correlation) should be numeric".into());
         };
         assert!((s - 1.98).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn unknown_table_error() {
-        let ds = sample_dataset();
+    fn unknown_table_error() -> TestResult {
+        let ds = sample_dataset()?;
         assert_eq!(
             ds.query("SELECT * FROM nope"),
             Err(QueryError::UnknownTable("nope".into()))
         );
+        Ok(())
     }
 
     #[test]
-    fn parse_errors() {
-        let ds = sample_dataset();
+    fn parse_errors() -> TestResult {
+        let ds = sample_dataset()?;
         assert!(matches!(
             ds.query("FROM incidents"),
             Err(QueryError::Parse(_))
@@ -1057,19 +1058,19 @@ mod tests {
             ds.query("SELECT * FROM incidents trailing"),
             Err(QueryError::Parse(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn null_columns_excluded_by_where() {
-        let ds = sample_dataset();
-        let r = ds
-            .query("SELECT job FROM incidents WHERE nonexistent > 1")
-            .unwrap();
+    fn null_columns_excluded_by_where() -> TestResult {
+        let ds = sample_dataset()?;
+        let r = ds.query("SELECT job FROM incidents WHERE nonexistent > 1")?;
         assert!(r.rows.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn nested_records_flatten() {
+    fn nested_records_flatten() -> TestResult {
         #[derive(Serialize)]
         struct Outer {
             name: &'static str,
@@ -1088,24 +1089,23 @@ mod tests {
                 inner: Inner { x: 3.5 },
                 list: vec![7, 8],
             }],
-        )
-        .unwrap();
-        let r = ds.query("SELECT inner.x, list.len, list.0 FROM t").unwrap();
+        )?;
+        let r = ds.query("SELECT inner.x, list.len, list.0 FROM t")?;
         assert_eq!(
             r.rows[0],
             vec![Value::Num(3.5), Value::Num(2.0), Value::Num(7.0)]
         );
+        Ok(())
     }
 
     #[test]
-    fn display_renders_table() {
-        let ds = sample_dataset();
-        let r = ds
-            .query("SELECT job, correlation FROM incidents LIMIT 1")
-            .unwrap();
+    fn display_renders_table() -> TestResult {
+        let ds = sample_dataset()?;
+        let r = ds.query("SELECT job, correlation FROM incidents LIMIT 1")?;
         let text = r.to_string();
         assert!(text.contains("job"));
         assert!(text.contains("websearch"));
+        Ok(())
     }
 
     #[test]
@@ -1119,7 +1119,9 @@ mod tests {
 mod like_between_tests {
     use super::*;
 
-    fn ds() -> Dataset {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn ds() -> Result<Dataset, serde_json::Error> {
         #[derive(serde::Serialize)]
         struct R {
             job: &'static str,
@@ -1146,63 +1148,54 @@ mod like_between_tests {
                     cpi: 4.0,
                 },
             ],
-        )
-        .unwrap();
-        ds
+        )?;
+        Ok(ds)
     }
 
     #[test]
-    fn between_inclusive() {
-        let r = ds()
-            .query("SELECT job FROM t WHERE cpi BETWEEN 2 AND 3")
-            .unwrap();
+    fn between_inclusive() -> TestResult {
+        let r = ds()?.query("SELECT job FROM t WHERE cpi BETWEEN 2 AND 3")?;
         assert_eq!(r.rows.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn like_prefix() {
-        let r = ds()
-            .query("SELECT job FROM t WHERE job LIKE 'websearch%'")
-            .unwrap();
+    fn like_prefix() -> TestResult {
+        let r = ds()?.query("SELECT job FROM t WHERE job LIKE 'websearch%'")?;
         assert_eq!(r.rows.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn like_suffix_and_infix() {
-        let r = ds()
-            .query("SELECT job FROM t WHERE job LIKE '%leaf'")
-            .unwrap();
+    fn like_suffix_and_infix() -> TestResult {
+        let r = ds()?.query("SELECT job FROM t WHERE job LIKE '%leaf'")?;
         assert_eq!(r.rows.len(), 1);
-        let r = ds()
-            .query("SELECT job FROM t WHERE job LIKE '%search%'")
-            .unwrap();
+        let r = ds()?.query("SELECT job FROM t WHERE job LIKE '%search%'")?;
         assert_eq!(r.rows.len(), 3);
+        Ok(())
     }
 
     #[test]
-    fn like_exact_without_wildcard() {
-        let r = ds()
-            .query("SELECT job FROM t WHERE job LIKE 'bigtable'")
-            .unwrap();
+    fn like_exact_without_wildcard() -> TestResult {
+        let r = ds()?.query("SELECT job FROM t WHERE job LIKE 'bigtable'")?;
         assert_eq!(r.rows.len(), 1);
-        let r = ds()
-            .query("SELECT job FROM t WHERE job LIKE 'bigtab'")
-            .unwrap();
+        let r = ds()?.query("SELECT job FROM t WHERE job LIKE 'bigtab'")?;
         assert_eq!(r.rows.len(), 0);
+        Ok(())
     }
 
     #[test]
-    fn like_on_number_is_false() {
-        let r = ds().query("SELECT job FROM t WHERE cpi LIKE '1%'").unwrap();
+    fn like_on_number_is_false() -> TestResult {
+        let r = ds()?.query("SELECT job FROM t WHERE cpi LIKE '1%'")?;
         assert!(r.rows.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn between_in_conjunction() {
-        let r = ds()
-            .query("SELECT job FROM t WHERE cpi BETWEEN 1 AND 3 AND job LIKE 'web%'")
-            .unwrap();
+    fn between_in_conjunction() -> TestResult {
+        let r = ds()?.query("SELECT job FROM t WHERE cpi BETWEEN 1 AND 3 AND job LIKE 'web%'")?;
         assert_eq!(r.rows.len(), 2);
+        Ok(())
     }
 
     #[test]

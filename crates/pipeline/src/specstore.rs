@@ -14,7 +14,7 @@
 use cpi2_core::{CpiSpec, JobKey};
 use cpi2_telemetry::{Counter, Histo, Telemetry};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A thread-safe, versioned store of CPI specs.
@@ -35,7 +35,9 @@ pub struct SpecStore {
 #[derive(Debug, Default)]
 struct Inner {
     version: u64,
-    specs: HashMap<JobKey, (u64, CpiSpec)>,
+    // BTreeMap: `changed_since` iterates the spec set, and the deltas
+    // it hands to agents must not depend on hash order.
+    specs: BTreeMap<JobKey, (u64, CpiSpec)>,
 }
 
 /// An immutable, lock-free view of the store at one version.
@@ -96,6 +98,8 @@ impl SpecStore {
     /// then swapped in with a single pointer store.
     pub fn publish(&self, specs: Vec<CpiSpec>) -> u64 {
         let _publishing = self.publish_lock.lock();
+        // lint: allow(nested-lock) — read guard is a temporary dropped at
+        // statement end; publishers serialize on publish_lock by design.
         let cur = Arc::clone(&self.current.read());
         let mut next = Inner {
             version: cur.version + 1,
@@ -105,6 +109,9 @@ impl SpecStore {
         for s in specs {
             next.specs.insert(s.key(), (v, s));
         }
+        // lint: allow(nested-lock) — the single-pointer swap under the
+        // publish lock IS the snapshot-swap protocol; writers never block
+        // readers for longer than the store.
         *self.current.write() = Arc::new(next);
         self.swaps_total.inc();
         v

@@ -14,7 +14,7 @@ use crate::task::{TaskInstance, TaskModel};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent};
 use cpi2_telemetry::{Counter, Histo, Telemetry};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Factory producing a fresh behaviour model for task `index` of a job.
@@ -112,7 +112,9 @@ struct JobInfo {
     factory: ModelFactory,
     restart_on_exit: bool,
     /// task index → (machine, cache footprint the scheduler accounted).
-    placements: HashMap<u32, (MachineId, f64)>,
+    // BTreeMap: rollback and accounting iterate placements, and the
+    // float arithmetic they drive must not depend on hash order.
+    placements: BTreeMap<u32, (MachineId, f64)>,
     next_index: u32,
 }
 
@@ -142,7 +144,7 @@ pub struct Cluster {
     config: ClusterConfig,
     machines: Vec<Machine>,
     scheduler: Scheduler,
-    jobs: HashMap<JobId, JobInfo>,
+    jobs: BTreeMap<JobId, JobInfo>,
     next_job: u32,
     now: SimTime,
     trace: Trace,
@@ -166,7 +168,7 @@ impl Cluster {
             config,
             machines: Vec::new(),
             scheduler,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             next_job: 0,
             now: SimTime::ZERO,
             trace,
@@ -267,7 +269,7 @@ impl Cluster {
         mut factory: ModelFactory,
     ) -> Result<JobId, PlacementError> {
         let job = JobId(self.next_job);
-        let mut placements: HashMap<u32, (MachineId, f64)> = HashMap::new();
+        let mut placements: BTreeMap<u32, (MachineId, f64)> = BTreeMap::new();
         for index in 0..spec.task_count {
             // Build the model first: cache-aware placement needs its
             // footprint.
@@ -525,6 +527,9 @@ impl Cluster {
             self.metrics
                 .phase_machines
                 .record(t.elapsed().as_secs_f64() * 1e6);
+            // lint: allow(clock) — telemetry-gated phase timing; the value
+            // is only ever recorded to a histogram, never committed to
+            // sim state.
             Instant::now()
         });
         if measure {

@@ -16,7 +16,7 @@
 use crate::job::{JobId, SchedClass};
 use crate::machine::MachineId;
 use cpi2_stats::rng::SimRng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Why a placement request could not be satisfied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,13 +59,15 @@ struct MachineBook {
     reserved_ls: f64,
     reserved_batch: f64,
     reserved_cache_mb: f64,
-    jobs: HashMap<JobId, u32>, // job -> resident task count
+    // BTreeMap, not HashMap: placement scans iterate resident jobs, and
+    // committed placements must not depend on hash order.
+    jobs: BTreeMap<JobId, u32>, // job -> resident task count
 }
 
 /// The central scheduler: placement, admission control, anti-affinity.
 #[derive(Debug)]
 pub struct Scheduler {
-    books: HashMap<MachineId, MachineBook>,
+    books: BTreeMap<MachineId, MachineBook>,
     /// Batch reservations may reach `overcommit × cores` beyond LS usage.
     overcommit: f64,
     /// Pairs of jobs that must not share a machine.
@@ -84,7 +86,7 @@ impl Scheduler {
     pub fn new(overcommit: f64, seed: u64) -> Self {
         assert!(overcommit >= 1.0, "overcommit must be ≥ 1.0");
         Scheduler {
-            books: HashMap::new(),
+            books: BTreeMap::new(),
             overcommit,
             anti_affinity: HashSet::new(),
             policy: PlacementPolicy::default(),
