@@ -23,15 +23,23 @@
 //! `# --- cpi telemetry export begin/end ---` markers (written to stdout
 //! when the path is `-`, appended to the file otherwise).
 //!
+//! With `--faults <none|lossy|heavy>` a deterministic fault plan is armed:
+//! in day mode the measured day runs under injected shipment loss, agent
+//! restarts and (for `heavy`) machine crashes, with fault counters in the
+//! report; in `--seconds` mode an extra harness-level pass asserts the
+//! faulty run is bit-identical at parallelism 1 and P. `--seed` reseeds
+//! both the fleet and the fault plan.
+//!
 //! Run: `cargo run -p cpi2-bench --release --bin fleet_rate -- \
 //!           [--machines N] [--parallelism P] [--seconds S] \
-//!           [--telemetry PATH|-]`
+//!           [--seed SEED] [--faults PROFILE] [--telemetry PATH|-]`
 //! (a bare positional `N` still sets the machine count, as before).
 
 use cpi2::core::Cpi2Config;
 use cpi2::harness::Cpi2Harness;
 use cpi2::sim::{
-    default_parallelism, Cluster, ClusterConfig, JobSpec, Platform, SimDuration, TraceEntry,
+    default_parallelism, Cluster, ClusterConfig, FaultPlan, FaultProfile, JobSpec, Platform,
+    SimDuration, TraceEntry,
 };
 use cpi2::telemetry::Telemetry;
 use cpi2::workloads::{self, TraceJob};
@@ -69,9 +77,9 @@ fn dump_export(telemetry: &Telemetry, path: &str) {
 }
 
 /// Builds the mostly-healthy fleet regime on `machines` machines.
-fn build_fleet(machines: u32, parallelism: usize, telemetry: &Telemetry) -> Cluster {
+fn build_fleet(machines: u32, parallelism: usize, telemetry: &Telemetry, seed: u64) -> Cluster {
     let mut cluster = Cluster::new(ClusterConfig {
-        seed: 0xF1EE7,
+        seed,
         overcommit: 2.0,
         parallelism,
         telemetry: telemetry.clone(),
@@ -115,10 +123,20 @@ fn build_fleet(machines: u32, parallelism: usize, telemetry: &Telemetry) -> Clus
 /// `--seconds` mode: serial vs parallel wall-clock for the same fleet.
 /// The timed comparison always runs bare (telemetry disabled) so the
 /// numbers stay comparable; with `--telemetry` a third, fully
-/// instrumented harness run over the same fleet feeds the export.
-fn throughput_mode(machines: u32, seconds: i64, parallelism: usize, telemetry_path: Option<&str>) {
+/// instrumented harness run over the same fleet feeds the export. With
+/// `--faults` an additional harness-level pass runs the full CPI² stack
+/// under the fault plan at parallelism 1 and N and asserts the two are
+/// bit-identical (trace, incident log and fault counters).
+fn throughput_mode(
+    machines: u32,
+    seconds: i64,
+    parallelism: usize,
+    telemetry_path: Option<&str>,
+    seed: u64,
+    faults: Option<&FaultProfile>,
+) {
     let run = |par: usize| -> (f64, Vec<TraceEntry>) {
-        let mut cluster = build_fleet(machines, par, &Telemetry::disabled());
+        let mut cluster = build_fleet(machines, par, &Telemetry::disabled(), seed);
         let start = Instant::now();
         cluster.run_for(SimDuration::from_secs(seconds));
         let wall = start.elapsed().as_secs_f64();
@@ -159,9 +177,58 @@ fn throughput_mode(machines: u32, seconds: i64, parallelism: usize, telemetry_pa
         parallelism
     );
 
+    if let Some(profile) = faults {
+        let faulty = |par: usize| -> (Vec<TraceEntry>, Vec<String>, [u64; 3]) {
+            let cluster = build_fleet(machines, par, &Telemetry::disabled(), seed);
+            let mut system = Cpi2Harness::new(
+                cluster,
+                Cpi2Config {
+                    min_samples_per_task: 5,
+                    ..Cpi2Config::default()
+                },
+            );
+            system.set_fault_plan(Some(FaultPlan::new(seed, profile.clone())));
+            system.run_for(SimDuration::from_secs(seconds));
+            (
+                system.cluster.trace().entries().cloned().collect(),
+                system.incident_lines(),
+                [
+                    system.agent_restarts(),
+                    system.machine_crashes(),
+                    system.shipment_faults(),
+                ],
+            )
+        };
+        let (trace_1, incidents_1, counts_1) = faulty(1);
+        let (trace_n, incidents_n, counts_n) = faulty(parallelism);
+        assert_eq!(
+            trace_1, trace_n,
+            "faulty run diverged between parallelism 1 and {parallelism}"
+        );
+        assert_eq!(
+            incidents_1, incidents_n,
+            "faulty incident log diverged between parallelism 1 and {parallelism}"
+        );
+        assert_eq!(
+            counts_1, counts_n,
+            "fault counters diverged between parallelism 1 and {parallelism}"
+        );
+        if !profile.is_noop() {
+            assert!(
+                counts_1.iter().sum::<u64>() > 0,
+                "fault profile was armed but nothing fired in {seconds} s"
+            );
+        }
+        println!(
+            "fleet_rate faults OK (agent restarts {}, machine crashes {}, \
+             shipment faults {}; parallelism 1 == {parallelism})",
+            counts_1[0], counts_1[1], counts_1[2]
+        );
+    }
+
     if let Some(path) = telemetry_path {
         let telemetry = Telemetry::enabled();
-        let cluster = build_fleet(machines, parallelism, &telemetry);
+        let cluster = build_fleet(machines, parallelism, &telemetry, seed);
         let config = Cpi2Config {
             min_samples_per_task: 5,
             ..Cpi2Config::default()
@@ -177,6 +244,11 @@ fn main() {
     let args = Args::new();
     let machines: u32 = args.parsed("--machines", args.positional().unwrap_or(150));
     let parallelism: usize = args.parsed("--parallelism", default_parallelism());
+    let seed: u64 = args.parsed("--seed", 0xF1EE7);
+    let faults = args.value("--faults").map(|name| {
+        FaultProfile::named(name)
+            .unwrap_or_else(|| panic!("--faults takes one of: none, lossy, heavy (got {name:?})"))
+    });
     let telemetry_path = args.value("--telemetry").map(str::to_string);
     let telemetry = if telemetry_path.is_some() {
         Telemetry::enabled()
@@ -186,11 +258,18 @@ fn main() {
 
     if let Some(seconds) = args.value("--seconds") {
         let seconds: i64 = seconds.parse().expect("--seconds takes an integer");
-        throughput_mode(machines, seconds, parallelism, telemetry_path.as_deref());
+        throughput_mode(
+            machines,
+            seconds,
+            parallelism,
+            telemetry_path.as_deref(),
+            seed,
+            faults.as_ref(),
+        );
         return;
     }
 
-    let mut cluster = build_fleet(machines, parallelism, &telemetry);
+    let mut cluster = build_fleet(machines, parallelism, &telemetry, seed);
 
     // Transient antagonists: a Poisson-ish stream of short-lived thrasher
     // jobs over the measured day (≈ machines/20 arrivals, 60–120 min
@@ -216,6 +295,9 @@ fn main() {
         ..Cpi2Config::default()
     };
     let mut system = Cpi2Harness::new(cluster, config);
+    if let Some(profile) = &faults {
+        system.set_fault_plan(Some(FaultPlan::new(seed, profile.clone())));
+    }
 
     // Learn specs over one clean day: the spec σ must absorb the diurnal
     // swing (the paper refreshes every 24 h).
@@ -249,41 +331,54 @@ fn main() {
     let rate = identifications as f64 / machine_days;
     let incident_rate = system.incidents().len() as f64 / machine_days;
 
+    let mut rows = vec![
+        vec![
+            "machines x days".into(),
+            format!("{machines} x 0.92"),
+            "whole fleet".into(),
+        ],
+        vec![
+            "antagonist arrivals".into(),
+            format!("{arrivals} transient thrashers"),
+            "(production mix)".into(),
+        ],
+        vec![
+            "identifications / machine-day".into(),
+            format!("{rate:.2}"),
+            "0.37".into(),
+        ],
+        vec![
+            "all anomalies / machine-day".into(),
+            format!("{incident_rate:.2}"),
+            "(not reported)".into(),
+        ],
+        vec![
+            "caps applied".into(),
+            format!("{}", system.caps_applied()),
+            "enforcement was opt-in".into(),
+        ],
+        vec![
+            "collector batches dropped".into(),
+            format!("{}", system.collector_dropped()),
+            "pipeline is lossy by design".into(),
+        ],
+    ];
+    if faults.is_some() {
+        rows.push(vec![
+            "injected agent restarts / machine crashes".into(),
+            format!("{} / {}", system.agent_restarts(), system.machine_crashes()),
+            "(fault injection)".into(),
+        ]);
+        rows.push(vec![
+            "injected shipment faults".into(),
+            format!("{}", system.shipment_faults()),
+            "(fault injection)".into(),
+        ]);
+    }
     plot::print_table(
         "Fleet incident rate over one simulated day",
         &["metric", "measured", "paper"],
-        &[
-            vec![
-                "machines x days".into(),
-                format!("{machines} x 0.92"),
-                "whole fleet".into(),
-            ],
-            vec![
-                "antagonist arrivals".into(),
-                format!("{arrivals} transient thrashers"),
-                "(production mix)".into(),
-            ],
-            vec![
-                "identifications / machine-day".into(),
-                format!("{rate:.2}"),
-                "0.37".into(),
-            ],
-            vec![
-                "all anomalies / machine-day".into(),
-                format!("{incident_rate:.2}"),
-                "(not reported)".into(),
-            ],
-            vec![
-                "caps applied".into(),
-                format!("{}", system.caps_applied()),
-                "enforcement was opt-in".into(),
-            ],
-            vec![
-                "collector batches dropped".into(),
-                format!("{}", system.collector_dropped()),
-                "pipeline is lossy by design".into(),
-            ],
-        ],
+        &rows,
     );
     if let Some(path) = &telemetry_path {
         dump_export(system.telemetry(), path);

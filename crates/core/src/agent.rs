@@ -72,6 +72,9 @@ struct AgentMetrics {
     incidents_none: Counter,
     detection_latency_us: Histo,
     correlation_runs: Counter,
+    /// Detection decisions taken in degraded mode because the cached spec
+    /// aged past `spec_ttl_hours` (conservative wide-sigma fallback).
+    degraded_stale_spec: Counter,
 }
 
 impl AgentMetrics {
@@ -84,6 +87,10 @@ impl AgentMetrics {
             incidents_none: telemetry.counter("cpi_incidents_total", &[("action", "none")]),
             detection_latency_us: telemetry.histogram("cpi_agent_detection_latency_us", &[]),
             correlation_runs: telemetry.counter("cpi_agent_correlation_runs_total", &[]),
+            degraded_stale_spec: telemetry.counter(
+                "cpi_agent_degraded_decisions_total",
+                &[("reason", "stale_spec")],
+            ),
         }
     }
 }
@@ -126,6 +133,12 @@ pub struct Agent {
     config: Cpi2Config,
     #[serde(with = "pairs")]
     specs: BTreeMap<JobKey, CpiSpec>,
+    /// Publish time (µs) of each cached spec; `i64::MAX` means "never
+    /// stale" (untimestamped install). Keyed by pipeline publish time —
+    /// not install time — so re-installing the same old spec after an
+    /// agent restart does not reset its staleness clock.
+    #[serde(with = "pairs")]
+    spec_published_at: BTreeMap<JobKey, i64>,
     // BTreeMap: the correlation pass iterates co-resident tasks, and the
     // suspect ranking it feeds must not depend on hash order.
     #[serde(with = "pairs")]
@@ -158,6 +171,7 @@ impl Agent {
         Agent {
             config,
             specs: BTreeMap::new(),
+            spec_published_at: BTreeMap::new(),
             tasks: BTreeMap::new(),
             last_analysis: i64::MIN / 2,
             active_caps: BTreeMap::new(),
@@ -180,14 +194,31 @@ impl Agent {
         &self.config
     }
 
-    /// Installs (or refreshes) a predicted CPI spec pushed by the pipeline.
+    /// Installs (or refreshes) a predicted CPI spec pushed by the pipeline
+    /// with no publish timestamp (it never ages out).
     pub fn install_spec(&mut self, spec: CpiSpec) {
+        self.install_spec_at(spec, i64::MAX);
+    }
+
+    /// Installs a spec together with its pipeline publish time (µs). Once
+    /// the spec is older than [`Cpi2Config::spec_ttl_hours`], detection
+    /// for its job falls back to the conservative
+    /// [`Cpi2Config::stale_outlier_sigma`] threshold and each such
+    /// decision is counted in telemetry.
+    pub fn install_spec_at(&mut self, spec: CpiSpec, published_at_us: i64) {
+        self.spec_published_at.insert(spec.key(), published_at_us);
         self.specs.insert(spec.key(), spec);
     }
 
     /// The spec for a job × platform key, if any.
     pub fn spec(&self, key: &JobKey) -> Option<&CpiSpec> {
         self.specs.get(key)
+    }
+
+    /// Publish time (µs) of the cached spec for a key: `i64::MAX` for
+    /// untimestamped installs, `None` when no spec is cached.
+    pub fn spec_published_at(&self, key: &JobKey) -> Option<i64> {
+        self.spec_published_at.get(key).copied()
     }
 
     /// All incidents the agent has reported, oldest first.
@@ -265,10 +296,33 @@ impl Agent {
                 continue;
             }
             let spec = spec.clone();
+            // Degraded mode: a spec published longer ago than the TTL only
+            // supports conservative detection — the workload may have
+            // drifted, so require a wider deviation before flagging.
+            let ttl_us = self.config.spec_ttl_hours * 3_600 * 1_000_000;
+            let published_at = self
+                .spec_published_at
+                .get(&s.key())
+                .copied()
+                .unwrap_or(i64::MAX);
+            let stale = ttl_us > 0 && s.timestamp.saturating_sub(published_at) > ttl_us;
+            let sigma = if stale {
+                self.metrics.degraded_stale_spec.inc();
+                // Clamp: ablation configs sweep outlier_sigma above the
+                // stale default; degraded mode must never be *less*
+                // conservative than normal mode.
+                self.config
+                    .stale_outlier_sigma
+                    .max(self.config.outlier_sigma)
+            } else {
+                self.config.outlier_sigma
+            };
             let Some(st) = self.tasks.get_mut(&s.task) else {
                 continue;
             };
-            let verdict = st.detector.observe(s, &spec, &self.config);
+            let verdict = st
+                .detector
+                .observe_with_sigma(s, &spec, &self.config, sigma);
             if matches!(verdict, Verdict::Flagged | Verdict::Anomalous) {
                 self.metrics.violations.inc();
             }
@@ -296,7 +350,7 @@ impl Agent {
                     .detection_latency_us
                     .record((s.timestamp - entry) as f64);
             }
-            if let Some(cmd) = self.analyze(s, &spec, window_us) {
+            if let Some(cmd) = self.analyze(s, &spec, window_us, sigma) {
                 commands.push(cmd);
             }
         }
@@ -310,9 +364,10 @@ impl Agent {
         victim: &CpiSample,
         spec: &CpiSpec,
         window_us: i64,
+        sigma: f64,
     ) -> Option<AgentCommand> {
         self.metrics.correlation_runs.inc();
-        let cthreshold = spec.outlier_threshold(self.config.outlier_sigma);
+        let cthreshold = spec.outlier_threshold(sigma);
         let victim_state = self.tasks.get(&victim.task)?;
         let victim_cpi = victim_state
             .cpi
@@ -657,6 +712,140 @@ mod tests {
             .correlation_between(TaskHandle(1), TaskHandle(3), 1.2)
             .unwrap();
         assert!(c_quiet < c);
+    }
+
+    #[test]
+    fn stale_spec_falls_back_to_conservative_sigma() {
+        // TTL 1 h, spec published at t = 0, samples at t > 2 h.
+        // CPI 1.25 violates 2σ (threshold 1.2) but not the stale 3σ
+        // threshold (1.3): a drifted workload must not page.
+        let cfg = Cpi2Config {
+            spec_ttl_hours: 1,
+            ..Cpi2Config::default()
+        };
+        let mut stale_agent = Agent::new(cfg.clone());
+        stale_agent.install_spec_at(spec("victim", 1.0, 0.1), 0);
+        let mut fresh_agent = Agent::new(cfg);
+        fresh_agent.install_spec(spec("victim", 1.0, 0.1)); // never stale
+        for m in 130..140 {
+            for agent in [&mut stale_agent, &mut fresh_agent] {
+                agent.ingest(&[sample(
+                    1,
+                    "victim",
+                    m,
+                    1.25,
+                    1.0,
+                    TaskClass::latency_sensitive(),
+                )]);
+            }
+        }
+        assert!(
+            stale_agent.incidents().is_empty(),
+            "stale spec must detect conservatively"
+        );
+        assert!(
+            !fresh_agent.incidents().is_empty(),
+            "the same samples violate the fresh 2σ threshold"
+        );
+    }
+
+    #[test]
+    fn stale_spec_still_catches_egregious_interference() {
+        let tel = cpi2_telemetry::Telemetry::enabled();
+        let cfg = Cpi2Config {
+            spec_ttl_hours: 1,
+            ..Cpi2Config::default()
+        };
+        let mut agent = Agent::new(cfg);
+        agent.set_telemetry(&tel);
+        agent.install_spec_at(spec("victim", 1.0, 0.1), 0);
+        // CPI 3.0 clears even the 3σ stale threshold by a mile.
+        let mut cmds = Vec::new();
+        for m in 130..142 {
+            let on = m % 2 == 1;
+            cmds.extend(agent.ingest(&[
+                sample(
+                    1,
+                    "victim",
+                    m,
+                    if on { 3.0 } else { 1.0 },
+                    1.0,
+                    TaskClass::latency_sensitive(),
+                ),
+                sample(
+                    2,
+                    "hog",
+                    m,
+                    1.8,
+                    if on { 6.0 } else { 0.0 },
+                    TaskClass::batch(),
+                ),
+            ]));
+        }
+        assert!(!cmds.is_empty(), "degraded mode must still cap");
+        // Every detection decision on the victim's job was degraded.
+        let text = tel.prometheus_text().unwrap();
+        assert!(
+            text.contains("cpi_agent_degraded_decisions_total"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn ttl_zero_disables_aging() {
+        let cfg = Cpi2Config {
+            spec_ttl_hours: 0,
+            ..Cpi2Config::default()
+        };
+        let mut agent = Agent::new(cfg);
+        agent.install_spec_at(spec("victim", 1.0, 0.1), 0);
+        // Years later, the spec still detects at the normal 2σ threshold.
+        for m in 1_000_000..1_000_010 {
+            agent.ingest(&[sample(
+                1,
+                "victim",
+                m,
+                1.25,
+                1.0,
+                TaskClass::latency_sensitive(),
+            )]);
+        }
+        assert!(!agent.incidents().is_empty());
+    }
+
+    #[test]
+    fn reinstalling_an_old_spec_keeps_its_staleness_clock() {
+        // The regression the publish-time design prevents: an agent
+        // restart re-syncs the same old spec; its age must be measured
+        // from pipeline publish, not from the re-install.
+        let cfg = Cpi2Config {
+            spec_ttl_hours: 1,
+            ..Cpi2Config::default()
+        };
+        let mut agent = Agent::new(cfg);
+        agent.install_spec_at(spec("victim", 1.0, 0.1), 0);
+        assert_eq!(
+            agent.spec_published_at(&JobKey::new("victim", "westmere")),
+            Some(0)
+        );
+        // "Restart": a fresh agent re-syncs the same publish timestamp.
+        let mut agent2 = Agent::new(Cpi2Config {
+            spec_ttl_hours: 1,
+            ..Cpi2Config::default()
+        });
+        agent2.install_spec_at(spec("victim", 1.0, 0.1), 0);
+        for m in 130..140 {
+            agent2.ingest(&[sample(
+                1,
+                "victim",
+                m,
+                1.25,
+                1.0,
+                TaskClass::latency_sensitive(),
+            )]);
+        }
+        assert!(agent2.incidents().is_empty(), "age survives the restart");
+        let _ = agent;
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub struct Cpi2Config {
     /// Whether the agent may apply caps automatically (§5: CPI² hard-caps
     /// automatically when confident and the victim is eligible).
     pub auto_throttle: bool,
+    /// Spec staleness TTL in hours. A cached spec whose publish timestamp
+    /// is older than this falls back to conservative detection
+    /// ([`Cpi2Config::stale_outlier_sigma`]). `0` disables aging. The
+    /// default is twice the 24 h refresh period: one missed refresh is
+    /// tolerated (the pipeline is lossy by design), two is degraded.
+    pub spec_ttl_hours: i64,
+    /// Outlier sigma used while a spec is stale: wider than
+    /// [`Cpi2Config::outlier_sigma`] so a day-old mean only flags
+    /// egregious interference (fewer false incidents from drifted
+    /// workloads, per the conservative-fallback degraded mode). Clamped
+    /// up to `outlier_sigma` at use sites if configured lower.
+    pub stale_outlier_sigma: f64,
 }
 
 impl Default for Cpi2Config {
@@ -75,6 +87,8 @@ impl Default for Cpi2Config {
             min_samples_per_task: 100,
             age_decay: 0.9,
             auto_throttle: true,
+            spec_ttl_hours: 48,
+            stale_outlier_sigma: 3.0,
         }
     }
 }
@@ -154,6 +168,12 @@ impl Cpi2Config {
         if self.incident_cooldown_s < 0 {
             return Err("incident_cooldown_s must be non-negative".into());
         }
+        if self.spec_ttl_hours < 0 {
+            return Err("spec_ttl_hours must be non-negative".into());
+        }
+        if self.stale_outlier_sigma <= 0.0 {
+            return Err("stale_outlier_sigma must be positive".into());
+        }
         Ok(())
     }
 }
@@ -205,5 +225,22 @@ mod tests {
             ..Cpi2Config::default()
         };
         assert!(c.validate().is_err());
+        let c = Cpi2Config {
+            spec_ttl_hours: -1,
+            ..Cpi2Config::default()
+        };
+        assert!(c.validate().is_err());
+        let c = Cpi2Config {
+            stale_outlier_sigma: 0.0,
+            ..Cpi2Config::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn degraded_mode_defaults() {
+        let c = Cpi2Config::default();
+        assert_eq!(c.spec_ttl_hours, 2 * c.spec_refresh_hours);
+        assert!(c.stale_outlier_sigma > c.outlier_sigma);
     }
 }

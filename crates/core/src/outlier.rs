@@ -64,6 +64,20 @@ impl OutlierDetector {
 
     /// Processes one sample against the job's spec.
     pub fn observe(&mut self, sample: &CpiSample, spec: &CpiSpec, config: &Cpi2Config) -> Verdict {
+        self.observe_with_sigma(sample, spec, config, config.outlier_sigma)
+    }
+
+    /// Like [`OutlierDetector::observe`] but with an explicit outlier
+    /// sigma — the degraded-mode hook: an agent holding a stale spec
+    /// widens the threshold (conservative detection) without touching the
+    /// rest of the window machinery.
+    pub fn observe_with_sigma(
+        &mut self,
+        sample: &CpiSample,
+        spec: &CpiSpec,
+        config: &Cpi2Config,
+        sigma: f64,
+    ) -> Verdict {
         // Evict flags that left the violation window.
         let window_us = config.violation_window_s * 1_000_000;
         while let Some(&t) = self.flags.front() {
@@ -77,7 +91,7 @@ impl OutlierDetector {
         if sample.cpu_usage < config.min_cpu_usage {
             return Verdict::SkippedLowUsage;
         }
-        let threshold = spec.outlier_threshold(config.outlier_sigma);
+        let threshold = spec.outlier_threshold(sigma);
         if sample.cpi <= threshold {
             return Verdict::Normal;
         }
@@ -269,5 +283,89 @@ mod tests {
         d.observe(&sample(0, 2.5, 1.0), &spec(), &cfg);
         d.reset();
         assert_eq!(d.flag_count(), 0);
+    }
+
+    #[test]
+    fn wider_sigma_raises_the_bar() {
+        // CPI 2.5 violates 2σ (threshold 2.12) but not 3σ (2.28 + margin:
+        // threshold 1.8 + 3·0.16 = 2.28 — still violated; use 5σ = 2.6).
+        let mut d = OutlierDetector::new();
+        let cfg = Cpi2Config::default();
+        let s = sample(0, 2.5, 1.0);
+        assert_eq!(
+            d.observe_with_sigma(&s, &spec(), &cfg, 5.0),
+            Verdict::Normal
+        );
+        assert_eq!(d.flag_count(), 0);
+        // The same sample under the normal sigma is flagged.
+        assert_eq!(
+            d.observe_with_sigma(&s, &spec(), &cfg, 2.0),
+            Verdict::Flagged
+        );
+    }
+
+    #[test]
+    fn agent_restart_resets_window_cleanly() {
+        // Two pre-restart violations, then the agent restarts (a fresh
+        // detector, per the fault model: the daemon loses all in-memory
+        // state). The first post-restart violation must come back as
+        // Flagged — not Anomalous — because the 3-in-5-min rule re-warms
+        // from zero.
+        let cfg = Cpi2Config::default();
+        let mut d = OutlierDetector::new();
+        assert_eq!(
+            d.observe(&sample(0, 2.5, 1.0), &spec(), &cfg),
+            Verdict::Flagged
+        );
+        assert_eq!(
+            d.observe(&sample(1, 2.5, 1.0), &spec(), &cfg),
+            Verdict::Flagged
+        );
+        assert_eq!(d.flag_count(), 2);
+
+        // Simulated restart: state is not carried over.
+        let mut d = OutlierDetector::new();
+        assert_eq!(d.flag_count(), 0);
+        assert_eq!(d.first_flag_at(), None);
+        assert_eq!(
+            d.observe(&sample(2, 2.5, 1.0), &spec(), &cfg),
+            Verdict::Flagged
+        );
+        assert_eq!(
+            d.observe(&sample(3, 2.5, 1.0), &spec(), &cfg),
+            Verdict::Flagged
+        );
+        // Only at the third *post-restart* violation does the anomaly
+        // fire: no incident can be blamed on pre-restart violations.
+        assert_eq!(
+            d.observe(&sample(4, 2.5, 1.0), &spec(), &cfg),
+            Verdict::Anomalous
+        );
+        assert_eq!(d.first_flag_at(), Some(2 * 60_000_000));
+    }
+
+    #[test]
+    fn restart_mid_streak_delays_detection_not_corrupts_it() {
+        // A continuously anomalous task across a restart: detection is
+        // delayed by the re-warmup (bounded by violations_required
+        // samples), never corrupted into a premature or missed incident.
+        let cfg = Cpi2Config::default();
+        let mut d = OutlierDetector::new();
+        d.observe(&sample(0, 2.5, 1.0), &spec(), &cfg);
+        d.observe(&sample(1, 2.5, 1.0), &spec(), &cfg);
+        let mut d = OutlierDetector::new(); // restart at t≈1.5 min
+        let mut verdicts = Vec::new();
+        for m in 2..6 {
+            verdicts.push(d.observe(&sample(m, 2.5, 1.0), &spec(), &cfg));
+        }
+        assert_eq!(
+            verdicts,
+            vec![
+                Verdict::Flagged,
+                Verdict::Flagged,
+                Verdict::Anomalous,
+                Verdict::Anomalous
+            ]
+        );
     }
 }

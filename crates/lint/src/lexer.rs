@@ -177,9 +177,9 @@ pub fn lex(src: &str) -> Lexed {
             c if c.is_ascii_digit() => {
                 let mut j = i + 1;
                 while j < b.len()
-                    && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.' && b
-                        .get(j + 1)
-                        .is_some_and(|n| n.is_ascii_digit()))
+                    && (b[j].is_alphanumeric()
+                        || b[j] == '_'
+                        || b[j] == '.' && b.get(j + 1).is_some_and(|n| n.is_ascii_digit()))
                 {
                     j += 1;
                 }
@@ -338,10 +338,7 @@ mod tests {
         let l = lex(r#"let s = "call .unwrap() now"; let r = r"panic!";"#);
         assert!(!l.toks.iter().any(|t| t.is_ident("unwrap")));
         assert!(!l.toks.iter().any(|t| t.is_ident("panic")));
-        assert_eq!(
-            l.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
-            2
-        );
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
     }
 
     #[test]
@@ -382,7 +379,10 @@ mod tests {
     fn numbers_including_float_methods() {
         // `1.0e6` is one number; `x.0` is field access (two tokens + dot).
         let l = lex("let a = 1.0e6; let b = x.0;");
-        assert!(l.toks.iter().any(|t| t.kind == TokKind::Num && t.text == "1.0e6"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.0e6"));
     }
 
     #[test]

@@ -156,9 +156,8 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         let src = fs::read_to_string(&file)?;
         findings.extend(lint_source(&rel, &src, &rules));
     }
-    findings.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
-    });
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     Ok(findings)
 }
 

@@ -262,7 +262,8 @@ mod tests {
 
     #[test]
     fn test_region_covers_mod_body() {
-        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn after() {}";
         let m = FileModel::build(src);
         let unwrap_idx = m
             .toks
@@ -270,7 +271,11 @@ mod tests {
             .position(|t| t.is_ident("unwrap"))
             .expect("unwrap token");
         assert!(m.in_test(unwrap_idx));
-        let after_idx = m.toks.iter().position(|t| t.is_ident("after")).expect("after");
+        let after_idx = m
+            .toks
+            .iter()
+            .position(|t| t.is_ident("after"))
+            .expect("after");
         assert!(!m.in_test(after_idx));
     }
 

@@ -1,8 +1,8 @@
 //! The invariant rules: determinism (D), panic-freedom (S), lock
 //! discipline (L) and telemetry hygiene (T), run over a [`FileModel`].
 
-use crate::model::FileModel;
 use crate::lexer::{Tok, TokKind};
+use crate::model::FileModel;
 use std::fmt;
 
 /// A lint rule identifier — also the name used in waiver comments.
@@ -200,7 +200,7 @@ pub fn check_file(path: &str, model: &FileModel, rules: &RuleSet) -> Vec<Finding
             }
         }
     }
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.sort_by_key(|a| (a.line, a.rule));
     out.dedup();
     out
 }
@@ -295,7 +295,8 @@ fn map_iter_rule(model: &FileModel, out: &mut Raw) {
                 format!(
                     "iteration over hash-ordered `{}` (`.{}()`): order is \
                      not deterministic — use BTreeMap/BTreeSet or sort",
-                    toks[i - 2].text, toks[i].text
+                    toks[i - 2].text,
+                    toks[i].text
                 ),
             ));
         }
@@ -604,7 +605,10 @@ fn let_binding_name(toks: &[Tok], i: usize, floor: usize) -> Option<String> {
             if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
                 n += 1;
             }
-            return toks.get(n).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+            return toks
+                .get(n)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone());
         }
     }
     None

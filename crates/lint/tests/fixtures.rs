@@ -6,11 +6,7 @@
 use cpi2_lint::{lint_source, Finding, Rule, RuleSet};
 
 fn lint_fixture(name: &str) -> Vec<Finding> {
-    let path = format!(
-        "{}/tests/fixtures/{}.rs",
-        env!("CARGO_MANIFEST_DIR"),
-        name
-    );
+    let path = format!("{}/tests/fixtures/{}.rs", env!("CARGO_MANIFEST_DIR"), name);
     let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     lint_source(&format!("{name}.rs"), &src, &RuleSet::all())
 }

@@ -8,6 +8,7 @@
 use crate::specstore::SpecStore;
 use cpi2_core::{Cpi2Config, CpiSample, CpiSpec, ShardedSpecBuilder, DEFAULT_SPEC_SHARDS};
 use cpi2_telemetry::{Counter, Histo, Telemetry};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Spec aggregation with periodic refresh.
 ///
@@ -20,6 +21,15 @@ pub struct Aggregator {
     refresh_period_us: i64,
     next_roll: i64,
     samples_seen: u64,
+    /// Idempotent-ingest window (µs), if enabled: a `(task, timestamp)`
+    /// pair seen within this horizon of the newest sample is skipped, so a
+    /// duplicated shipment cannot skew spec statistics.
+    dedup_horizon_us: Option<i64>,
+    /// `timestamp → tasks` already ingested inside the horizon.
+    seen: BTreeMap<i64, BTreeSet<u64>>,
+    /// High-water timestamp driving horizon eviction.
+    seen_watermark: i64,
+    duplicates_dropped: u64,
     metrics: AggregatorMetrics,
 }
 
@@ -31,6 +41,7 @@ struct AggregatorMetrics {
     samples_total: Counter,
     build_duration_us: Histo,
     specs_published_total: Counter,
+    duplicates_total: Counter,
 }
 
 impl AggregatorMetrics {
@@ -41,6 +52,7 @@ impl AggregatorMetrics {
             samples_total: telemetry.counter("cpi_aggregator_samples_total", &[]),
             build_duration_us: telemetry.histogram("cpi_spec_build_duration_us", &[]),
             specs_published_total: telemetry.counter("cpi_specs_published_total", &[]),
+            duplicates_total: telemetry.counter("cpi_aggregator_duplicates_total", &[]),
         }
     }
 }
@@ -60,7 +72,26 @@ impl Aggregator {
             refresh_period_us,
             next_roll: start_us + refresh_period_us,
             samples_seen: 0,
+            dedup_horizon_us: None,
+            seen: BTreeMap::new(),
+            seen_watermark: i64::MIN,
+            duplicates_dropped: 0,
             metrics: AggregatorMetrics::default(),
+        }
+    }
+
+    /// Enables (or disables) idempotent ingest: a `(task, timestamp)` pair
+    /// re-ingested within `horizon_us` of the newest sample is dropped and
+    /// counted instead of double-counted. Off by default — callers whose
+    /// transport can duplicate shipments (retries, fault injection) opt
+    /// in. Duplicates older than the horizon are indistinguishable from
+    /// fresh samples; size the horizon to cover the transport's maximum
+    /// redelivery delay.
+    pub fn set_dedup_horizon(&mut self, horizon_us: Option<i64>) {
+        self.dedup_horizon_us = horizon_us;
+        if horizon_us.is_none() {
+            self.seen.clear();
+            self.seen_watermark = i64::MIN;
         }
     }
 
@@ -73,11 +104,61 @@ impl Aggregator {
     }
 
     /// Feeds a batch of samples (one lock acquisition per touched shard).
+    /// With a dedup horizon set, already-seen `(task, timestamp)` pairs
+    /// are skipped.
     pub fn ingest(&mut self, samples: &[CpiSample]) {
+        if self.dedup_horizon_us.is_none() {
+            self.ingest_unchecked(samples);
+            return;
+        }
+        // Copy-on-first-duplicate: the clean path ingests the caller's
+        // slice directly with no allocation.
+        let mut kept: Option<Vec<CpiSample>> = None;
+        let mut dups = 0u64;
+        for (i, s) in samples.iter().enumerate() {
+            let fresh = self.seen.entry(s.timestamp).or_default().insert(s.task.0);
+            if fresh {
+                if let Some(k) = kept.as_mut() {
+                    k.push(s.clone());
+                }
+            } else {
+                dups += 1;
+                if kept.is_none() {
+                    kept = Some(samples[..i].to_vec());
+                }
+            }
+            self.seen_watermark = self.seen_watermark.max(s.timestamp);
+        }
+        if dups > 0 {
+            self.duplicates_dropped += dups;
+            self.metrics.duplicates_total.add(dups);
+        }
+        if let Some(horizon) = self.dedup_horizon_us {
+            let cutoff = self.seen_watermark.saturating_sub(horizon);
+            if self
+                .seen
+                .first_key_value()
+                .is_some_and(|(&t, _)| t < cutoff)
+            {
+                self.seen = self.seen.split_off(&cutoff);
+            }
+        }
+        match kept {
+            Some(k) => self.ingest_unchecked(&k),
+            None => self.ingest_unchecked(samples),
+        }
+    }
+
+    fn ingest_unchecked(&mut self, samples: &[CpiSample]) {
         self.builder.ingest_batch(samples);
         self.samples_seen += samples.len() as u64;
         self.metrics.batch_size.record(samples.len() as f64);
         self.metrics.samples_total.add(samples.len() as u64);
+    }
+
+    /// Duplicated samples skipped by idempotent ingest.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
     }
 
     /// The sharded builder, for ingesting from multiple threads at once.
@@ -86,7 +167,7 @@ impl Aggregator {
     }
 
     /// Rolls the period if `now_us` passed the refresh boundary; publishes
-    /// refreshed specs to `store` and returns them.
+    /// refreshed specs to `store` (stamped with `now_us`) and returns them.
     pub fn maybe_refresh(&mut self, now_us: i64, store: &SpecStore) -> Option<Vec<CpiSpec>> {
         if now_us < self.next_roll {
             return None;
@@ -94,11 +175,18 @@ impl Aggregator {
         while self.next_roll <= now_us {
             self.next_roll += self.refresh_period_us;
         }
-        Some(self.refresh_now(store))
+        Some(self.refresh_at(store, now_us))
     }
 
-    /// Forces an immediate refresh (operator action / tests).
+    /// Forces an immediate refresh with no publish timestamp (entries
+    /// never age out at agents) — operator action / tests.
     pub fn refresh_now(&mut self, store: &SpecStore) -> Vec<CpiSpec> {
+        self.refresh_at(store, i64::MAX)
+    }
+
+    /// Forces an immediate refresh, stamping the published specs with the
+    /// simulated time `now_us` so agents can age their cached copies.
+    pub fn refresh_at(&mut self, store: &SpecStore, now_us: i64) -> Vec<CpiSpec> {
         let timer = self.metrics.build_duration_us.timer();
         let specs = self.builder.roll_period();
         timer.stop();
@@ -106,7 +194,7 @@ impl Aggregator {
         self.metrics.telemetry.event("spec_refresh", || {
             format!("published {} specs", specs.len())
         });
-        store.publish(specs.clone());
+        store.publish_at(specs.clone(), now_us);
         specs
     }
 
@@ -174,6 +262,61 @@ mod tests {
         assert!(agg.maybe_refresh(10 * day_us, &store).is_some());
         assert!(agg.maybe_refresh(10 * day_us + 1, &store).is_none());
         assert!(agg.maybe_refresh(11 * day_us, &store).is_some());
+    }
+
+    #[test]
+    fn dedup_skips_replayed_batches() {
+        let mut agg = Aggregator::new(mk_config(), 0);
+        agg.set_dedup_horizon(Some(3_600_000_000));
+        let batch: Vec<_> = (0..6u64).map(|t| sample(t, 1_000_000, 1.5)).collect();
+        agg.ingest(&batch);
+        assert_eq!(agg.samples_seen(), 6);
+        // A duplicated shipment: same tasks, same timestamps.
+        agg.ingest(&batch);
+        assert_eq!(agg.samples_seen(), 6);
+        assert_eq!(agg.duplicates_dropped(), 6);
+        // Fresh timestamps still flow.
+        let later: Vec<_> = (0..6u64).map(|t| sample(t, 2_000_000, 1.5)).collect();
+        agg.ingest(&later);
+        assert_eq!(agg.samples_seen(), 12);
+    }
+
+    #[test]
+    fn dedup_evicts_beyond_horizon() {
+        let mut agg = Aggregator::new(mk_config(), 0);
+        agg.set_dedup_horizon(Some(10_000_000)); // 10 s
+        agg.ingest(&[sample(1, 0, 1.5)]);
+        // 30 s later the old key is evicted; replaying it is no longer
+        // detectable (documented horizon semantics).
+        agg.ingest(&[sample(1, 30_000_000, 1.5)]);
+        agg.ingest(&[sample(1, 0, 1.5)]);
+        assert_eq!(agg.duplicates_dropped(), 0);
+        assert_eq!(agg.samples_seen(), 3);
+    }
+
+    #[test]
+    fn dedup_off_by_default() {
+        let mut agg = Aggregator::new(mk_config(), 0);
+        let batch: Vec<_> = (0..3u64).map(|t| sample(t, 0, 1.5)).collect();
+        agg.ingest(&batch);
+        agg.ingest(&batch);
+        assert_eq!(agg.samples_seen(), 6);
+        assert_eq!(agg.duplicates_dropped(), 0);
+    }
+
+    #[test]
+    fn refresh_at_stamps_store_entries() {
+        let store = SpecStore::new();
+        let mut agg = Aggregator::new(mk_config(), 0);
+        for t in 0..6u64 {
+            for i in 0..20 {
+                agg.ingest(&[sample(t, i, 1.5)]);
+            }
+        }
+        agg.refresh_at(&store, 7_000_000);
+        let aged = store.changed_since_with_age(0);
+        assert_eq!(aged.len(), 1);
+        assert_eq!(aged[0].1, 7_000_000);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::aggregator::Aggregator;
 use cpi2_core::{CpiSample, Incident};
 use cpi2_telemetry::{Counter, Telemetry};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -83,6 +84,150 @@ impl CollectorHandle {
     /// Sends one batch of incidents.
     pub fn send_incidents(&self, incidents: Vec<Incident>) -> bool {
         self.send(AgentMessage::Incidents(incidents))
+    }
+
+    /// Attempts to send a sample batch **without** giving up on failure:
+    /// on back-pressure the batch comes back to the caller (nothing is
+    /// counted as dropped) so a [`RetryQueue`] can try again later.
+    pub fn offer_samples(&self, samples: Vec<CpiSample>) -> Result<(), Vec<CpiSample>> {
+        let count = samples.len() as u64;
+        match self.tx.try_send(AgentMessage::Samples(samples)) {
+            Ok(()) => {
+                self.metrics.messages_total.inc();
+                self.metrics.samples_total.add(count);
+                Ok(())
+            }
+            Err(TrySendError::Full(AgentMessage::Samples(s)))
+            | Err(TrySendError::Disconnected(AgentMessage::Samples(s))) => Err(s),
+            // try_send returns the message we passed in, which is always
+            // AgentMessage::Samples here.
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => Ok(()),
+        }
+    }
+}
+
+/// Bounded-retry parameters for [`RetryQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total send attempts per batch (first try included) before the
+    /// batch is abandoned. The pipeline stays lossy by design — §4.1
+    /// detection runs locally — retries just shrink the loss window.
+    pub max_attempts: u32,
+    /// Backoff before attempt `n + 1`, doubling each retry:
+    /// `base_backoff_us << (n - 1)` µs after the `n`-th failure.
+    pub base_backoff_us: i64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 2_000_000,
+        }
+    }
+}
+
+/// One sample batch awaiting re-send.
+#[derive(Debug)]
+struct PendingBatch {
+    samples: Vec<CpiSample>,
+    attempts: u32,
+    next_attempt_us: i64,
+}
+
+/// Agent-side bounded retry-with-backoff for sample shipments.
+///
+/// Wraps [`CollectorHandle::offer_samples`]: a batch the collector can't
+/// take right now is parked and re-offered on later [`RetryQueue::flush`]
+/// calls with exponential backoff, until [`RetryPolicy::max_attempts`] is
+/// exhausted — then it is abandoned and counted, never silently lost.
+/// Purely deterministic: ordering is FIFO and timing comes from the
+/// caller's clock.
+#[derive(Debug, Default)]
+pub struct RetryQueue {
+    policy: RetryPolicy,
+    pending: VecDeque<PendingBatch>,
+    abandoned_batches: u64,
+    retries_total: Counter,
+    abandoned_total: Counter,
+}
+
+impl RetryQueue {
+    /// Creates a queue with the given policy (telemetry disabled).
+    pub fn new(policy: RetryPolicy) -> Self {
+        RetryQueue {
+            policy,
+            ..RetryQueue::default()
+        }
+    }
+
+    /// Attaches telemetry: retry attempts and abandoned batches.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.retries_total = telemetry.counter("cpi_collector_retries_total", &[]);
+        self.abandoned_total = telemetry.counter("cpi_collector_retry_abandoned_total", &[]);
+    }
+
+    /// Sends `samples` through `handle`, parking the batch for retry if
+    /// the collector is saturated. Returns `true` when delivered
+    /// immediately.
+    pub fn send_or_queue(
+        &mut self,
+        handle: &CollectorHandle,
+        samples: Vec<CpiSample>,
+        now_us: i64,
+    ) -> bool {
+        match handle.offer_samples(samples) {
+            Ok(()) => true,
+            Err(samples) => {
+                self.park(samples, 1, now_us);
+                false
+            }
+        }
+    }
+
+    /// Re-offers every parked batch whose backoff has elapsed. Returns how
+    /// many batches were delivered this call.
+    pub fn flush(&mut self, handle: &CollectorHandle, now_us: i64) -> usize {
+        let mut delivered = 0;
+        for _ in 0..self.pending.len() {
+            let Some(batch) = self.pending.pop_front() else {
+                break;
+            };
+            if batch.next_attempt_us > now_us {
+                self.pending.push_back(batch);
+                continue;
+            }
+            self.retries_total.inc();
+            match handle.offer_samples(batch.samples) {
+                Ok(()) => delivered += 1,
+                Err(samples) => self.park(samples, batch.attempts + 1, now_us),
+            }
+        }
+        delivered
+    }
+
+    fn park(&mut self, samples: Vec<CpiSample>, attempts: u32, now_us: i64) {
+        if attempts >= self.policy.max_attempts {
+            self.abandoned_batches += 1;
+            self.abandoned_total.inc();
+            return;
+        }
+        let backoff = self.policy.base_backoff_us << (attempts - 1).min(32);
+        self.pending.push_back(PendingBatch {
+            samples,
+            attempts,
+            next_attempt_us: now_us.saturating_add(backoff),
+        });
+    }
+
+    /// Batches currently parked for retry.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Batches abandoned after exhausting every attempt.
+    pub fn abandoned_batches(&self) -> u64 {
+        self.abandoned_batches
     }
 }
 
@@ -244,6 +389,63 @@ mod tests {
         let specs = agg.refresh_now(&store);
         assert_eq!(specs.len(), 1);
         assert!((specs[0].cpi_mean - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offer_returns_batch_on_backpressure() {
+        let c = Collector::new(1);
+        let h = c.handle();
+        assert!(h.offer_samples(vec![sample(1)]).is_ok());
+        let back = h.offer_samples(vec![sample(2), sample(3)]).unwrap_err();
+        assert_eq!(back.len(), 2);
+        // Nothing counted as dropped: the caller still owns the batch.
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn retry_queue_delivers_after_backoff() {
+        let mut c = Collector::new(1);
+        let h = c.handle();
+        let mut q = RetryQueue::new(RetryPolicy {
+            max_attempts: 5,
+            base_backoff_us: 1_000,
+        });
+        assert!(q.send_or_queue(&h, vec![sample(1)], 0));
+        assert!(!q.send_or_queue(&h, vec![sample(2)], 0));
+        assert_eq!(q.pending(), 1);
+        // Backoff not elapsed: the parked batch is not retried yet.
+        c.drain();
+        assert_eq!(q.flush(&h, 500), 0);
+        assert_eq!(q.pending(), 1);
+        // Once due (and with channel space) the retry delivers.
+        assert_eq!(q.flush(&h, 1_000), 1);
+        assert_eq!(q.pending(), 0);
+        c.drain();
+        assert_eq!(c.take_samples().len(), 2);
+        assert_eq!(q.abandoned_batches(), 0);
+    }
+
+    #[test]
+    fn retry_queue_abandons_after_max_attempts() {
+        let tel = Telemetry::enabled();
+        let c = Collector::new(1);
+        let h = c.handle();
+        let mut q = RetryQueue::new(RetryPolicy {
+            max_attempts: 2,
+            base_backoff_us: 10,
+        });
+        q.set_telemetry(&tel);
+        assert!(q.send_or_queue(&h, vec![sample(1)], 0)); // fills the channel
+        assert!(!q.send_or_queue(&h, vec![sample(2)], 0)); // attempt 1 parked
+        assert_eq!(q.flush(&h, 100), 0); // attempt 2 fails → abandoned
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.abandoned_batches(), 1);
+        let text = tel.prometheus_text().unwrap();
+        assert!(text.contains("cpi_collector_retries_total 1"), "{text}");
+        assert!(
+            text.contains("cpi_collector_retry_abandoned_total 1"),
+            "{text}"
+        );
     }
 
     #[test]

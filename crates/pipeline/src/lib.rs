@@ -24,7 +24,7 @@ pub mod query;
 pub mod specstore;
 
 pub use aggregator::Aggregator;
-pub use collector::{AgentMessage, Collector, CollectorHandle};
+pub use collector::{AgentMessage, Collector, CollectorHandle, RetryPolicy, RetryQueue};
 pub use filelog::FileLog;
 pub use log::LogTable;
 pub use query::{Dataset, QueryError, QueryResult, Table, Value};

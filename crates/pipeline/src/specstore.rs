@@ -14,8 +14,12 @@
 use cpi2_core::{CpiSpec, JobKey};
 use cpi2_telemetry::{Counter, Histo, Telemetry};
 use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+
+/// How many past snapshots the store retains for [`SpecStore::lagged_snapshot`]
+/// (fault injection serves reads from a bounded distance behind head).
+const SNAPSHOT_HISTORY: usize = 8;
 
 /// A thread-safe, versioned store of CPI specs.
 #[derive(Debug, Default)]
@@ -25,6 +29,10 @@ pub struct SpecStore {
     /// Serializes publishers so snapshot construction happens outside any
     /// lock readers touch.
     publish_lock: Mutex<()>,
+    /// The last [`SNAPSHOT_HISTORY`] installed snapshots, newest last —
+    /// the stale views [`SpecStore::lagged_snapshot`] serves. Touched only
+    /// under `publish_lock` (writes) or alone (reads).
+    history: Mutex<VecDeque<Arc<Inner>>>,
     /// Snapshot swaps performed by [`SpecStore::publish`].
     swaps_total: Counter,
     /// Version lag observed by [`SpecStore::changed_since`] callers: how
@@ -32,12 +40,23 @@ pub struct SpecStore {
     reader_staleness: Histo,
 }
 
+/// One stored spec with its distribution metadata.
+#[derive(Debug, Clone)]
+struct SpecEntry {
+    /// Store version this entry was installed at.
+    version: u64,
+    /// Simulated publish time (µs); `i64::MAX` for untimestamped
+    /// publishes, which therefore never look stale to agents.
+    published_at_us: i64,
+    spec: CpiSpec,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     version: u64,
     // BTreeMap: `changed_since` iterates the spec set, and the deltas
     // it hands to agents must not depend on hash order.
-    specs: BTreeMap<JobKey, (u64, CpiSpec)>,
+    specs: BTreeMap<JobKey, SpecEntry>,
 }
 
 /// An immutable, lock-free view of the store at one version.
@@ -57,7 +76,7 @@ impl SpecSnapshot {
 
     /// The spec for a key at this snapshot, if any.
     pub fn get(&self, key: &JobKey) -> Option<&CpiSpec> {
-        self.inner.specs.get(key).map(|(_, s)| s)
+        self.inner.specs.get(key).map(|e| &e.spec)
     }
 
     /// Number of specs in this snapshot.
@@ -68,6 +87,35 @@ impl SpecSnapshot {
     /// True if the snapshot holds no specs.
     pub fn is_empty(&self) -> bool {
         self.inner.specs.is_empty()
+    }
+
+    /// The highest per-entry install version in this snapshot. Coherence
+    /// invariant: never exceeds [`SpecSnapshot::version`], at any lag.
+    pub fn max_entry_version(&self) -> u64 {
+        self.inner
+            .specs
+            .values()
+            .map(|e| e.version)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All specs changed after `since_version` in this snapshot, each with
+    /// its publish time (µs; `i64::MAX` when the publisher attached none).
+    /// Sorted by (jobname, platforminfo) so sync order is deterministic.
+    pub fn changed_since_with_age(&self, since_version: u64) -> Vec<(CpiSpec, i64)> {
+        let mut out: Vec<(CpiSpec, i64)> = self
+            .inner
+            .specs
+            .values()
+            .filter(|e| e.version > since_version)
+            .map(|e| (e.spec.clone(), e.published_at_us))
+            .collect();
+        out.sort_by(|(a, _), (b, _)| {
+            (a.jobname.as_str(), a.platforminfo.as_str())
+                .cmp(&(b.jobname.as_str(), b.platforminfo.as_str()))
+        });
+        out
     }
 }
 
@@ -90,13 +138,21 @@ impl SpecStore {
         }
     }
 
-    /// Installs a batch of refreshed specs, bumping the store version.
-    /// Returns the new version.
+    /// Installs a batch of refreshed specs with no publish timestamp
+    /// (entries never look stale to agents). Returns the new version.
     ///
     /// The new spec set becomes visible to readers all at once: the next
     /// snapshot is assembled while readers continue against the old one,
     /// then swapped in with a single pointer store.
     pub fn publish(&self, specs: Vec<CpiSpec>) -> u64 {
+        self.publish_at(specs, i64::MAX)
+    }
+
+    /// Installs a batch of refreshed specs stamped with the simulated
+    /// publish time `now_us`, bumping the store version. Agents use the
+    /// stamp to age their cached copies ([`SpecSnapshot::changed_since_with_age`]).
+    /// Returns the new version.
+    pub fn publish_at(&self, specs: Vec<CpiSpec>, now_us: i64) -> u64 {
         let _publishing = self.publish_lock.lock();
         // lint: allow(nested-lock) — read guard is a temporary dropped at
         // statement end; publishers serialize on publish_lock by design.
@@ -107,12 +163,28 @@ impl SpecStore {
         };
         let v = next.version;
         for s in specs {
-            next.specs.insert(s.key(), (v, s));
+            next.specs.insert(
+                s.key(),
+                SpecEntry {
+                    version: v,
+                    published_at_us: now_us,
+                    spec: s,
+                },
+            );
         }
+        let next = Arc::new(next);
+        // lint: allow(nested-lock) — history is only ever locked alone or
+        // under publish_lock, never while holding `current`.
+        let mut history = self.history.lock();
+        if history.len() == SNAPSHOT_HISTORY {
+            history.pop_front();
+        }
+        history.push_back(Arc::clone(&next));
+        drop(history);
         // lint: allow(nested-lock) — the single-pointer swap under the
         // publish lock IS the snapshot-swap protocol; writers never block
         // readers for longer than the store.
-        *self.current.write() = Arc::new(next);
+        *self.current.write() = next;
         self.swaps_total.inc();
         v
     }
@@ -129,21 +201,44 @@ impl SpecStore {
 
     /// All specs changed after `since_version` — the delta an agent pulls.
     pub fn changed_since(&self, since_version: u64) -> Vec<CpiSpec> {
+        self.changed_since_with_age(since_version)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Like [`SpecStore::changed_since`] but pairing each spec with its
+    /// publish time, so agents can age their cached copies.
+    pub fn changed_since_with_age(&self, since_version: u64) -> Vec<(CpiSpec, i64)> {
         let snap = self.snapshot();
         self.reader_staleness
             .record(snap.version().saturating_sub(since_version) as f64);
-        let mut out: Vec<CpiSpec> = snap
-            .inner
-            .specs
-            .values()
-            .filter(|(v, _)| *v > since_version)
-            .map(|(_, s)| s.clone())
-            .collect();
-        out.sort_by(|a, b| {
-            (a.jobname.as_str(), a.platforminfo.as_str())
-                .cmp(&(b.jobname.as_str(), b.platforminfo.as_str()))
-        });
-        out
+        snap.changed_since_with_age(since_version)
+    }
+
+    /// A snapshot `lag` publishes behind the current one (clamped to the
+    /// oldest retained; `lag == 0` is the current snapshot). Fault
+    /// injection uses this to model a distribution replica serving stale
+    /// state; the returned snapshot is internally coherent either way.
+    pub fn lagged_snapshot(&self, lag: usize) -> SpecSnapshot {
+        if lag == 0 {
+            return self.snapshot();
+        }
+        let history = self.history.lock();
+        match history.len().checked_sub(lag + 1) {
+            Some(idx) => SpecSnapshot {
+                inner: Arc::clone(&history[idx]),
+            },
+            None => match history.front() {
+                Some(oldest) => SpecSnapshot {
+                    inner: Arc::clone(oldest),
+                },
+                None => {
+                    drop(history);
+                    self.snapshot()
+                }
+            },
+        }
     }
 
     /// Number of stored specs.
@@ -238,6 +333,48 @@ mod tests {
         assert_eq!(snap2.get(&JobKey::new("a", "p")).unwrap().cpi_mean, 9.0);
         assert_eq!(snap2.len(), 2);
         assert!(snap2.version() > snap.version());
+    }
+
+    #[test]
+    fn publish_at_stamps_entries() {
+        let store = SpecStore::new();
+        store.publish_at(vec![spec("a", 1.0)], 42);
+        let aged = store.changed_since_with_age(0);
+        assert_eq!(aged.len(), 1);
+        assert_eq!(aged[0].1, 42);
+        // Untimestamped publishes carry the never-stale sentinel.
+        store.publish(vec![spec("b", 2.0)]);
+        let aged = store.changed_since_with_age(0);
+        let b = aged.iter().find(|(s, _)| s.jobname == "b").unwrap();
+        assert_eq!(b.1, i64::MAX);
+        // And "a" keeps its original stamp.
+        let a = aged.iter().find(|(s, _)| s.jobname == "a").unwrap();
+        assert_eq!(a.1, 42);
+    }
+
+    #[test]
+    fn lagged_snapshot_serves_history() {
+        let store = SpecStore::new();
+        let key = JobKey::new("a", "p");
+        store.publish_at(vec![spec("a", 1.0)], 1);
+        store.publish_at(vec![spec("a", 2.0)], 2);
+        store.publish_at(vec![spec("a", 3.0)], 3);
+        assert_eq!(store.lagged_snapshot(0).get(&key).unwrap().cpi_mean, 3.0);
+        assert_eq!(store.lagged_snapshot(1).get(&key).unwrap().cpi_mean, 2.0);
+        assert_eq!(store.lagged_snapshot(2).get(&key).unwrap().cpi_mean, 1.0);
+        // Beyond retained history: clamps to the oldest.
+        assert_eq!(store.lagged_snapshot(99).get(&key).unwrap().cpi_mean, 1.0);
+        // Lagged views are coherent and strictly behind head.
+        let lagged = store.lagged_snapshot(1);
+        assert!(lagged.max_entry_version() <= lagged.version());
+        assert!(lagged.version() < store.version());
+    }
+
+    #[test]
+    fn lagged_snapshot_on_empty_store() {
+        let store = SpecStore::new();
+        assert_eq!(store.lagged_snapshot(3).len(), 0);
+        assert_eq!(store.lagged_snapshot(0).version(), 0);
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct CounterBlock {
 
 impl CounterBlock {
     /// Component-wise difference `self − earlier` (for delta reads).
+    ///
+    /// The float fields go negative when `earlier` is actually later (a
+    /// counter reset — e.g. the task's machine crashed and respawned it);
+    /// readers use that sign as the reset signal, so the unsigned field
+    /// saturates rather than panicking.
     pub fn delta(&self, earlier: &CounterBlock) -> CounterBlock {
         CounterBlock {
             cycles: self.cycles - earlier.cycles,
@@ -45,7 +50,9 @@ impl CounterBlock {
             l2_misses: self.l2_misses - earlier.l2_misses,
             l3_misses: self.l3_misses - earlier.l3_misses,
             mem_lines: self.mem_lines - earlier.mem_lines,
-            context_switches: self.context_switches - earlier.context_switches,
+            context_switches: self
+                .context_switches
+                .saturating_sub(earlier.context_switches),
             cpu_time_us: self.cpu_time_us - earlier.cpu_time_us,
         }
     }

@@ -462,6 +462,78 @@ impl Cluster {
         true
     }
 
+    /// Crashes and reboots a machine: every resident task dies with it and
+    /// the machine comes back empty with fresh cgroup/counter state (the
+    /// same seed-derived RNG, so replays stay deterministic). Tasks from
+    /// `restart_on_exit` jobs are rescheduled immediately — possibly onto
+    /// the rebooted machine itself — keeping the same task index, exactly
+    /// like an in-place task restart. Returns the number of tasks lost.
+    pub fn crash_machine(&mut self, id: MachineId) -> usize {
+        let Some(machine) = self.machines.get(id.0 as usize) else {
+            return 0;
+        };
+        let platform = machine.platform.clone();
+        let lost: Vec<TaskId> = machine.tasks().map(|t| t.id).collect();
+        self.machines[id.0 as usize] = Machine::new(id, platform, self.config.seed);
+        self.trace.record(
+            self.now,
+            TraceEvent::MachineCrashed {
+                machine: id,
+                tasks_lost: lost.len() as u32,
+            },
+        );
+        let count = lost.len();
+        for task in lost {
+            let Some(info) = self.jobs.get_mut(&task.job) else {
+                continue;
+            };
+            let cache_mb = info
+                .placements
+                .remove(&task.index)
+                .map(|(_, c)| c)
+                .unwrap_or(0.0);
+            self.scheduler.release(
+                id,
+                task.job,
+                info.spec.class,
+                info.spec.cpu_reservation,
+                cache_mb,
+            );
+            if info.restart_on_exit {
+                let (class, cpu, name, priority) = (
+                    info.spec.class,
+                    info.spec.cpu_reservation,
+                    info.spec.name.clone(),
+                    info.spec.priority,
+                );
+                let model = {
+                    let info = self.jobs.get_mut(&task.job).expect("job exists");
+                    (info.factory)(task.index)
+                };
+                let cache_mb = model.profile().cache_mb;
+                if let Ok(new_machine) = self.scheduler.place(task.job, class, cpu, cache_mb) {
+                    let info = self.jobs.get_mut(&task.job).expect("job exists");
+                    info.placements.insert(task.index, (new_machine, cache_mb));
+                    self.machines[new_machine.0 as usize].add_task(
+                        TaskInstance { id: task, model },
+                        name,
+                        class,
+                        priority,
+                        None,
+                    );
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::TaskPlaced {
+                            task,
+                            machine: new_machine,
+                        },
+                    );
+                }
+            }
+        }
+        count
+    }
+
     /// Advances the cluster by one tick.
     pub fn step(&mut self) {
         // Execute scripted events that are due before this tick runs.
@@ -886,5 +958,57 @@ mod tests {
         assert!(kinds
             .iter()
             .any(|e| matches!(e, TraceEvent::TaskKilled { .. })));
+    }
+
+    #[test]
+    fn crash_machine_kills_and_respawns_resident_tasks() {
+        let mut c = small_cluster();
+        let job = c
+            .submit_job(
+                JobSpec::latency_sensitive("svc", 8, 1.0),
+                true,
+                constant_factory(1.0),
+            )
+            .unwrap();
+        c.run_for(SimDuration::from_secs(3));
+        let target = c.locate(TaskId { job, index: 0 }).unwrap();
+        let resident = c.machine(target).unwrap().task_count();
+        assert!(resident > 0);
+        let lost = c.crash_machine(target);
+        assert_eq!(lost, resident);
+        // The machine rebooted empty-or-refilled, and every task of the
+        // restart_on_exit job is running again somewhere.
+        let placed: usize = c.machines().iter().map(|m| m.task_count()).sum();
+        assert_eq!(placed, 8, "all crashed tasks must respawn");
+        for i in 0..8 {
+            assert!(c.locate(TaskId { job, index: i }).is_some());
+        }
+        assert!(c.trace().entries().any(
+            |e| matches!(e.event, TraceEvent::MachineCrashed { machine, .. } if machine == target)
+        ));
+        // Scheduler accounting survived: the cluster can keep running.
+        c.run_for(SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn crash_machine_without_restart_drops_tasks() {
+        let mut c = small_cluster();
+        let job = c
+            .submit_job(JobSpec::batch("b", 4, 1.0), false, constant_factory(1.0))
+            .unwrap();
+        let target = c.locate(TaskId { job, index: 0 }).unwrap();
+        let resident = c.machine(target).unwrap().task_count();
+        let lost = c.crash_machine(target);
+        assert_eq!(lost, resident);
+        let placed: usize = c.machines().iter().map(|m| m.task_count()).sum();
+        assert_eq!(placed, 4 - resident);
+        assert!(c.locate(TaskId { job, index: 0 }).is_none());
+    }
+
+    #[test]
+    fn crash_unknown_machine_is_noop() {
+        let mut c = small_cluster();
+        assert_eq!(c.crash_machine(MachineId(99)), 0);
+        assert!(c.trace().is_empty());
     }
 }

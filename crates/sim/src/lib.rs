@@ -22,6 +22,7 @@
 
 pub mod cgroup;
 pub mod cluster;
+pub mod fault;
 pub mod interference;
 pub mod job;
 pub mod machine;
@@ -35,6 +36,7 @@ pub mod trace;
 
 pub use cgroup::{Cgroup, CounterBlock, HardCap};
 pub use cluster::{default_parallelism, Cluster, ClusterConfig, ModelFactory};
+pub use fault::{FaultPlan, FaultProfile, ShipmentFate};
 pub use interference::{InterferenceParams, TaskLoad};
 pub use job::{JobId, JobSpec, Priority, SchedClass, TaskId};
 pub use machine::{Machine, MachineId, ResidentTask, TaskExit};

@@ -61,6 +61,13 @@ pub enum TraceEvent {
         /// Cap expiry.
         until: SimTime,
     },
+    /// A machine crashed and rebooted, killing every resident task.
+    MachineCrashed {
+        /// The machine that went down.
+        machine: MachineId,
+        /// How many resident tasks died with it.
+        tasks_lost: u32,
+    },
     /// Free-form annotation.
     Note(String),
 }

@@ -144,6 +144,91 @@ proptest! {
     }
 
     #[test]
+    fn cfs_granted_never_exceeds_bandwidth_quota(
+        limit in prop::option::of(0.05..8.0f64),
+        caps in prop::collection::vec(prop::option::of((0.01..4.0f64, 1..40i64)), 1..10),
+        demands in prop::collection::vec(0.0..16.0f64, 1..60),
+    ) {
+        // CFS bandwidth accounting under an arbitrary cap/demand script:
+        // per tick, granted CPU-time never exceeds quota x elapsed
+        // periods, and the throttle counter is monotone with per-tick
+        // increments bounded by the tick itself.
+        let mut g = Cgroup::new(limit);
+        let dt = SimDuration::from_secs(1);
+        let mut prev_throttled = 0i64;
+        for (i, &want) in demands.iter().enumerate() {
+            let now = SimTime::from_secs(i as i64);
+            match caps[i % caps.len()] {
+                Some((rate, dur_s)) => {
+                    g.apply_hard_cap(rate, now + SimDuration::from_secs(dur_s));
+                }
+                None => g.remove_hard_cap(),
+            }
+            let got = g.clamp_cpu(want, now, dt);
+            prop_assert!(got <= want + 1e-12, "granted {got} > requested {want}");
+            let rate = g.effective_rate(now);
+            if let Some(rate) = rate {
+                prop_assert!(got <= rate + 1e-12, "granted {got} > rate limit {rate}");
+                let quota = g.quota_us(now).expect("rate-limited cgroup has a quota");
+                // quota_us really is rate x period (within truncation).
+                prop_assert!(
+                    (quota as f64 - rate * g.period().as_us() as f64).abs() <= 1.0,
+                    "quota {quota} inconsistent with rate {rate}"
+                );
+                // Granted CPU-µs over the tick stays within quota x periods.
+                let periods = dt.as_us() as f64 / g.period().as_us() as f64;
+                prop_assert!(
+                    got * dt.as_us() as f64 <= (quota + 1) as f64 * periods + 1e-6,
+                    "granted {got} CPU-sec/sec exceeds quota {quota}µs x {periods} periods"
+                );
+            }
+            let th = g.throttled_us();
+            prop_assert!(th >= prev_throttled, "throttle counter went backwards");
+            prop_assert!(
+                th - prev_throttled <= dt.as_us(),
+                "throttled {}µs in a {}µs tick", th - prev_throttled, dt.as_us()
+            );
+            if rate.is_none() || rate.is_some_and(|r| want <= r) {
+                prop_assert_eq!(th, prev_throttled, "throttled although bandwidth sufficed");
+            }
+            prev_throttled = th;
+        }
+    }
+
+    #[test]
+    fn cgroup_charge_keeps_counters_monotone(
+        blocks in prop::collection::vec(
+            (0.0..1e9f64, 0.0..1e9f64, 0.0..1e6f64, 0..1_000_000u64, 0.0..1e7f64),
+            1..40,
+        ),
+    ) {
+        let mut g = Cgroup::new(None);
+        let mut prev = *g.counters();
+        for &(cycles, instructions, l3, switches, cpu_us) in &blocks {
+            g.charge(&cpi2_sim::CounterBlock {
+                cycles,
+                instructions,
+                l2_misses: l3 * 2.0,
+                l3_misses: l3,
+                mem_lines: l3,
+                context_switches: switches,
+                cpu_time_us: cpu_us,
+            });
+            let c = *g.counters();
+            prop_assert!(c.cycles >= prev.cycles);
+            prop_assert!(c.instructions >= prev.instructions);
+            prop_assert!(c.l3_misses >= prev.l3_misses);
+            prop_assert!(c.context_switches >= prev.context_switches);
+            prop_assert!(c.cpu_time_us >= prev.cpu_time_us);
+            // The delta view agrees with what was just charged.
+            let d = c.delta(&prev);
+            prop_assert!((d.cycles - cycles).abs() < 1e-3);
+            prop_assert!((d.instructions - instructions).abs() < 1e-3);
+            prev = c;
+        }
+    }
+
+    #[test]
     fn counters_are_monotonic(cpus in prop::collection::vec(0.1..3.0f64, 1..6), ticks in 1..30i64) {
         let mut m = Machine::new(MachineId(0), Platform::westmere(), 3);
         for (i, &cpu) in cpus.iter().enumerate() {

@@ -7,13 +7,16 @@
 //! agent hard-cap commands are executed against the machine's cgroups.
 
 use cpi2_core::{
-    Agent, AgentCommand, Cpi2Config, CpiSample, CpiSpec, Incident, TaskClass, TaskHandle,
+    Agent, AgentCommand, Cpi2Config, CpiSample, CpiSpec, Incident, IncidentAction, TaskClass,
+    TaskHandle,
 };
 use cpi2_perf::{ClusterSampler, CounterReading};
-use cpi2_pipeline::{Aggregator, Collector, CollectorHandle, SpecStore};
-use cpi2_sim::{Cluster, JobId, MachineId, SchedClass, SimDuration, SimTime, TaskId};
-use cpi2_telemetry::Telemetry;
-use std::collections::HashMap;
+use cpi2_pipeline::{Aggregator, Collector, CollectorHandle, RetryQueue, SpecStore};
+use cpi2_sim::{
+    Cluster, FaultPlan, JobId, MachineId, SchedClass, ShipmentFate, SimDuration, SimTime, TaskId,
+};
+use cpi2_telemetry::{Counter, Telemetry};
+use std::collections::{BTreeMap, HashMap};
 
 /// Converts a simulator task id into the agent-facing opaque handle.
 pub fn handle_for(task: TaskId) -> TaskHandle {
@@ -44,6 +47,30 @@ pub struct MachineIncident {
     pub machine: MachineId,
     /// The incident.
     pub incident: Incident,
+}
+
+/// Cached telemetry handles for injected faults and degraded-mode events.
+#[derive(Debug, Clone, Default)]
+struct FaultMetrics {
+    machine_crashes: Counter,
+    agent_restarts: Counter,
+    shipments_dropped: Counter,
+    shipments_delayed: Counter,
+    shipments_duplicated: Counter,
+    spec_sync_stale: Counter,
+}
+
+impl FaultMetrics {
+    fn new(telemetry: &Telemetry) -> FaultMetrics {
+        FaultMetrics {
+            machine_crashes: telemetry.counter("cpi_fault_machine_crashes_total", &[]),
+            agent_restarts: telemetry.counter("cpi_fault_agent_restarts_total", &[]),
+            shipments_dropped: telemetry.counter("cpi_fault_shipments_dropped_total", &[]),
+            shipments_delayed: telemetry.counter("cpi_fault_shipments_delayed_total", &[]),
+            shipments_duplicated: telemetry.counter("cpi_fault_shipments_duplicated_total", &[]),
+            spec_sync_stale: telemetry.counter("cpi_fault_spec_sync_stale_total", &[]),
+        }
+    }
 }
 
 /// The assembled CPI² system over a simulated cluster.
@@ -92,6 +119,16 @@ pub struct Cpi2Harness {
     pub migrate_chronic_victims_after: Option<u32>,
     chronic_counts: HashMap<TaskId, u32>,
     victim_migrations: u64,
+    /// Active fault-injection plan, if any ([`Cpi2Harness::set_fault_plan`]).
+    fault_plan: Option<FaultPlan>,
+    /// Agent-side bounded retry for shipments the collector couldn't take.
+    retry_queue: RetryQueue,
+    /// Shipments held back by injected delay: delivery time (µs) → batches.
+    delayed_shipments: BTreeMap<i64, Vec<Vec<CpiSample>>>,
+    fault_metrics: FaultMetrics,
+    agent_restarts: u64,
+    machine_crashes: u64,
+    shipment_faults: u64,
 }
 
 impl Cpi2Harness {
@@ -108,8 +145,15 @@ impl Cpi2Harness {
         let collector_handle = collector.handle();
         let mut aggregator = Aggregator::new(config.clone(), start);
         aggregator.set_telemetry(&telemetry);
+        // Idempotent ingest: duplicated shipments (sender retries, fault
+        // injection) must not skew spec statistics. One hour comfortably
+        // covers the worst redelivery delay the harness can produce.
+        aggregator.set_dedup_horizon(Some(3_600_000_000));
         let mut spec_store = SpecStore::new();
         spec_store.set_telemetry(&telemetry);
+        let mut retry_queue = RetryQueue::default();
+        retry_queue.set_telemetry(&telemetry);
+        let fault_metrics = FaultMetrics::new(&telemetry);
         Cpi2Harness {
             cluster,
             config,
@@ -132,6 +176,13 @@ impl Cpi2Harness {
             migrate_chronic_victims_after: None,
             chronic_counts: HashMap::new(),
             victim_migrations: 0,
+            fault_plan: None,
+            retry_queue,
+            delayed_shipments: BTreeMap::new(),
+            fault_metrics,
+            agent_restarts: 0,
+            machine_crashes: 0,
+            shipment_faults: 0,
         }
     }
 
@@ -233,8 +284,34 @@ impl Cpi2Harness {
     /// poll, agents detect/correlate/cap, the aggregator ingests, and spec
     /// refreshes propagate.
     pub fn step(&mut self) {
+        let prev = self.cluster.now();
         self.cluster.step();
         let now = self.cluster.now();
+
+        // Fault phase: fire every machine crash and agent restart that
+        // came due inside this tick, in machine-id order so runs are
+        // deterministic at any parallelism. A crash takes the machine's
+        // agent daemon down with it; a bare agent restart loses the
+        // agent's in-memory state (violation windows, spec cache) while
+        // resident tasks keep running.
+        if let Some(plan) = self.fault_plan.clone() {
+            let machine_count = self.cluster.machines().len();
+            for i in 0..machine_count {
+                let machine_id = self.cluster.machines()[i].id;
+                if plan.machine_crash_due(machine_id, prev, now) {
+                    self.cluster.crash_machine(machine_id);
+                    self.agents.remove(&machine_id);
+                    self.agent_versions.remove(&machine_id);
+                    self.machine_crashes += 1;
+                    self.fault_metrics.machine_crashes.inc();
+                } else if plan.agent_restart_due(machine_id, prev, now) {
+                    self.agents.remove(&machine_id);
+                    self.agent_versions.remove(&machine_id);
+                    self.agent_restarts += 1;
+                    self.fault_metrics.agent_restarts.inc();
+                }
+            }
+        }
 
         // Sample every machine and run its agent.
         let mut pending_caps: Vec<(TaskId, f64, SimTime)> = Vec::new();
@@ -266,12 +343,31 @@ impl Cpi2Harness {
                 a
             });
             let since = self.agent_versions.entry(machine_id).or_insert(0);
-            let store_version = self.spec_store.version();
-            if *since < store_version {
-                for spec in self.spec_store.changed_since(*since) {
-                    agent.install_spec(spec);
+            // Spec sync, possibly through a stale replica: a faulted sync
+            // serves this machine an older store snapshot. Specs carry
+            // their pipeline publish time so the agent's staleness TTL
+            // keys off data age, not install time.
+            let stale_lag = match &self.fault_plan {
+                Some(p) if p.stale_sync(machine_id, now) => p.profile().stale_lag,
+                _ => 0,
+            };
+            if stale_lag > 0 {
+                self.fault_metrics.spec_sync_stale.inc();
+                let snap = self.spec_store.lagged_snapshot(stale_lag);
+                if *since < snap.version() {
+                    for (spec, published_at) in snap.changed_since_with_age(*since) {
+                        agent.install_spec_at(spec, published_at);
+                    }
+                    *since = snap.version();
                 }
-                *since = store_version;
+            } else {
+                let store_version = self.spec_store.version();
+                if *since < store_version {
+                    for (spec, published_at) in self.spec_store.changed_since_with_age(*since) {
+                        agent.install_spec_at(spec, published_at);
+                    }
+                    *since = store_version;
+                }
             }
             let commands = agent.ingest(&batch);
             for inc in agent.take_incidents() {
@@ -309,10 +405,56 @@ impl Cpi2Harness {
             }
 
             // Detection ran locally (§4.1); now push the batch up the
-            // collection pipeline. A saturated collector drops it —
-            // aggregation degrades, local detection already happened.
-            self.collector_handle.send_samples(batch);
+            // collection pipeline through the fault layer. A dropped or
+            // delayed shipment degrades aggregation only — local
+            // detection already happened.
+            let fate = match &self.fault_plan {
+                Some(p) => p.shipment_fate(machine_id, now),
+                None => ShipmentFate::Deliver,
+            };
+            match fate {
+                ShipmentFate::Deliver => {
+                    self.retry_queue
+                        .send_or_queue(&self.collector_handle, batch, now.as_us());
+                }
+                ShipmentFate::Drop => {
+                    self.shipment_faults += 1;
+                    self.fault_metrics.shipments_dropped.inc();
+                }
+                ShipmentFate::Delay(ticks) => {
+                    self.shipment_faults += 1;
+                    self.fault_metrics.shipments_delayed.inc();
+                    let deliver_at = now.as_us() + self.cluster.tick_len().as_us() * ticks as i64;
+                    self.delayed_shipments
+                        .entry(deliver_at)
+                        .or_default()
+                        .push(batch);
+                }
+                ShipmentFate::Duplicate => {
+                    self.shipment_faults += 1;
+                    self.fault_metrics.shipments_duplicated.inc();
+                    self.retry_queue.send_or_queue(
+                        &self.collector_handle,
+                        batch.clone(),
+                        now.as_us(),
+                    );
+                    self.retry_queue
+                        .send_or_queue(&self.collector_handle, batch, now.as_us());
+                }
+            }
         }
+
+        // Release shipments whose injected delay has elapsed, then give
+        // parked (backpressured) batches another chance.
+        let still_delayed = self.delayed_shipments.split_off(&(now.as_us() + 1));
+        let due = std::mem::replace(&mut self.delayed_shipments, still_delayed);
+        for (_, batches) in due {
+            for batch in batches {
+                self.retry_queue
+                    .send_or_queue(&self.collector_handle, batch, now.as_us());
+            }
+        }
+        self.retry_queue.flush(&self.collector_handle, now.as_us());
 
         // Drain collected batches into the aggregation service.
         self.collector.drain_into(&mut self.aggregator);
@@ -370,13 +512,96 @@ impl Cpi2Harness {
     /// experiments to bootstrap specs after a warm-up phase instead of
     /// waiting 24 simulated hours.
     pub fn force_spec_refresh(&mut self) -> Vec<CpiSpec> {
-        self.aggregator.refresh_now(&self.spec_store)
+        self.aggregator
+            .refresh_at(&self.spec_store, self.cluster.now().as_us())
     }
 
     /// Installs a spec directly into the store (bypassing aggregation) —
     /// for experiments with known ground-truth specs.
     pub fn install_spec(&mut self, spec: CpiSpec) {
         self.spec_store.publish(vec![spec]);
+    }
+
+    /// Arms (or with `None`, disarms) deterministic fault injection. The
+    /// plan takes effect on the next [`Cpi2Harness::step`].
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Injected agent restarts fired so far (excluding machine crashes,
+    /// which also take the agent down but are counted separately).
+    pub fn agent_restarts(&self) -> u64 {
+        self.agent_restarts
+    }
+
+    /// Injected machine crashes fired so far.
+    pub fn machine_crashes(&self) -> u64 {
+        self.machine_crashes
+    }
+
+    /// Injected shipment faults (drops + delays + duplications) so far.
+    pub fn shipment_faults(&self) -> u64 {
+        self.shipment_faults
+    }
+
+    /// Sample batches parked agent-side awaiting a collector retry.
+    pub fn shipments_pending_retry(&self) -> usize {
+        self.retry_queue.pending()
+    }
+
+    /// Sample batches abandoned after exhausting collector retries.
+    pub fn shipments_abandoned(&self) -> u64 {
+        self.retry_queue.abandoned_batches()
+    }
+
+    /// The spec-store version a machine's agent has synced up to (`None`
+    /// if the machine has no live agent yet).
+    pub fn agent_spec_version(&self, machine: MachineId) -> Option<u64> {
+        self.agent_versions.get(&machine).copied()
+    }
+
+    /// Renders every incident as one stable text line (victim, CPI,
+    /// ranked suspect, action, target) — the golden-trace format used by
+    /// the fixed-seed regression fixtures.
+    pub fn incident_lines(&self) -> Vec<String> {
+        self.incidents
+            .iter()
+            .map(|mi| {
+                let inc = &mi.incident;
+                let suspect = inc
+                    .top_suspect()
+                    .map(|s| format!("{}@{:.3}", s.jobname, s.correlation))
+                    .unwrap_or_else(|| "-".to_string());
+                let (action, target) = match &inc.action {
+                    IncidentAction::HardCap {
+                        target,
+                        target_job,
+                        cpu_rate,
+                        ..
+                    } => (
+                        "hard_cap",
+                        format!("{}:{}@{}", target.0, target_job, cpu_rate),
+                    ),
+                    IncidentAction::None { reason } => ("none", reason.clone()),
+                };
+                format!(
+                    "t={} machine={} victim={}/{} cpi={:.4} suspect={} action={} target={}",
+                    inc.at,
+                    mi.machine.0,
+                    inc.victim.0,
+                    inc.victim_job,
+                    inc.victim_cpi,
+                    suspect,
+                    action,
+                    target
+                )
+            })
+            .collect()
     }
 }
 

@@ -3,7 +3,9 @@
 
 use cpi2::core::Cpi2Config;
 use cpi2::harness::Cpi2Harness;
-use cpi2::sim::{Cluster, ClusterConfig, JobId, JobSpec, Platform, SimDuration, TaskId};
+use cpi2::sim::{
+    Cluster, ClusterConfig, FaultPlan, FaultProfile, JobId, JobSpec, Platform, SimDuration, TaskId,
+};
 use cpi2::workloads;
 use cpi2_stats::rng::SimRng;
 
@@ -144,4 +146,128 @@ fn hours_of_churn_hold_invariants() {
         system.cluster.trace().len() > 10,
         "trace should have history"
     );
+}
+
+/// The same churn loop with the heavy fault profile armed on top:
+/// crashes, agent restarts, shipment faults and stale spec syncs overlap
+/// the operator chaos, and on every round the spec store must stay
+/// snapshot-coherent and every agent within the staleness bounds.
+#[test]
+fn churn_under_faults_holds_invariants() {
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed: 0xC406,
+        overcommit: 2.0,
+        preempt_starved_batch_after: Some(120),
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), 10);
+    cluster.add_machines(&Platform::sandy_bridge(), 5);
+
+    let config = Cpi2Config {
+        min_samples_per_task: 5,
+        ..Cpi2Config::default()
+    };
+    let mut system = Cpi2Harness::new(cluster, config);
+    system.set_fault_plan(Some(FaultPlan::new(0xFA_C405, FaultProfile::heavy())));
+
+    let mut rng = SimRng::new(0xD1CF);
+    let mut live_jobs: Vec<(JobId, u32)> = Vec::new();
+    let mut last_version = 0u64;
+
+    // 3 simulated hours in 5-minute rounds, one random action per round.
+    for round in 0..36u32 {
+        match rng.below(4) {
+            0 => {
+                let name = JOB_NAMES[rng.below(JOB_NAMES.len() as u64) as usize];
+                let tasks = 1 + rng.below(6) as u32;
+                let spec = if workloads::is_latency_sensitive(name) {
+                    JobSpec::latency_sensitive(name, tasks, 0.5 + rng.f64())
+                } else {
+                    JobSpec::batch(name, tasks, 0.5 + rng.f64())
+                };
+                if let Ok(job) = system.cluster.submit_job(
+                    spec,
+                    name != "mapreduce",
+                    workloads::factory(name, round as u64),
+                ) {
+                    live_jobs.push((job, tasks));
+                }
+            }
+            1 => {
+                if let Some(&(job, tasks)) = live_jobs.last() {
+                    let index = rng.below(tasks as u64) as u32;
+                    system.cluster.kill_task(TaskId { job, index });
+                }
+            }
+            2 => {
+                if !live_jobs.is_empty() {
+                    let (job, tasks) = live_jobs[rng.below(live_jobs.len() as u64) as usize];
+                    let index = rng.below(tasks as u64) as u32;
+                    system.operator_migrate(TaskId { job, index });
+                }
+            }
+            _ => {
+                if let Some(&(job, tasks)) = live_jobs.first() {
+                    let index = rng.below(tasks as u64) as u32;
+                    system.operator_cap(
+                        TaskId { job, index },
+                        0.05 + rng.f64() * 0.5,
+                        SimDuration::from_mins(1 + rng.below(10) as i64),
+                    );
+                }
+            }
+        }
+        if round % 8 == 6 {
+            system.force_spec_refresh();
+        }
+        system.run_for(SimDuration::from_mins(5));
+        check_invariants(&system);
+
+        // Spec-store snapshot coherence: no entry is newer than the store
+        // version, the version never moves backwards, and a lagged
+        // (fault-served) snapshot is never ahead of the current one.
+        let snap = system.spec_store.snapshot();
+        assert!(
+            snap.max_entry_version() <= snap.version(),
+            "snapshot holds an entry from the future"
+        );
+        assert_eq!(snap.version(), system.spec_store.version());
+        assert!(
+            snap.version() >= last_version,
+            "spec store version went backwards: {} -> {}",
+            last_version,
+            snap.version()
+        );
+        last_version = snap.version();
+        for lag in 0..4 {
+            assert!(
+                system.spec_store.lagged_snapshot(lag).version() <= snap.version(),
+                "lagged snapshot ahead of current at lag {lag}"
+            );
+        }
+
+        // Agent-cache staleness bounds: an agent never claims a sync
+        // version the store has not published.
+        for m in system.cluster.machines() {
+            if let Some(v) = system.agent_spec_version(m.id) {
+                assert!(
+                    v <= system.spec_store.version(),
+                    "{}: agent synced to unpublished version {v}",
+                    m.id
+                );
+            }
+        }
+    }
+
+    // The fault layer really ran.
+    assert!(system.machine_crashes() > 0, "no crashes in 3 h of heavy");
+    assert!(system.agent_restarts() > 0, "no agent restarts fired");
+    assert!(system.shipment_faults() > 0, "no shipment faults fired");
+    let placed: usize = system
+        .cluster
+        .machines()
+        .iter()
+        .map(|m| m.task_count())
+        .sum();
+    assert!(placed > 0, "everything died");
 }

@@ -9,7 +9,9 @@
 
 use cpi2::core::{Cpi2Config, CpiSpec};
 use cpi2::harness::Cpi2Harness;
-use cpi2::sim::{Cluster, ClusterConfig, Platform, SimDuration, TraceEntry};
+use cpi2::sim::{
+    Cluster, ClusterConfig, FaultPlan, FaultProfile, Platform, SimDuration, TraceEntry,
+};
 use cpi2::telemetry::Telemetry;
 use cpi2::workloads;
 
@@ -82,4 +84,53 @@ fn parallelism_beyond_machine_count_is_identical_too() {
     let (t2, s2, _, _) = run(64);
     assert_eq!(t1, t2);
     assert_eq!(s1, s2);
+}
+
+/// A full faulty run: trace, published specs, incident stream and fault
+/// counters, for one parallelism level.
+fn run_faulty(parallelism: usize) -> (Vec<TraceEntry>, Vec<CpiSpec>, Vec<String>, [u64; 3]) {
+    let mut system = build_system(parallelism);
+    system.set_fault_plan(Some(FaultPlan::new(SEED, FaultProfile::heavy())));
+    system.run_for(SimDuration::from_mins(135));
+    (
+        system.cluster.trace().entries().cloned().collect(),
+        system.spec_store.changed_since(0),
+        system.incident_lines(),
+        [
+            system.agent_restarts(),
+            system.machine_crashes(),
+            system.shipment_faults(),
+        ],
+    )
+}
+
+#[test]
+fn faulty_run_is_bit_identical_across_parallelism() {
+    // Fault injection draws are keyed on (machine, sim time), never on
+    // execution order — so crashes, restarts and shipment faults must
+    // land identically whether machines run serially or sharded.
+    let (trace_1, specs_1, incidents_1, counts_1) = run_faulty(1);
+    let (trace_4, specs_4, incidents_4, counts_4) = run_faulty(4);
+    let (trace_64, specs_64, incidents_64, counts_64) = run_faulty(64);
+
+    // The heavy profile really fired inside the 135-minute run —
+    // otherwise the equalities below would be vacuous.
+    assert!(counts_1[0] > 0, "no agent restarts fired");
+    assert!(counts_1[1] > 0, "no machine crashes fired");
+    assert!(counts_1[2] > 0, "no shipment faults fired");
+
+    assert_eq!(
+        trace_1, trace_4,
+        "faulty trace diverged between parallelism 1 and 4"
+    );
+    assert_eq!(
+        trace_1, trace_64,
+        "faulty trace diverged between parallelism 1 and 64"
+    );
+    assert_eq!(specs_1, specs_4);
+    assert_eq!(specs_1, specs_64);
+    assert_eq!(incidents_1, incidents_4);
+    assert_eq!(incidents_1, incidents_64);
+    assert_eq!(counts_1, counts_4);
+    assert_eq!(counts_1, counts_64);
 }

@@ -1,0 +1,115 @@
+//! Golden-trace regression tests: a fixed-seed end-to-end run must
+//! reproduce the committed incident stream byte for byte — victim,
+//! antagonist, action and time. Any behavioural drift in the sampling,
+//! detection, correlation or capping path shows up as a fixture diff.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use cpi2::core::Cpi2Config;
+use cpi2::harness::Cpi2Harness;
+use cpi2::sim::{
+    Cluster, ClusterConfig, FaultPlan, FaultProfile, JobSpec, Platform, ResourceProfile,
+    SimDuration,
+};
+use cpi2::workloads::{CacheThrasher, LsService};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `actual` against the committed fixture, or rewrites the
+/// fixture when `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); generate with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, actual,
+        "incident stream diverged from the golden fixture {name}; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1 and \
+         review the diff"
+    );
+}
+
+/// The fixed scenario behind both fixtures: six machines, a
+/// latency-sensitive victim job, a planted cache thrasher.
+fn run_scenario(seed: u64, faults: Option<FaultProfile>) -> String {
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed,
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), 6);
+    cluster
+        .submit_job(
+            JobSpec::latency_sensitive("frontend", 6, 1.0),
+            true,
+            Box::new(move |i| {
+                Box::new(LsService::new(
+                    ResourceProfile::cache_heavy(),
+                    1.0,
+                    12,
+                    seed ^ i as u64,
+                ))
+            }),
+        )
+        .expect("placement");
+    let mut system = Cpi2Harness::new(
+        cluster,
+        Cpi2Config {
+            min_samples_per_task: 5,
+            ..Cpi2Config::default()
+        },
+    );
+    if let Some(profile) = faults {
+        system.set_fault_plan(Some(FaultPlan::new(seed, profile)));
+    }
+
+    system.run_for(SimDuration::from_mins(30));
+    system.force_spec_refresh();
+    system
+        .cluster
+        .submit_job(
+            JobSpec::best_effort("thrasher", 1, 1.0),
+            true,
+            Box::new(|_| Box::new(CacheThrasher::new(8.0, 300, 300, 99))),
+        )
+        .expect("placement");
+    system.run_for(SimDuration::from_mins(45));
+
+    let mut out = system.incident_lines().join("\n");
+    out.push_str(&format!(
+        "\n# caps_applied={} agent_restarts={} machine_crashes={} shipment_faults={}\n",
+        system.caps_applied(),
+        system.agent_restarts(),
+        system.machine_crashes(),
+        system.shipment_faults(),
+    ));
+    out
+}
+
+#[test]
+fn golden_incident_stream_clean() {
+    check_golden("golden_incidents_clean.txt", &run_scenario(0x601D, None));
+}
+
+#[test]
+fn golden_incident_stream_lossy() {
+    check_golden(
+        "golden_incidents_lossy.txt",
+        &run_scenario(0x601D, Some(FaultProfile::lossy())),
+    );
+}
