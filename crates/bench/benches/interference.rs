@@ -1,0 +1,79 @@
+//! Interference-model cost at 1/8/32 co-running tasks.
+//!
+//! `compute_into` sits inside `Machine::tick`, the innermost loop of the
+//! fleet simulator, so its per-call cost bounds simulator throughput. The
+//! scratch-buffer variant is benchmarked against the allocating wrapper to
+//! keep the allocation-free refactor honest.
+
+use cpi2_sim::interference::{self, ComputeScratch, InterferenceParams, TaskLoad};
+use cpi2_sim::{Platform, ResourceProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn mixed_loads(n: usize) -> Vec<TaskLoad> {
+    (0..n)
+        .map(|i| {
+            let profile = match i % 3 {
+                0 => ResourceProfile::compute_bound(),
+                1 => ResourceProfile::cache_heavy(),
+                _ => ResourceProfile::streaming(),
+            };
+            TaskLoad {
+                activity: 0.25 + (i % 5) as f64,
+                profile,
+            }
+        })
+        .collect()
+}
+
+fn bench_interference(c: &mut Criterion) {
+    let platform = Platform::westmere();
+    let params = InterferenceParams::default();
+
+    for n in [1usize, 8, 32] {
+        let loads = mixed_loads(n);
+
+        c.bench_function(format!("interference/compute ({n} tasks)"), |b| {
+            b.iter(|| black_box(interference::compute(&platform, &loads, &params)))
+        });
+
+        c.bench_function(format!("interference/compute_into ({n} tasks)"), |b| {
+            let mut out = Vec::new();
+            let mut scratch = ComputeScratch::default();
+            b.iter(|| {
+                black_box(interference::compute_into(
+                    &platform,
+                    &loads,
+                    &params,
+                    &mut out,
+                    &mut scratch,
+                ))
+            })
+        });
+    }
+
+    // The zero-activity fast path: what an all-idle machine pays per tick.
+    let idle: Vec<TaskLoad> = mixed_loads(8)
+        .into_iter()
+        .map(|mut l| {
+            l.activity = 0.0;
+            l
+        })
+        .collect();
+    c.bench_function("interference/compute_into (8 idle tasks)", |b| {
+        let mut out = Vec::new();
+        let mut scratch = ComputeScratch::default();
+        b.iter(|| {
+            black_box(interference::compute_into(
+                &platform,
+                &idle,
+                &params,
+                &mut out,
+                &mut scratch,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_interference);
+criterion_main!(benches);

@@ -29,7 +29,7 @@ fn crowded_machine(tasks: u32) -> Machine {
             None,
         );
     }
-    m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+    m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut Vec::new());
     m
 }
 

@@ -287,7 +287,7 @@ fn main() {
         let dt = SimDuration::from_secs(1);
         for i in 0..(600 * 60) {
             let now = SimTime::from_secs(i);
-            machine.tick(now, dt);
+            machine.tick(now, dt, &mut Vec::new());
             for r in sampler.poll(&machine, now + dt) {
                 if let Some(cpi) = r.cpi {
                     cpis.push(cpi);

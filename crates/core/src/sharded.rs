@@ -15,6 +15,7 @@ use crate::sample::{CpiSample, JobKey};
 use crate::spec::CpiSpec;
 use crate::specbuilder::SpecBuilder;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Default shard count for the aggregation service.
 pub const DEFAULT_SPEC_SHARDS: usize = 8;
@@ -37,8 +38,23 @@ fn shard_of(job: &str, platform: &str, shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
+/// One partition of a [`ShardedSpecBuilder`].
+#[derive(Debug)]
+struct Shard {
+    builder: Mutex<SpecBuilder>,
+    /// Set (under the builder lock) whenever the shard ingests a sample;
+    /// cleared by [`ShardedSpecBuilder::roll_period`] when the shard is
+    /// rebuilt. A clean shard's roll is skipped: rolling an empty current
+    /// period never touches [`SpecBuilder`] history, so its output is
+    /// exactly the cached previous output.
+    dirty: AtomicBool,
+    /// The shard's spec set as of its last roll.
+    rolled: Mutex<Vec<CpiSpec>>,
+}
+
 /// A [`SpecBuilder`] partitioned into independently locked shards keyed
-/// by (job, platform).
+/// by (job, platform), with dirty-shard tracking so idle shards are not
+/// rebuilt at refresh time.
 ///
 /// Shared-reference methods take per-shard locks, so the builder can be
 /// ingested into from many threads at once. [`roll_period`] and
@@ -75,10 +91,15 @@ fn shard_of(job: &str, platform: &str, shards: usize) -> usize {
 /// ```
 #[derive(Debug)]
 pub struct ShardedSpecBuilder {
-    shards: Vec<Mutex<SpecBuilder>>,
+    shards: Vec<Shard>,
     /// Wall-clock µs each shard spends producing its spec set in
-    /// [`merge`](Self::merge); disabled by default.
+    /// [`roll_period`](Self::roll_period) / [`specs`](Self::specs);
+    /// disabled by default.
     shard_build_us: cpi2_telemetry::Histo,
+    /// Shards whose rebuild was skipped because nothing was ingested since
+    /// their last roll (also exported as `cpi_spec_shards_skipped_total`).
+    skipped: AtomicU64,
+    skipped_counter: cpi2_telemetry::Counter,
 }
 
 impl ShardedSpecBuilder {
@@ -88,16 +109,26 @@ impl ShardedSpecBuilder {
         let n = shards.max(1);
         ShardedSpecBuilder {
             shards: (0..n)
-                .map(|_| Mutex::new(SpecBuilder::new(config.clone())))
+                .map(|_| Shard {
+                    builder: Mutex::new(SpecBuilder::new(config.clone())),
+                    // A fresh shard rolls to an empty spec set, which is
+                    // exactly the initial cache — so it starts clean.
+                    dirty: AtomicBool::new(false),
+                    rolled: Mutex::new(Vec::new()),
+                })
                 .collect(),
             shard_build_us: cpi2_telemetry::Histo::default(),
+            skipped: AtomicU64::new(0),
+            skipped_counter: cpi2_telemetry::Counter::default(),
         }
     }
 
     /// Attaches telemetry: records per-shard spec-build duration under
-    /// `cpi_spec_build_shard_duration_us`.
+    /// `cpi_spec_build_shard_duration_us` and skipped shard rebuilds under
+    /// `cpi_spec_shards_skipped_total`.
     pub fn set_telemetry(&mut self, telemetry: &cpi2_telemetry::Telemetry) {
         self.shard_build_us = telemetry.histogram("cpi_spec_build_shard_duration_us", &[]);
+        self.skipped_counter = telemetry.counter("cpi_spec_shards_skipped_total", &[]);
     }
 
     /// Number of shards.
@@ -105,11 +136,22 @@ impl ShardedSpecBuilder {
         self.shards.len()
     }
 
+    /// Shard rebuilds skipped so far because the shard ingested nothing
+    /// since its last roll.
+    pub fn shards_skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
     /// Routes one sample to its shard and adds it to the current period.
     pub fn add_sample(&self, sample: &CpiSample) {
         let idx = shard_of(&sample.jobname, &sample.platforminfo, self.shards.len());
         // lint: allow(slice-index) — idx is h % shards.len(), always in bounds.
-        self.shards[idx].lock().add_sample(sample);
+        let shard = &self.shards[idx];
+        let mut b = shard.builder.lock();
+        b.add_sample(sample);
+        // Under the lock, so a concurrent roll either sees the flag or
+        // has not yet consumed the sample.
+        shard.dirty.store(true, Ordering::Release);
     }
 
     /// Adds a batch, taking each shard's lock at most once.
@@ -128,10 +170,11 @@ impl ShardedSpecBuilder {
             if bucket.is_empty() {
                 continue;
             }
-            let mut b = shard.lock();
+            let mut b = shard.builder.lock();
             for s in bucket {
                 b.add_sample(s);
             }
+            shard.dirty.store(true, Ordering::Release);
         }
     }
 
@@ -139,35 +182,56 @@ impl ShardedSpecBuilder {
     pub fn period_samples(&self, key: &JobKey) -> u64 {
         let idx = shard_of(&key.job, &key.platform, self.shards.len());
         // lint: allow(slice-index) — idx is h % shards.len(), always in bounds.
-        self.shards[idx].lock().period_samples(key)
+        self.shards[idx].builder.lock().period_samples(key)
     }
 
-    /// Folds the current period into history on every shard and returns
-    /// the merged, refreshed spec set (sorted by job then platform, like
-    /// [`SpecBuilder::roll_period`]).
+    /// Folds the current period into history on every *dirty* shard and
+    /// returns the merged, refreshed spec set (sorted by job then
+    /// platform, like [`SpecBuilder::roll_period`]).
+    ///
+    /// Shards that ingested nothing since their last roll are not rebuilt;
+    /// their cached previous output is reused. This is exact, not an
+    /// approximation: [`SpecBuilder::roll_period`] folds only the keys in
+    /// the current period, so rolling an empty period leaves history (and
+    /// therefore the spec set) untouched.
     pub fn roll_period(&self) -> Vec<CpiSpec> {
-        self.merge(|b| b.roll_period())
+        let mut out: Vec<CpiSpec> = Vec::new();
+        for shard in &self.shards {
+            let timer = self.shard_build_us.timer();
+            if shard.dirty.swap(false, Ordering::AcqRel) {
+                let rolled = shard.builder.lock().roll_period();
+                out.extend(rolled.iter().cloned());
+                *shard.rolled.lock() = rolled;
+            } else {
+                self.skipped.fetch_add(1, Ordering::Relaxed);
+                self.skipped_counter.inc();
+                out.extend(shard.rolled.lock().iter().cloned());
+            }
+            timer.stop();
+        }
+        Self::sort_specs(&mut out);
+        out
     }
 
     /// Current merged spec set from history (only eligible keys).
     pub fn specs(&self) -> Vec<CpiSpec> {
-        self.merge(|b| b.specs())
-    }
-
-    fn merge(&self, mut per_shard: impl FnMut(&mut SpecBuilder) -> Vec<CpiSpec>) -> Vec<CpiSpec> {
         let mut out: Vec<CpiSpec> = Vec::new();
         for shard in &self.shards {
             let timer = self.shard_build_us.timer();
-            out.extend(per_shard(&mut shard.lock()));
+            out.extend(shard.builder.lock().specs());
             timer.stop();
         }
-        // Keys are disjoint across shards, so a plain re-sort reproduces
-        // the unsharded builder's ordering exactly.
+        Self::sort_specs(&mut out);
+        out
+    }
+
+    /// Keys are disjoint across shards, so a plain re-sort reproduces
+    /// the unsharded builder's ordering exactly.
+    fn sort_specs(out: &mut [CpiSpec]) {
         out.sort_by(|a, b| {
             (a.jobname.as_str(), a.platforminfo.as_str())
                 .cmp(&(b.jobname.as_str(), b.platforminfo.as_str()))
         });
-        out
     }
 }
 
@@ -265,6 +329,71 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(b.period_samples(&JobKey::new("shared", "p")), 400);
+    }
+
+    #[test]
+    fn clean_shards_skip_rebuild_with_identical_output() {
+        let sharded = ShardedSpecBuilder::new(config(), 4);
+        let mut plain = SpecBuilder::new(config());
+        for job in ["websearch", "maps", "batchjob", "video"] {
+            for t in 0..6u64 {
+                for i in 0..15 {
+                    let s = sample(job, "westmere", t, 1.2 + 0.01 * (i % 3) as f64);
+                    sharded.add_sample(&s);
+                    plain.add_sample(&s);
+                }
+            }
+        }
+        assert_eq!(sharded.roll_period(), plain.roll_period());
+        // A refresh with no new samples skips every shard yet still
+        // reproduces the unsharded builder exactly.
+        let before = sharded.shards_skipped();
+        assert_eq!(sharded.roll_period(), plain.roll_period());
+        assert_eq!(sharded.shards_skipped() - before, 4);
+    }
+
+    #[test]
+    fn ingest_redirties_only_touched_shards() {
+        let sharded = ShardedSpecBuilder::new(config(), 4);
+        let mut plain = SpecBuilder::new(config());
+        for job in ["websearch", "maps", "batchjob", "video"] {
+            for t in 0..6u64 {
+                for i in 0..15 {
+                    let s = sample(job, "westmere", t, 1.2 + 0.01 * (i % 3) as f64);
+                    sharded.add_sample(&s);
+                    plain.add_sample(&s);
+                }
+            }
+        }
+        sharded.roll_period();
+        plain.roll_period();
+        // New samples for one key dirty exactly one shard; the other
+        // three are served from cache, and the merged output still
+        // matches the unsharded builder (whose untouched keys keep their
+        // previous-period eligibility).
+        for t in 0..6u64 {
+            for i in 0..15 {
+                let s = sample("websearch", "westmere", t, 1.5 + 0.01 * (i % 3) as f64);
+                sharded.add_sample(&s);
+                plain.add_sample(&s);
+            }
+        }
+        let before = sharded.shards_skipped();
+        assert_eq!(sharded.roll_period(), plain.roll_period());
+        assert_eq!(sharded.shards_skipped() - before, 3);
+        // Batch ingest dirties shards the same way.
+        let batch: Vec<CpiSample> = (0..6u64)
+            .flat_map(|t| {
+                (0..15).map(move |i| sample("maps", "westmere", t, 1.1 + 0.01 * (i % 3) as f64))
+            })
+            .collect();
+        sharded.ingest_batch(&batch);
+        for s in &batch {
+            plain.add_sample(s);
+        }
+        let before = sharded.shards_skipped();
+        assert_eq!(sharded.roll_period(), plain.roll_period());
+        assert_eq!(sharded.shards_skipped() - before, 3);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! - **L — lock discipline**: no lock acquisition while a prior guard
 //!   is live in the same function scope.
 //! - **T — telemetry hygiene**: metric names must be string literals.
+//! - **P — hot-path allocation**: fns annotated `// lint: hot-path`
+//!   must not allocate per call (`Vec::new`, `with_capacity`,
+//!   `.collect()`, `vec!`) — they write into caller-owned scratch
+//!   buffers instead.
 //!
 //! Findings are waivable inline with
 //! `// lint: allow(<rule>) — <reason>`; a waiver without a reason is
@@ -99,6 +103,10 @@ pub fn ruleset_for(rel: &str) -> Option<RuleSet> {
     } else {
         return None;
     }
+    // The hot-path allocation rule is opt-in per function (it only fires
+    // inside `// lint: hot-path`-marked fns), so every in-scope crate
+    // gets it.
+    rs.hot_path_alloc = true;
     Some(rs)
 }
 
@@ -220,6 +228,7 @@ mod tests {
     fn scope_table_covers_the_workspace() {
         let sim = ruleset_for("crates/sim/src/scheduler.rs").expect("sim in scope");
         assert!(sim.map_iter && sim.clock && !sim.panics);
+        assert!(sim.hot_path_alloc);
         let core = ruleset_for("crates/core/src/agent.rs").expect("core in scope");
         assert!(core.map_iter && core.panics && core.locks);
         let perf = ruleset_for("crates/perf/src/sampler.rs").expect("perf in scope");

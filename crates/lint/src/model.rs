@@ -31,6 +31,9 @@ pub struct FileModel {
     pub map_names: BTreeSet<String>,
     /// Waivers by source line.
     pub waivers: BTreeMap<usize, Vec<Waiver>>,
+    /// Lines carrying a `// lint: hot-path` marker: the next `fn` below
+    /// each is an allocation-free hot path.
+    pub hot_path_lines: Vec<usize>,
     /// Raw source lines (1-based access via [`FileModel::line_text`]),
     /// used for configured allowlist patterns.
     pub lines: Vec<String>,
@@ -44,6 +47,7 @@ impl FileModel {
         let test_regions = find_test_regions(&toks);
         let map_names = collect_map_names(&toks);
         let waivers = collect_waivers(&comments);
+        let hot_path_lines = collect_hot_path_lines(&comments);
         let lines = src.lines().map(str::to_string).collect();
         FileModel {
             toks,
@@ -51,6 +55,7 @@ impl FileModel {
             test_regions,
             map_names,
             waivers,
+            hot_path_lines,
             lines,
         }
     }
@@ -251,6 +256,25 @@ fn collect_waivers(comments: &[Comment]) -> BTreeMap<usize, Vec<Waiver>> {
                 line: c.line,
             });
             rest = tail;
+        }
+    }
+    out
+}
+
+/// Finds `lint: hot-path` marker comments (the hot-path-alloc rule's
+/// annotation). The marker must not be followed by `-`, so the
+/// `hot-path-alloc` rule name inside a waiver is not itself a marker.
+fn collect_hot_path_lines(comments: &[Comment]) -> Vec<usize> {
+    const MARKER: &str = "lint: hot-path";
+    let mut out = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find(MARKER) {
+            rest = &rest[pos + MARKER.len()..];
+            if !rest.starts_with('-') {
+                out.push(c.line);
+                break;
+            }
         }
     }
     out

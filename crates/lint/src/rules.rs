@@ -25,6 +25,8 @@ pub enum Rule {
     NestedLock,
     /// T: non-literal metric name passed to the telemetry registry.
     MetricName,
+    /// P: per-call allocation inside a fn marked `// lint: hot-path`.
+    HotPathAlloc,
     /// Waiver-syntax problems (missing reason, unknown rule).
     Waiver,
 }
@@ -41,6 +43,7 @@ impl Rule {
             Rule::SliceIndex => "slice-index",
             Rule::NestedLock => "nested-lock",
             Rule::MetricName => "metric-name",
+            Rule::HotPathAlloc => "hot-path-alloc",
             Rule::Waiver => "waiver",
         }
     }
@@ -56,6 +59,7 @@ impl Rule {
             "slice-index",
             "nested-lock",
             "metric-name",
+            "hot-path-alloc",
         ]
     }
 }
@@ -108,6 +112,8 @@ pub struct RuleSet {
     pub locks: bool,
     /// T: metric-name literals.
     pub metric_name: bool,
+    /// P: allocation in `// lint: hot-path` fns.
+    pub hot_path_alloc: bool,
     /// Clock reads are allowed on lines containing one of these
     /// substrings (the telemetry-gated `measure.then(Instant::now)`
     /// sites).
@@ -129,6 +135,7 @@ impl RuleSet {
             slice_index: true,
             locks: true,
             metric_name: true,
+            hot_path_alloc: true,
             clock_line_allow: Vec::new(),
             spawn_allowed: false,
         }
@@ -162,6 +169,9 @@ pub fn check_file(path: &str, model: &FileModel, rules: &RuleSet) -> Vec<Finding
     }
     if rules.metric_name {
         metric_rule(model, &mut raw);
+    }
+    if rules.hot_path_alloc {
+        hot_path_alloc_rule(model, &mut raw);
     }
 
     let mut out = Vec::new();
@@ -612,6 +622,63 @@ fn let_binding_name(toks: &[Tok], i: usize, floor: usize) -> Option<String> {
         }
     }
     None
+}
+
+/// Flags per-call allocations (`Vec::new`, `with_capacity`, `.collect`,
+/// `vec!`) inside the first fn following each `// lint: hot-path` marker
+/// comment. Hot-path fns must write into caller-owned scratch buffers.
+fn hot_path_alloc_rule(model: &FileModel, out: &mut Raw) {
+    let toks = &model.toks;
+    for &marker in &model.hot_path_lines {
+        let Some(fn_idx) = toks
+            .iter()
+            .position(|t| t.line > marker && t.is_ident("fn"))
+        else {
+            continue;
+        };
+        let Some((start, end)) = fn_body(toks, fn_idx) else {
+            continue;
+        };
+        for i in start..end {
+            if model.in_test(i) {
+                continue;
+            }
+            let t = &toks[i];
+            let hit = if path_at(toks, i, &["Vec", "new"]) {
+                Some("`Vec::new()`")
+            } else if t.is_ident("with_capacity")
+                && i >= 2
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+            {
+                Some("`with_capacity(…)`")
+            } else if t.is_ident("collect")
+                && i >= 1
+                && toks[i - 1].is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|p| p.is_punct('(') || p.is_punct(':'))
+            {
+                Some("`.collect()`")
+            } else if t.is_ident("vec") && toks.get(i + 1).is_some_and(|p| p.is_punct('!')) {
+                Some("`vec!`")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                out.push((
+                    t.line,
+                    Rule::HotPathAlloc,
+                    format!(
+                        "{what} inside a `lint: hot-path` fn: reuse a \
+                         cleared scratch buffer instead of allocating per \
+                         call"
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 const METRIC_METHODS: [&str; 4] = ["counter", "gauge", "histogram", "event"];

@@ -72,6 +72,11 @@ fn metric_name_fixture_pair() {
 }
 
 #[test]
+fn hot_path_alloc_fixture_pair() {
+    assert_pair(Rule::HotPathAlloc, 4);
+}
+
+#[test]
 fn waiver_without_reason_still_fails() {
     let findings = lint_fixture("waiver_noreason");
     assert!(

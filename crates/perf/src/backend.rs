@@ -84,7 +84,7 @@ mod tests {
             Priority::NonProduction,
             None,
         );
-        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut Vec::new());
         let src: &dyn CounterSource = &m;
         assert_eq!(src.source_id(), 3);
         assert_eq!(src.platform_name(), "sandybridge-2.2GHz");

@@ -268,7 +268,7 @@ mod tests {
         let dt = SimDuration::from_secs(1);
         for i in 0..secs {
             let now = SimTime::from_secs(i);
-            m.tick(now, dt);
+            m.tick(now, dt, &mut Vec::new());
             out.extend(s.poll(m, now + dt));
         }
         out
@@ -319,7 +319,7 @@ mod tests {
         let dt = SimDuration::from_secs(1);
         for i in 0..5 {
             let now = SimTime::from_secs(i);
-            m.tick(now, dt);
+            m.tick(now, dt, &mut Vec::new());
             s.poll(&m, now + dt);
         }
         // Second task arrives at t=5, inside the first window.
@@ -340,7 +340,7 @@ mod tests {
         let mut second_close = Vec::new();
         for i in 5..130 {
             let now = SimTime::from_secs(i);
-            m.tick(now, dt);
+            m.tick(now, dt, &mut Vec::new());
             let r = s.poll(&m, now + dt);
             if !r.is_empty() {
                 if first_close.is_empty() {
@@ -377,8 +377,8 @@ mod tests {
         let mut t1 = None;
         for i in 0..120 {
             let now = SimTime::from_secs(i);
-            m0.tick(now, dt);
-            m1.tick(now, dt);
+            m0.tick(now, dt, &mut Vec::new());
+            m1.tick(now, dt, &mut Vec::new());
             if !cs.poll(&m0, now + dt).is_empty() && t0.is_none() {
                 t0 = Some(i);
             }

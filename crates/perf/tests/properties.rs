@@ -49,7 +49,7 @@ proptest! {
         let mut batches = 0;
         for i in 0..(period_s * 5) {
             let now = SimTime::from_secs(i);
-            m.tick(now, dt);
+            m.tick(now, dt, &mut Vec::new());
             let r = s.poll(&m, now + dt);
             if !r.is_empty() {
                 batches += 1;
@@ -74,7 +74,7 @@ proptest! {
         let mut readings = Vec::new();
         for i in 0..180 {
             let now = SimTime::from_secs(i);
-            m.tick(now, dt);
+            m.tick(now, dt, &mut Vec::new());
             readings.extend(s.poll(&m, now + dt));
         }
         prop_assert!(!readings.is_empty());

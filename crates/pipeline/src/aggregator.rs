@@ -202,6 +202,13 @@ impl Aggregator {
     pub fn samples_seen(&self) -> u64 {
         self.samples_seen
     }
+
+    /// Builder-shard rebuilds skipped across refreshes because the shard
+    /// ingested nothing since its last roll (the incremental-refresh fast
+    /// path; also exported as `cpi_spec_shards_skipped_total`).
+    pub fn shards_skipped(&self) -> u64 {
+        self.builder.shards_skipped()
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +324,32 @@ mod tests {
         let aged = store.changed_since_with_age(0);
         assert_eq!(aged.len(), 1);
         assert_eq!(aged[0].1, 7_000_000);
+    }
+
+    #[test]
+    fn idle_refresh_skips_all_shards_and_republishes_same_specs() {
+        let store = SpecStore::new();
+        let mut agg = Aggregator::new(mk_config(), 0);
+        for t in 0..6u64 {
+            for i in 0..20 {
+                agg.ingest(&[sample(t, i, 1.5)]);
+            }
+        }
+        let first = agg.refresh_at(&store, 1_000_000);
+        let shards = agg.builder().num_shards() as u64;
+        let before = agg.shards_skipped();
+        // No ingest between refreshes: every shard rebuild is skipped and
+        // the published spec set is identical.
+        let second = agg.refresh_at(&store, 2_000_000);
+        assert_eq!(first, second);
+        assert_eq!(agg.shards_skipped() - before, shards);
+        // New samples make the next refresh rebuild the touched shard.
+        for t in 0..6u64 {
+            agg.ingest(&[sample(t, 100 + t as i64, 1.7)]);
+        }
+        let before = agg.shards_skipped();
+        agg.refresh_at(&store, 3_000_000);
+        assert_eq!(agg.shards_skipped() - before, shards - 1);
     }
 
     #[test]

@@ -145,6 +145,13 @@ impl Cgroup {
         self.cap = None;
     }
 
+    /// The long-term CPU reservation/limit in CPU-sec/sec, ignoring any
+    /// temporary hard cap. This is what admission control reserves for the
+    /// task; use [`Cgroup::effective_rate`] for the currently enforced rate.
+    pub fn limit(&self) -> Option<f64> {
+        self.limit
+    }
+
     /// The active hard cap, if it has not expired by `now`.
     pub fn hard_cap(&self, now: SimTime) -> Option<HardCap> {
         self.cap.filter(|c| c.until > now)

@@ -6,7 +6,7 @@
 //! experiment runs on.
 
 use crate::job::{JobId, JobSpec, TaskId};
-use crate::machine::{Machine, MachineId};
+use crate::machine::{Machine, MachineId, TaskExit};
 use crate::platform::Platform;
 use crate::schedule::{ClusterEvent, EventQueue};
 use crate::scheduler::{PlacementError, Scheduler};
@@ -156,6 +156,10 @@ pub struct Cluster {
     /// Fleet-wide throttle-event total observed after the previous tick,
     /// so each tick adds only its delta to the counter.
     last_throttle_total: u64,
+    /// Reused per-tick exit buffer (drained by the commit phase).
+    exit_scratch: Vec<(MachineId, TaskExit)>,
+    /// Reused per-machine exit staging buffer for the serial path.
+    tick_exits: Vec<TaskExit>,
 }
 
 impl Cluster {
@@ -176,6 +180,8 @@ impl Cluster {
             pool: None,
             metrics,
             last_throttle_total: 0,
+            exit_scratch: Vec::new(),
+            tick_exits: Vec::new(),
         }
     }
 
@@ -579,21 +585,32 @@ impl Cluster {
             .parallelism
             .max(1)
             .min(self.machines.len().max(1));
-        let all_exits: Vec<(MachineId, crate::machine::TaskExit)> = if workers <= 1 {
+        // Exits collect into a buffer pooled across ticks (the commit
+        // phase below drains it and hands it back).
+        let mut all_exits = std::mem::take(&mut self.exit_scratch);
+        if workers <= 1 {
             // Legacy serial path (parallelism = 1).
-            let mut exits = Vec::new();
+            let mut tmp = std::mem::take(&mut self.tick_exits);
             for m in &mut self.machines {
                 let id = m.id;
-                exits.extend(m.tick(now, dt).into_iter().map(|e| (id, e)));
+                tmp.clear();
+                m.tick(now, dt, &mut tmp);
+                all_exits.extend(tmp.drain(..).map(|e| (id, e)));
             }
-            exits
+            self.tick_exits = tmp;
         } else {
             let pool = match &mut self.pool {
                 Some(p) if p.workers() == workers => p,
                 slot => slot.insert(crate::pool::TickPool::new(workers)),
             };
-            pool.tick(&mut self.machines, now, dt, Some(&self.metrics.pool))
-        };
+            pool.tick(
+                &mut self.machines,
+                now,
+                dt,
+                &mut all_exits,
+                Some(&self.metrics.pool),
+            );
+        }
         self.now += dt;
         let phase_start = phase_start.map(|t| {
             self.metrics
@@ -636,7 +653,7 @@ impl Cluster {
                 let _ = self.migrate_task(task);
             }
         }
-        for (machine, exit) in all_exits {
+        for (machine, exit) in all_exits.drain(..) {
             self.trace.record(
                 exit.at,
                 TraceEvent::TaskExited {
@@ -693,6 +710,7 @@ impl Cluster {
                 }
             }
         }
+        self.exit_scratch = all_exits;
         if let Some(t) = phase_start {
             self.metrics
                 .phase_commit

@@ -79,24 +79,89 @@ impl Default for InterferenceParams {
     }
 }
 
+/// Reusable intermediate buffers for [`compute_into`], so the per-tick
+/// fixed point runs without allocating. One instance per machine lives in
+/// its tick scratch and is reused across ticks.
+#[derive(Debug, Default)]
+pub struct ComputeScratch {
+    /// Per-task effective MPKI after cache loss.
+    mpki: Vec<f64>,
+    /// Per-task CPI estimate, refined by the bandwidth fixed point.
+    cpi: Vec<f64>,
+}
+
 /// Computes per-task CPI and miss rates for one tick.
 ///
 /// Returns one [`TaskInterference`] per input (same order) plus a machine
 /// summary. Tasks with zero activity get their solo numbers.
+///
+/// Allocating convenience wrapper around [`compute_into`]; hot paths hold
+/// a [`ComputeScratch`] and call `compute_into` directly.
 pub fn compute(
     platform: &Platform,
     loads: &[TaskLoad],
     params: &InterferenceParams,
 ) -> (Vec<TaskInterference>, ContentionSummary) {
+    let mut out = Vec::with_capacity(loads.len());
+    let mut scratch = ComputeScratch::default();
+    let summary = compute_into(platform, loads, params, &mut out, &mut scratch);
+    (out, summary)
+}
+
+/// [`compute`], but writing into caller-owned buffers: `out` is cleared
+/// and filled with one [`TaskInterference`] per input (same order), and
+/// `scratch` provides the fixed point's intermediate storage. In steady
+/// state (capacities warmed up) this performs no heap allocation.
+///
+/// Bit-identical to [`compute`] for every input: the arithmetic and its
+/// evaluation order are unchanged, only the storage is caller-owned
+/// (property-tested against a pinned reference implementation).
+// lint: hot-path
+pub fn compute_into(
+    platform: &Platform,
+    loads: &[TaskLoad],
+    params: &InterferenceParams,
+    out: &mut Vec<TaskInterference>,
+    scratch: &mut ComputeScratch,
+) -> ContentionSummary {
+    out.clear();
+    let ComputeScratch { mpki, cpi } = scratch;
+    mpki.clear();
+    cpi.clear();
+
     // --- Cache occupancy -------------------------------------------------
     // Hot-set demand saturates with activity: idle tasks hold nothing, a
     // task at 1 core keeps ~63 % of its set hot, heavily threaded tasks
-    // approach their full footprint.
-    let hot: Vec<f64> = loads
-        .iter()
-        .map(|l| l.profile.cache_mb * (1.0 - (-l.activity).exp()))
-        .collect();
-    let demand: f64 = hot.iter().sum();
+    // approach their full footprint. Accumulated in input order, exactly
+    // as summing a per-task vector would.
+    let mut demand = 0.0f64;
+    let mut total_activity = 0.0f64;
+    for l in loads {
+        demand += l.profile.cache_mb * (1.0 - (-l.activity).exp());
+        total_activity += l.activity;
+    }
+
+    // Fast path: a machine with zero total activity perturbs nothing.
+    // Proof of bit-identity with the general path: every activity is 0
+    // (grants are non-negative), so each hot-set term is cache_mb·(1−e⁰)
+    // = 0 and demand = 0 ⇒ retained = 1 ⇒ loss = 0 ⇒ mpki = mpki_solo
+    // exactly; the miss traffic is 0 ⇒ ρ = 0 ⇒ queue_mult = 1 ⇒
+    // extra = 0 ⇒ every fixed-point target equals the initial CPI, and
+    // the damped update `c += damping·(target − c)` adds exactly 0.0.
+    if total_activity == 0.0 {
+        for l in loads {
+            out.push(TaskInterference {
+                cpi: l.profile.base_cpi * platform.cpi_factor,
+                mpki: l.profile.mpki_solo,
+                cache_retained: 1.0,
+            });
+        }
+        return ContentionSummary {
+            cache_demand_mb: demand,
+            mem_utilization: 0.0,
+        };
+    }
+
     let retained_global = if demand <= platform.l3_mb || demand == 0.0 {
         1.0
     } else {
@@ -104,26 +169,24 @@ pub fn compute(
     };
 
     // MPKI after cache loss (independent of the bandwidth fixed point).
-    let mpki: Vec<f64> = loads
-        .iter()
-        .map(|l| {
-            let loss = 1.0 - retained_global;
-            l.profile.mpki_solo * (1.0 + l.profile.cache_sensitivity * loss * params.cache_slope)
-        })
-        .collect();
+    for l in loads {
+        let loss = 1.0 - retained_global;
+        mpki.push(
+            l.profile.mpki_solo * (1.0 + l.profile.cache_sensitivity * loss * params.cache_slope),
+        );
+    }
 
     // --- Bandwidth fixed point -------------------------------------------
-    let mut cpi: Vec<f64> = loads
-        .iter()
-        .map(|l| l.profile.base_cpi * platform.cpi_factor)
-        .collect();
+    for l in loads {
+        cpi.push(l.profile.base_cpi * platform.cpi_factor);
+    }
     let mut rho = 0.0;
     for _ in 0..params.iterations {
         // Miss traffic in giga-lines/sec at current CPI estimates.
         let glines: f64 = loads
             .iter()
-            .zip(&cpi)
-            .zip(&mpki)
+            .zip(cpi.iter())
+            .zip(mpki.iter())
             .map(|((l, &c), &m)| {
                 let instr_per_sec = l.activity * platform.clock_hz / c;
                 instr_per_sec * m / 1000.0 / 1e9
@@ -132,7 +195,7 @@ pub fn compute(
         rho = (glines / platform.mem_bw_glines).min(params.rho_max);
         let queue_mult = 1.0 + params.queue_beta * rho / (1.0 - rho);
         let eff_penalty = platform.miss_penalty_cycles * queue_mult;
-        for ((l, c), &m) in loads.iter().zip(cpi.iter_mut()).zip(&mpki) {
+        for ((l, c), &m) in loads.iter().zip(cpi.iter_mut()).zip(mpki.iter()) {
             // base_cpi already prices solo misses at nominal latency; add
             // only the extra stall cycles from lost cache and queueing.
             let extra_mpki = (m - l.profile.mpki_solo).max(0.0);
@@ -145,23 +208,17 @@ pub fn compute(
         }
     }
 
-    let out = loads
-        .iter()
-        .zip(&cpi)
-        .zip(&mpki)
-        .map(|((_, &c), &m)| TaskInterference {
+    for (&c, &m) in cpi.iter().zip(mpki.iter()) {
+        out.push(TaskInterference {
             cpi: c,
             mpki: m,
             cache_retained: retained_global,
-        })
-        .collect();
-    (
-        out,
-        ContentionSummary {
-            cache_demand_mb: demand,
-            mem_utilization: rho,
-        },
-    )
+        });
+    }
+    ContentionSummary {
+        cache_demand_mb: demand,
+        mem_utilization: rho,
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! charges hardware counters to each task's cgroup.
 
 use crate::cgroup::{Cgroup, CounterBlock};
-use crate::interference::{self, InterferenceParams, TaskLoad};
+use crate::interference::{self, ComputeScratch, InterferenceParams, TaskInterference, TaskLoad};
 use crate::job::{Priority, SchedClass, TaskId};
 use crate::platform::Platform;
 use crate::task::{TaskAction, TaskInstance, TaskModel, TickOutcome};
@@ -95,6 +95,27 @@ pub struct TaskExit {
     pub capped: bool,
 }
 
+/// Reusable per-machine buffers for [`Machine::tick`]. All vectors are
+/// cleared (not shrunk) at the top of each tick, so once warmed up to the
+/// machine's task count the steady-state tick performs no heap allocation.
+/// The scratch travels with the machine when the worker pool moves it
+/// between threads, so warm capacity is never lost to resharding.
+#[derive(Debug, Default)]
+struct TickScratch {
+    /// Post-bandwidth-control CPU demand per task.
+    wants: Vec<f64>,
+    /// Whether bandwidth control clamped the task this tick.
+    capped: Vec<bool>,
+    /// CPU actually granted per task.
+    granted: Vec<f64>,
+    /// Interference-model inputs.
+    loads: Vec<TaskLoad>,
+    /// Interference-model outputs.
+    effects: Vec<TaskInterference>,
+    /// Fixed-point intermediates owned by [`interference::compute_into`].
+    compute: ComputeScratch,
+}
+
 /// A machine hosting tasks from many jobs.
 pub struct Machine {
     /// Machine identity.
@@ -108,6 +129,8 @@ pub struct Machine {
     /// Cumulative count of task-ticks where the CFS bandwidth model
     /// clamped a task below its demand (cluster telemetry reads deltas).
     throttle_events: u64,
+    /// Tick-loop buffers, reused across ticks.
+    scratch: TickScratch,
 }
 
 impl Machine {
@@ -121,6 +144,7 @@ impl Machine {
             rng: SimRng::derive(seed, id.0 as u64),
             last_utilization: 0.0,
             throttle_events: 0,
+            scratch: TickScratch::default(),
         }
     }
 
@@ -197,33 +221,64 @@ impl Machine {
         self.last_utilization
     }
 
-    /// Sum of latency-sensitive CPU reservations... actually of cgroup
-    /// limits, used by the scheduler's admission control.
+    /// Sum of the long-term cgroup CPU limits for tasks of `class`, used by
+    /// the scheduler's admission control.
+    ///
+    /// This deliberately ignores temporary hard caps: a capped antagonist
+    /// still reserves its full limit, because the cap expires long before
+    /// the placement does. (It previously queried
+    /// `effective_rate(SimTime::ZERO)`, which let a hard cap that happened
+    /// to span t=0 shrink the reservation admission control saw.)
     pub fn reserved_cpu(&self, class: SchedClass) -> f64 {
         self.tasks
             .iter()
             .filter(|t| t.class == class)
-            .filter_map(|t| t.cgroup.effective_rate(SimTime::ZERO))
+            .filter_map(|t| t.cgroup.limit())
             .sum()
     }
 
     /// Advances the machine by one tick of length `dt` ending the tick's
-    /// accounting at `now + dt`. Returns tasks that exited.
-    pub fn tick(&mut self, now: SimTime, dt: SimDuration) -> Vec<TaskExit> {
+    /// accounting at `now + dt`. Tasks that exited during the tick are
+    /// *appended* to `exits` (the buffer is not cleared, so callers can
+    /// pool one buffer across many machines and ticks).
+    ///
+    /// Steady state performs no heap allocation: all intermediates live in
+    /// the machine's [`TickScratch`].
+    // lint: hot-path
+    pub fn tick(&mut self, now: SimTime, dt: SimDuration, exits: &mut Vec<TaskExit>) {
+        // Fast path: an empty machine schedules nothing, charges nothing,
+        // and draws no RNG values, so skipping the body is bit-identical
+        // to running it (every loop below is over zero tasks and the only
+        // observable writes are utilization = 0 and no exits).
+        if self.tasks.is_empty() {
+            self.last_utilization = 0.0;
+            return;
+        }
+
         let dt_sec = dt.as_secs_f64();
         let cores = self.platform.cores as f64;
+        let TickScratch {
+            wants,
+            capped,
+            granted,
+            loads,
+            effects,
+            compute,
+        } = &mut self.scratch;
+        wants.clear();
+        capped.clear();
+        granted.clear();
+        loads.clear();
 
         // 1. Collect demands, clamped by bandwidth control.
-        let mut wants = Vec::with_capacity(self.tasks.len());
-        let mut capped_flags = Vec::with_capacity(self.tasks.len());
         for t in &mut self.tasks {
             let d = t.model.demand(now, dt, &mut self.rng);
             t.threads = d.threads;
             let want = d.cpu_want.max(0.0);
             let allowed = t.cgroup.clamp_cpu(want, now, dt);
-            let capped = allowed < want - 1e-12;
-            self.throttle_events += u64::from(capped);
-            capped_flags.push(capped);
+            let was_capped = allowed < want - 1e-12;
+            self.throttle_events += u64::from(was_capped);
+            capped.push(was_capped);
             wants.push(allowed);
         }
 
@@ -232,7 +287,7 @@ impl Machine {
         let ls_want: f64 = self
             .tasks
             .iter()
-            .zip(&wants)
+            .zip(wants.iter())
             .filter(|(t, _)| t.class == SchedClass::LatencySensitive)
             .map(|(_, &w)| w)
             .sum();
@@ -252,39 +307,32 @@ impl Machine {
         } else {
             1.0
         };
-        let granted: Vec<f64> = self
-            .tasks
-            .iter()
-            .zip(&wants)
-            .map(|(t, &w)| {
-                if t.class == SchedClass::LatencySensitive {
-                    w * ls_scale
-                } else {
-                    w * batch_scale
-                }
-            })
-            .collect();
+        for (t, &w) in self.tasks.iter().zip(wants.iter()) {
+            granted.push(if t.class == SchedClass::LatencySensitive {
+                w * ls_scale
+            } else {
+                w * batch_scale
+            });
+        }
         self.last_utilization = granted.iter().sum::<f64>() / cores;
 
         // 3. Interference model.
-        let loads: Vec<TaskLoad> = self
-            .tasks
-            .iter()
-            .zip(&granted)
-            .map(|(t, &g)| TaskLoad {
+        for (t, &g) in self.tasks.iter().zip(granted.iter()) {
+            loads.push(TaskLoad {
                 activity: g,
                 profile: t.model.profile(),
-            })
-            .collect();
-        let (effects, _summary) = interference::compute(&self.platform, &loads, &self.params);
+            });
+        }
+        let _summary =
+            interference::compute_into(&self.platform, loads, &self.params, effects, compute);
 
         // 4. Account counters and let models observe.
-        let mut exits = Vec::new();
+        let first_exit = exits.len();
         for (i, t) in self.tasks.iter_mut().enumerate() {
             let g = granted[i];
             // Starvation: the task wanted meaningful CPU, was not capped,
             // yet machine pressure squeezed it to a trickle.
-            if !capped_flags[i] && wants[i] > 0.25 && g < 0.1 * wants[i] {
+            if !capped[i] && wants[i] > 0.25 && g < 0.1 * wants[i] {
                 t.starved_ticks += 1;
             } else {
                 t.starved_ticks = 0;
@@ -314,7 +362,7 @@ impl Machine {
             t.cgroup.charge(&block);
             let outcome = TickOutcome {
                 cpu_granted: g,
-                capped: capped_flags[i],
+                capped: capped[i],
                 cpi,
                 instructions,
                 l3_misses: l3,
@@ -324,14 +372,14 @@ impl Machine {
                 exits.push(TaskExit {
                     id: t.id,
                     at: now + dt,
-                    capped: capped_flags[i],
+                    capped: capped[i],
                 });
             }
         }
-        for e in &exits {
-            self.tasks.retain(|t| t.id != e.id);
+        for e in exits.iter().skip(first_exit) {
+            let id = e.id;
+            self.tasks.retain(|t| t.id != id);
         }
-        exits
     }
 }
 
@@ -393,7 +441,7 @@ mod tests {
             2.0,
             ResourceProfile::compute_bound(),
         );
-        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut Vec::new());
         let t = m.task(tid(1, 0)).unwrap();
         let out = t.last_outcome().unwrap();
         assert!((out.cpu_granted - 2.0).abs() < 1e-9);
@@ -421,7 +469,7 @@ mod tests {
             10.0,
             ResourceProfile::streaming(),
         );
-        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut Vec::new());
         let ls = m
             .task(tid(1, 0))
             .unwrap()
@@ -454,7 +502,7 @@ mod tests {
             .unwrap()
             .cgroup
             .apply_hard_cap(0.1, SimTime::from_mins(5));
-        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut Vec::new());
         let out = *m.task(tid(2, 0)).unwrap().last_outcome().unwrap();
         assert!((out.cpu_granted - 0.1).abs() < 1e-9);
         assert!(out.capped);
@@ -484,7 +532,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut before = 0.0;
         for _ in 0..30 {
-            m.tick(now, dt);
+            m.tick(now, dt, &mut Vec::new());
             before += m.task(tid(1, 0)).unwrap().last_outcome().unwrap().cpi / 30.0;
             now += dt;
         }
@@ -495,7 +543,7 @@ mod tests {
         // Let the cap take effect, then measure.
         let mut after = 0.0;
         for _ in 0..30 {
-            m.tick(now, dt);
+            m.tick(now, dt, &mut Vec::new());
             after += m.task(tid(1, 0)).unwrap().last_outcome().unwrap().cpi / 30.0;
             now += dt;
         }
@@ -517,7 +565,11 @@ mod tests {
             ResourceProfile::compute_bound(),
         );
         for i in 0..10 {
-            m.tick(SimTime::from_secs(i), SimDuration::from_secs(1));
+            m.tick(
+                SimTime::from_secs(i),
+                SimDuration::from_secs(1),
+                &mut Vec::new(),
+            );
         }
         let c = m.task(tid(1, 0)).unwrap().cgroup.counters();
         // 10 s at 1 core of a 2.6 GHz machine.
@@ -527,6 +579,97 @@ mod tests {
         assert!(cpi > 0.7 && cpi < 1.2, "cpi={cpi}");
         assert!((c.cpu_time_us - 1e7).abs() < 1.0);
         assert!(c.context_switches > 0);
+    }
+
+    #[test]
+    fn reserved_cpu_ignores_temporary_hard_caps() {
+        // Admission control must see the long-term reservation, not the
+        // rate a transient hard cap happens to enforce at t=0.
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 40);
+        m.add_task(
+            TaskInstance {
+                id: tid(1, 0),
+                model: Box::new(ConstantLoad::new(2.0, 4, ResourceProfile::compute_bound())),
+            },
+            "svc",
+            SchedClass::LatencySensitive,
+            Priority::Production,
+            Some(2.0),
+        );
+        assert!((m.reserved_cpu(SchedClass::LatencySensitive) - 2.0).abs() < 1e-12);
+        // A hard cap spanning t=0 must not shrink the reservation.
+        m.task_mut(tid(1, 0))
+            .unwrap()
+            .cgroup
+            .apply_hard_cap(0.1, SimTime::from_mins(5));
+        assert!((m.reserved_cpu(SchedClass::LatencySensitive) - 2.0).abs() < 1e-12);
+        // Unlimited tasks reserve nothing; other classes are excluded.
+        add_constant(
+            &mut m,
+            tid(2, 0),
+            "batch",
+            SchedClass::Batch,
+            1.0,
+            ResourceProfile::streaming(),
+        );
+        assert!((m.reserved_cpu(SchedClass::LatencySensitive) - 2.0).abs() < 1e-12);
+        assert_eq!(m.reserved_cpu(SchedClass::Batch), 0.0);
+    }
+
+    #[test]
+    fn empty_machine_fast_path_is_inert() {
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 41);
+        let mut exits = Vec::new();
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut exits);
+        assert!(exits.is_empty());
+        assert_eq!(m.utilization(), 0.0);
+        assert_eq!(m.throttle_events(), 0);
+        // The fast path must not disturb the RNG stream: a task added
+        // after N empty ticks behaves exactly as on a fresh machine.
+        for i in 0..100 {
+            m.tick(SimTime::from_secs(i), SimDuration::from_secs(1), &mut exits);
+        }
+        let mut fresh = Machine::new(MachineId(0), Platform::westmere(), 41);
+        for machine in [&mut m, &mut fresh] {
+            add_constant(
+                machine,
+                tid(1, 0),
+                "svc",
+                SchedClass::LatencySensitive,
+                2.0,
+                ResourceProfile::compute_bound(),
+            );
+            machine.tick(
+                SimTime::from_secs(100),
+                SimDuration::from_secs(1),
+                &mut exits,
+            );
+        }
+        let a = m.task(tid(1, 0)).unwrap().last_outcome().unwrap().cpi;
+        let b = fresh.task(tid(1, 0)).unwrap().last_outcome().unwrap().cpi;
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn exits_buffer_is_appended_not_cleared() {
+        let mut m = Machine::new(MachineId(0), Platform::westmere(), 42);
+        let mut exits = vec![TaskExit {
+            id: tid(9, 9),
+            at: SimTime::ZERO,
+            capped: false,
+        }];
+        add_constant(
+            &mut m,
+            tid(1, 0),
+            "svc",
+            SchedClass::Batch,
+            1.0,
+            ResourceProfile::compute_bound(),
+        );
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut exits);
+        // Pre-existing contents survive; nothing exited this tick.
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].id, tid(9, 9));
     }
 
     #[test]
@@ -557,7 +700,7 @@ mod tests {
             1.0,
             ResourceProfile::compute_bound(),
         );
-        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut Vec::new());
         assert_eq!(m.thread_count(), 4);
     }
 
@@ -603,7 +746,11 @@ mod tests {
         );
         let mut exited = Vec::new();
         for i in 0..5 {
-            exited.extend(m.tick(SimTime::from_secs(i), SimDuration::from_secs(1)));
+            m.tick(
+                SimTime::from_secs(i),
+                SimDuration::from_secs(1),
+                &mut exited,
+            );
         }
         assert_eq!(exited.len(), 1);
         assert_eq!(exited[0].id, tid(1, 0));

@@ -17,13 +17,21 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// One tick's worth of work for one worker: a contiguous run of machines,
-/// the tick window, and whether to measure shard wall-clock time (clock
-/// reads are skipped entirely when telemetry is disabled).
-type ShardJob = (Vec<Machine>, SimTime, SimDuration, bool);
+/// an empty (but warm) buffer to collect exits into, the tick window, and
+/// whether to measure shard wall-clock time (clock reads are skipped
+/// entirely when telemetry is disabled).
+type ShardJob = (
+    Vec<Machine>,
+    Vec<(MachineId, TaskExit)>,
+    SimTime,
+    SimDuration,
+    bool,
+);
 
 /// A worker's answer: the machines handed back, the exits they produced
 /// (in machine order), and busy wall-clock µs when measurement was on.
-/// `Err` means the shard panicked.
+/// `Err` means the shard panicked. The machine and exit vectors are the
+/// job's own buffers coming home, so the pool can reuse them next tick.
 type ShardOutcome = Result<(Vec<Machine>, Vec<(MachineId, TaskExit)>, u64), ()>;
 
 /// Cached telemetry handles for the worker pool, resolved by
@@ -57,6 +65,12 @@ pub(crate) struct TickPool {
     txs: Vec<Sender<ShardJob>>,
     rx: Receiver<(usize, ShardOutcome)>,
     handles: Vec<JoinHandle<()>>,
+    /// Recycled shard machine buffers (empty, warm capacity).
+    shard_bufs: Vec<Vec<Machine>>,
+    /// Recycled per-shard exit buffers (empty, warm capacity).
+    exit_bufs: Vec<Vec<(MachineId, TaskExit)>>,
+    /// Recycled reassembly slots, indexed by worker.
+    slots: Vec<Option<ShardOutcome>>,
 }
 
 impl TickPool {
@@ -69,21 +83,24 @@ impl TickPool {
             let (tx, job_rx) = unbounded::<ShardJob>();
             let res_tx = res_tx.clone();
             handles.push(std::thread::spawn(move || {
-                while let Ok((mut machines, now, dt, measure)) = job_rx.recv() {
-                    let outcome =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                            let started = measure.then(Instant::now);
-                            let mut exits = Vec::new();
-                            for m in &mut machines {
-                                let id = m.id;
-                                exits.extend(m.tick(now, dt).into_iter().map(|e| (id, e)));
-                            }
-                            let busy_us = started.map_or(0, |t| {
-                                t.elapsed().as_micros().min(u64::MAX as u128) as u64
-                            });
-                            (machines, exits, busy_us)
-                        }))
-                        .map_err(|_| ());
+                // Per-worker exit staging buffer, reused across machines
+                // and across ticks.
+                let mut tmp: Vec<TaskExit> = Vec::new();
+                while let Ok((mut machines, mut exits, now, dt, measure)) = job_rx.recv() {
+                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let started = measure.then(Instant::now);
+                        for m in &mut machines {
+                            let id = m.id;
+                            tmp.clear();
+                            m.tick(now, dt, &mut tmp);
+                            exits.extend(tmp.drain(..).map(|e| (id, e)));
+                        }
+                        started.map_or(0, |t| t.elapsed().as_micros().min(u64::MAX as u128) as u64)
+                    }));
+                    let outcome = match res {
+                        Ok(busy_us) => Ok((machines, exits, busy_us)),
+                        Err(_) => Err(()),
+                    };
                     if res_tx.send((idx, outcome)).is_err() {
                         break;
                     }
@@ -91,7 +108,14 @@ impl TickPool {
             }));
             txs.push(tx);
         }
-        TickPool { txs, rx, handles }
+        TickPool {
+            txs,
+            rx,
+            handles,
+            shard_bufs: Vec::new(),
+            exit_bufs: Vec::new(),
+            slots: Vec::new(),
+        }
     }
 
     /// Number of worker threads.
@@ -100,8 +124,10 @@ impl TickPool {
     }
 
     /// Runs one tick across the pool: `machines` is carved into contiguous
-    /// shards, dispatched, and reassembled in the original order before
-    /// returning the concatenated exits.
+    /// shards, dispatched, and reassembled in the original order; exits are
+    /// *appended* to `exits` in machine order. Shard and exit buffers are
+    /// recycled across ticks, so a warmed-up pool dispatches a tick without
+    /// heap allocation.
     ///
     /// # Panics
     ///
@@ -111,40 +137,50 @@ impl TickPool {
         machines: &mut Vec<Machine>,
         now: SimTime,
         dt: SimDuration,
+        exits: &mut Vec<(MachineId, TaskExit)>,
         metrics: Option<&PoolMetrics>,
-    ) -> Vec<(MachineId, TaskExit)> {
+    ) {
         let measure = metrics.is_some_and(PoolMetrics::enabled);
         let wall_start = measure.then(Instant::now);
         let total = machines.len();
         let shard_len = total.div_ceil(self.txs.len()).max(1);
         let mut rest = std::mem::take(machines);
         let mut dispatched = 0;
-        while !rest.is_empty() {
-            let tail = if rest.len() > shard_len {
-                rest.split_off(shard_len)
-            } else {
-                Vec::new()
-            };
-            self.txs[dispatched]
-                .send((rest, now, dt, measure))
-                .expect("tick worker exited early");
-            rest = tail;
-            dispatched += 1;
+        {
+            let mut drain = rest.drain(..);
+            loop {
+                let mut shard = self.shard_bufs.pop().unwrap_or_default();
+                shard.extend(drain.by_ref().take(shard_len));
+                if shard.is_empty() {
+                    self.shard_bufs.push(shard);
+                    break;
+                }
+                let exit_buf = self.exit_bufs.pop().unwrap_or_default();
+                self.txs[dispatched]
+                    .send((shard, exit_buf, now, dt, measure))
+                    .expect("tick worker exited early");
+                dispatched += 1;
+            }
         }
-        let mut slots: Vec<Option<ShardOutcome>> = (0..dispatched).map(|_| None).collect();
+        // Hand the (now empty, still warm) fleet buffer back to the caller
+        // before refilling it in shard order.
+        *machines = rest;
+        self.slots.clear();
+        self.slots.resize_with(dispatched, || None);
         for _ in 0..dispatched {
             let (idx, outcome) = self.rx.recv().expect("tick worker exited early");
-            slots[idx] = Some(outcome);
+            self.slots[idx] = Some(outcome);
         }
-        let mut exits = Vec::new();
         let mut total_busy_us = 0u64;
-        machines.reserve(total);
-        for slot in slots {
-            let (ms, ex, busy_us) = slot
+        for slot in self.slots.iter_mut() {
+            let (mut ms, mut ex, busy_us) = slot
+                .take()
                 .expect("every dispatched shard reports once")
                 .expect("machine shard worker panicked");
-            machines.extend(ms);
-            exits.extend(ex);
+            machines.append(&mut ms);
+            exits.append(&mut ex);
+            self.shard_bufs.push(ms);
+            self.exit_bufs.push(ex);
             total_busy_us += busy_us;
             if measure {
                 if let Some(metrics) = metrics {
@@ -163,7 +199,6 @@ impl TickPool {
                 }
             }
         }
-        exits
     }
 }
 
@@ -200,8 +235,15 @@ mod tests {
     fn preserves_machine_order() {
         let mut pool = TickPool::new(3);
         let mut ms = machines(10);
+        let mut exits = Vec::new();
         for _ in 0..5 {
-            pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1), None);
+            pool.tick(
+                &mut ms,
+                SimTime::ZERO,
+                SimDuration::from_secs(1),
+                &mut exits,
+                None,
+            );
         }
         assert_eq!(ms.len(), 10);
         for (i, m) in ms.iter().enumerate() {
@@ -213,7 +255,13 @@ mod tests {
     fn more_workers_than_machines() {
         let mut pool = TickPool::new(8);
         let mut ms = machines(3);
-        pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1), None);
+        pool.tick(
+            &mut ms,
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            &mut Vec::new(),
+            None,
+        );
         assert_eq!(ms.len(), 3);
     }
 
@@ -221,7 +269,14 @@ mod tests {
     fn empty_fleet_is_a_no_op() {
         let mut pool = TickPool::new(2);
         let mut ms = Vec::new();
-        let exits = pool.tick(&mut ms, SimTime::ZERO, SimDuration::from_secs(1), None);
+        let mut exits = Vec::new();
+        pool.tick(
+            &mut ms,
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            &mut exits,
+            None,
+        );
         assert!(exits.is_empty());
         assert!(ms.is_empty());
     }

@@ -1,6 +1,8 @@
 //! Property-based tests for the cluster simulator's invariants.
 
-use cpi2_sim::interference::{self, InterferenceParams, TaskLoad};
+use cpi2_sim::interference::{
+    self, ComputeScratch, ContentionSummary, InterferenceParams, TaskInterference, TaskLoad,
+};
 use cpi2_sim::{
     Cgroup, ConstantLoad, JobId, Machine, MachineId, Platform, Priority, ResourceProfile,
     SchedClass, Scheduler, SimDuration, SimTime, TaskId, TaskInstance,
@@ -97,7 +99,7 @@ proptest! {
                 None,
             );
         }
-        m.tick(SimTime::ZERO, SimDuration::from_secs(1));
+        m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut Vec::new());
         let granted: f64 = m
             .tasks()
             .map(|t| t.last_outcome().map(|o| o.cpu_granted).unwrap_or(0.0))
@@ -246,7 +248,7 @@ proptest! {
         let mut last: Vec<cpi2_sim::CounterBlock> =
             m.tasks().map(|t| *t.cgroup.counters()).collect();
         for tick in 0..ticks {
-            m.tick(SimTime::from_secs(tick), SimDuration::from_secs(1));
+            m.tick(SimTime::from_secs(tick), SimDuration::from_secs(1), &mut Vec::new());
             for (t, prev) in m.tasks().zip(&last) {
                 let c = t.cgroup.counters();
                 prop_assert!(c.cycles >= prev.cycles);
@@ -255,6 +257,148 @@ proptest! {
                 prop_assert!(c.cpu_time_us >= prev.cpu_time_us);
             }
             last = m.tasks().map(|t| *t.cgroup.counters()).collect();
+        }
+    }
+}
+
+// --- compute_into vs the pre-scratch reference ---------------------------
+
+/// The interference model as it was before the allocation-free refactor,
+/// pinned verbatim: per-call `Vec` storage, identical arithmetic. The
+/// refactored `compute_into` must match it bit for bit.
+fn reference_compute(
+    platform: &Platform,
+    loads: &[TaskLoad],
+    params: &InterferenceParams,
+) -> (Vec<TaskInterference>, ContentionSummary) {
+    let hot: Vec<f64> = loads
+        .iter()
+        .map(|l| l.profile.cache_mb * (1.0 - (-l.activity).exp()))
+        .collect();
+    let demand: f64 = hot.iter().sum();
+    let retained_global = if demand <= platform.l3_mb || demand == 0.0 {
+        1.0
+    } else {
+        platform.l3_mb / demand
+    };
+
+    let mpki: Vec<f64> = loads
+        .iter()
+        .map(|l| {
+            let loss = 1.0 - retained_global;
+            l.profile.mpki_solo * (1.0 + l.profile.cache_sensitivity * loss * params.cache_slope)
+        })
+        .collect();
+
+    let mut cpi: Vec<f64> = loads
+        .iter()
+        .map(|l| l.profile.base_cpi * platform.cpi_factor)
+        .collect();
+    let mut rho = 0.0;
+    for _ in 0..params.iterations {
+        let glines: f64 = loads
+            .iter()
+            .zip(&cpi)
+            .zip(&mpki)
+            .map(|((l, &c), &m)| {
+                let instr_per_sec = l.activity * platform.clock_hz / c;
+                instr_per_sec * m / 1000.0 / 1e9
+            })
+            .sum();
+        rho = (glines / platform.mem_bw_glines).min(params.rho_max);
+        let queue_mult = 1.0 + params.queue_beta * rho / (1.0 - rho);
+        let eff_penalty = platform.miss_penalty_cycles * queue_mult;
+        for ((l, c), &m) in loads.iter().zip(cpi.iter_mut()).zip(&mpki) {
+            let extra_mpki = (m - l.profile.mpki_solo).max(0.0);
+            let extra = (extra_mpki * eff_penalty
+                + l.profile.mpki_solo * platform.miss_penalty_cycles * (queue_mult - 1.0))
+                / 1000.0;
+            let target = l.profile.base_cpi * platform.cpi_factor + extra;
+            *c += params.damping * (target - *c);
+        }
+    }
+
+    let out = loads
+        .iter()
+        .zip(&cpi)
+        .zip(&mpki)
+        .map(|((_, &c), &m)| TaskInterference {
+            cpi: c,
+            mpki: m,
+            cache_retained: retained_global,
+        })
+        .collect();
+    (
+        out,
+        ContentionSummary {
+            cache_demand_mb: demand,
+            mem_utilization: rho,
+        },
+    )
+}
+
+fn assert_bits_equal(
+    got: &[TaskInterference],
+    got_sum: &ContentionSummary,
+    want: &[TaskInterference],
+    want_sum: &ContentionSummary,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        prop_assert_eq!(
+            g.cpi.to_bits(),
+            w.cpi.to_bits(),
+            "cpi {} vs {}",
+            g.cpi,
+            w.cpi
+        );
+        prop_assert_eq!(g.mpki.to_bits(), w.mpki.to_bits());
+        prop_assert_eq!(g.cache_retained.to_bits(), w.cache_retained.to_bits());
+    }
+    prop_assert_eq!(
+        got_sum.cache_demand_mb.to_bits(),
+        want_sum.cache_demand_mb.to_bits()
+    );
+    prop_assert_eq!(
+        got_sum.mem_utilization.to_bits(),
+        want_sum.mem_utilization.to_bits()
+    );
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn compute_into_bit_identical_to_reference(
+        loads in loads_strategy(16),
+        idle_flag in 0..2u8,
+    ) {
+        let mut loads = loads;
+        // Half the cases exercise the zero-total-activity fast path.
+        if idle_flag == 1 {
+            for l in &mut loads {
+                l.activity = 0.0;
+            }
+        }
+        let params = InterferenceParams::default();
+        for platform in [Platform::westmere(), Platform::sandy_bridge()] {
+            let (want, want_sum) = reference_compute(&platform, &loads, &params);
+
+            // Allocating wrapper.
+            let (got, got_sum) = interference::compute(&platform, &loads, &params);
+            assert_bits_equal(&got, &got_sum, &want, &want_sum)?;
+
+            // Caller-owned buffers, deliberately dirtied by a different
+            // prior computation: reuse must not leak state between calls.
+            let mut out = Vec::new();
+            let mut scratch = ComputeScratch::default();
+            let decoys = [
+                TaskLoad { activity: 6.0, profile: ResourceProfile::streaming() },
+                TaskLoad { activity: 3.0, profile: ResourceProfile::cache_heavy() },
+            ];
+            interference::compute_into(&platform, &decoys, &params, &mut out, &mut scratch);
+            let got_sum2 =
+                interference::compute_into(&platform, &loads, &params, &mut out, &mut scratch);
+            assert_bits_equal(&out, &got_sum2, &want, &want_sum)?;
         }
     }
 }
