@@ -1,0 +1,158 @@
+//! Antagonist-identification accuracy leaderboard.
+//!
+//! Sweeps every identification backend (the paper's §4.2 correlator, the
+//! PANDA-style noise-resilient backend, and its three ablations) over
+//! seeded ground-truth scenarios at each fault profile, then scores
+//! precision / recall / MRR per backend and enforces the accuracy gate
+//! (committed clean-profile floors for the paper backend; PANDA must be
+//! at least as precise everywhere and strictly better on recall under
+//! degraded pipelines).
+//!
+//! Run:
+//! `cargo run -p cpi2-bench --release --bin accuracy_leaderboard -- \
+//!    --seeds 1,2,3 --faults none,lossy,heavy [--minutes 120] \
+//!    [--out LEADERBOARD.json] [--no-gate]`
+
+use cpi2_bench::accuracy::{
+    aggregate, gate, run_case, AccuracyCase, CaseScore, GateCheck, LeaderboardRow,
+};
+use cpi2_bench::args::Args;
+use cpi2_bench::plot;
+use cpi2_core::IdentifierKind;
+use serde::Serialize;
+
+/// Everything the run produced, serialized to `LEADERBOARD.json` (the CI
+/// artifact).
+#[derive(Serialize)]
+struct Leaderboard {
+    seeds: Vec<u64>,
+    faults: Vec<String>,
+    minutes: i64,
+    runs: Vec<CaseScore>,
+    summary: Vec<LeaderboardRow>,
+    gate: Vec<GateCheck>,
+    passed: bool,
+}
+
+fn csv_list(args: &Args, key: &str, default: &str) -> Vec<String> {
+    args.value(key)
+        .unwrap_or(default)
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn main() {
+    let args = Args::new();
+    let seeds: Vec<u64> = csv_list(&args, "--seeds", "1,2,3")
+        .iter()
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("bad seed {s:?}")))
+        .collect();
+    let faults = csv_list(&args, "--faults", "none,lossy,heavy");
+    let minutes = args.parsed("--minutes", 120i64);
+    let out = args
+        .value("--out")
+        .unwrap_or("LEADERBOARD.json")
+        .to_string();
+    let enforce = !args.flag("--no-gate");
+
+    let total = IdentifierKind::ALL.len() * seeds.len() * faults.len();
+    eprintln!(
+        "accuracy leaderboard: {} backends x {} seeds x {} faults = {total} runs of {minutes} min",
+        IdentifierKind::ALL.len(),
+        seeds.len(),
+        faults.len()
+    );
+    let mut runs: Vec<CaseScore> = Vec::with_capacity(total);
+    for kind in IdentifierKind::ALL {
+        for fault in &faults {
+            for &seed in &seeds {
+                let case = AccuracyCase {
+                    identifier: kind,
+                    seed,
+                    fault: fault.clone(),
+                    minutes,
+                };
+                let score = match run_case(&case) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("FATAL: {}/{fault} seed {seed}: {e}", kind.name());
+                        std::process::exit(2);
+                    }
+                };
+                eprintln!(
+                    "  {:<22} {:<6} seed {}: {} incidents, {} identified, {} correct",
+                    score.identifier,
+                    score.fault,
+                    seed,
+                    score.incidents,
+                    score.identified,
+                    score.correct
+                );
+                runs.push(score);
+            }
+        }
+    }
+
+    let summary = aggregate(&runs);
+    let rows: Vec<Vec<String>> = summary
+        .iter()
+        .map(|r| {
+            vec![
+                r.identifier.clone(),
+                r.fault.clone(),
+                r.incidents.to_string(),
+                format!("{:.3}", r.precision),
+                format!("{:.3}", r.recall),
+                format!("{:.3}", r.mrr),
+            ]
+        })
+        .collect();
+    plot::print_table(
+        "Antagonist-identification accuracy leaderboard",
+        &[
+            "backend",
+            "faults",
+            "incidents",
+            "precision",
+            "recall",
+            "MRR",
+        ],
+        &rows,
+    );
+
+    let checks = gate(&summary, &faults);
+    let passed = checks.iter().all(|c| c.passed);
+    for c in &checks {
+        println!(
+            "  [{}] {} ({})",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+    }
+
+    let board = Leaderboard {
+        seeds,
+        faults,
+        minutes,
+        runs,
+        summary,
+        gate: checks,
+        passed,
+    };
+    let json = serde_json::to_string(&board).expect("leaderboard serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+
+    if enforce && !passed {
+        eprintln!("accuracy gate FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "accuracy gate {}",
+        if passed { "OK" } else { "skipped (--no-gate)" }
+    );
+}

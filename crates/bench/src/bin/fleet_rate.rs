@@ -30,12 +30,18 @@
 //! faulty run is bit-identical at parallelism 1 and P. `--seed` reseeds
 //! both the fleet and the fault plan.
 //!
+//! With `--identifier <paper|panda|panda-no-*>` every harness-level run
+//! (day mode, and the fault/telemetry passes of `--seconds` mode) uses
+//! the selected antagonist-identification backend (DESIGN.md §10);
+//! default `paper`.
+//!
 //! Run: `cargo run -p cpi2-bench --release --bin fleet_rate -- \
 //!           [--machines N] [--parallelism P] [--seconds S] \
-//!           [--seed SEED] [--faults PROFILE] [--telemetry PATH|-]`
+//!           [--seed SEED] [--faults PROFILE] [--identifier KIND] \
+//!           [--telemetry PATH|-]`
 //! (a bare positional `N` still sets the machine count, as before).
 
-use cpi2::core::Cpi2Config;
+use cpi2::core::{Cpi2Config, IdentifierKind};
 use cpi2::harness::Cpi2Harness;
 use cpi2::sim::{
     default_parallelism, Cluster, ClusterConfig, FaultPlan, FaultProfile, JobSpec, Platform,
@@ -134,6 +140,7 @@ fn throughput_mode(
     telemetry_path: Option<&str>,
     seed: u64,
     faults: Option<&FaultProfile>,
+    identifier: IdentifierKind,
 ) {
     let run = |par: usize| -> (f64, Vec<TraceEntry>) {
         let mut cluster = build_fleet(machines, par, &Telemetry::disabled(), seed);
@@ -184,6 +191,7 @@ fn throughput_mode(
                 cluster,
                 Cpi2Config {
                     min_samples_per_task: 5,
+                    identifier,
                     ..Cpi2Config::default()
                 },
             );
@@ -231,6 +239,7 @@ fn throughput_mode(
         let cluster = build_fleet(machines, parallelism, &telemetry, seed);
         let config = Cpi2Config {
             min_samples_per_task: 5,
+            identifier,
             ..Cpi2Config::default()
         };
         let mut system = Cpi2Harness::new(cluster, config);
@@ -250,6 +259,18 @@ fn main() {
             .unwrap_or_else(|| panic!("--faults takes one of: none, lossy, heavy (got {name:?})"))
     });
     let telemetry_path = args.value("--telemetry").map(str::to_string);
+    let identifier = args
+        .value("--identifier")
+        .map(|name| {
+            IdentifierKind::named(name).unwrap_or_else(|| {
+                let all: Vec<&str> = IdentifierKind::ALL.iter().map(|k| k.name()).collect();
+                panic!(
+                    "--identifier takes one of: {} (got {name:?})",
+                    all.join(", ")
+                )
+            })
+        })
+        .unwrap_or_default();
     let telemetry = if telemetry_path.is_some() {
         Telemetry::enabled()
     } else {
@@ -265,6 +286,7 @@ fn main() {
             telemetry_path.as_deref(),
             seed,
             faults.as_ref(),
+            identifier,
         );
         return;
     }
@@ -292,6 +314,7 @@ fn main() {
 
     let config = Cpi2Config {
         min_samples_per_task: 5,
+        identifier,
         ..Cpi2Config::default()
     };
     let mut system = Cpi2Harness::new(cluster, config);

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod args;
 pub mod metrics;
 pub mod plot;

@@ -13,6 +13,7 @@ use crate::config::Cpi2Config;
 use crate::correlation::antagonist_correlation;
 use crate::incident::{Incident, IncidentAction};
 use crate::outlier::{OutlierDetector, Verdict};
+use crate::panda::EvidenceBook;
 use crate::sample::{CpiSample, JobKey, TaskClass, TaskHandle};
 use crate::spec::CpiSpec;
 use cpi2_stats::timeseries::TimeSeries;
@@ -75,10 +76,16 @@ struct AgentMetrics {
     /// Detection decisions taken in degraded mode because the cached spec
     /// aged past `spec_ttl_hours` (conservative wide-sigma fallback).
     degraded_stale_spec: Counter,
+    /// Identification passes, labeled by the configured backend.
+    identifier_runs: Counter,
+    /// PANDA-only: incident windows whose evidence was filtered as noise.
+    panda_windows_filtered: Counter,
+    /// PANDA-only: evidence pairs evicted to honor the state bound.
+    panda_evidence_evictions: Counter,
 }
 
 impl AgentMetrics {
-    fn new(telemetry: &Telemetry) -> AgentMetrics {
+    fn new(telemetry: &Telemetry, identifier: &'static str) -> AgentMetrics {
         AgentMetrics {
             telemetry: telemetry.clone(),
             samples: telemetry.counter("cpi_agent_samples_total", &[]),
@@ -91,6 +98,10 @@ impl AgentMetrics {
                 "cpi_agent_degraded_decisions_total",
                 &[("reason", "stale_spec")],
             ),
+            identifier_runs: telemetry
+                .counter("cpi_identifier_runs_total", &[("kind", identifier)]),
+            panda_windows_filtered: telemetry.counter("cpi_panda_windows_filtered_total", &[]),
+            panda_evidence_evictions: telemetry.counter("cpi_panda_evidence_evictions_total", &[]),
         }
     }
 }
@@ -152,6 +163,10 @@ pub struct Agent {
     #[serde(with = "pairs")]
     last_incident: BTreeMap<TaskHandle, i64>,
     incidents: Vec<Incident>,
+    /// PANDA cross-incident evidence (empty and unused under the paper
+    /// backend; checkpoints from before the field deserialize empty).
+    #[serde(default)]
+    evidence: EvidenceBook,
     /// Telemetry handles are runtime wiring, not state: checkpoints store
     /// `null` and restores come back disabled (re-attach after restore).
     #[serde(with = "cpi2_telemetry::serde_stub")]
@@ -177,6 +192,7 @@ impl Agent {
             active_caps: BTreeMap::new(),
             last_incident: BTreeMap::new(),
             incidents: Vec::new(),
+            evidence: EvidenceBook::new(),
             metrics: AgentMetrics::default(),
         }
     }
@@ -186,7 +202,7 @@ impl Agent {
     /// construction — or after [`Agent::restore`], since checkpoints do
     /// not carry telemetry wiring.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
-        self.metrics = AgentMetrics::new(telemetry);
+        self.metrics = AgentMetrics::new(telemetry, self.config.identifier.name());
     }
 
     /// The agent's configuration.
@@ -387,7 +403,28 @@ impl Agent {
             .collect();
         // Alignment slack of half a sampling period.
         let tolerance = self.config.sampling_period_s * 1_000_000 / 2;
-        let ranked = rank_suspects(&victim_cpi, &inputs, cthreshold, tolerance);
+        let kind = self.config.identifier;
+        self.metrics.identifier_runs.inc();
+        let ranked = match kind.panda_params() {
+            None => rank_suspects(&victim_cpi, &inputs, cthreshold, tolerance),
+            Some(params) => {
+                let (ranked, stats) = self.evidence.rank(
+                    &params,
+                    &victim.jobname,
+                    &victim_cpi,
+                    &inputs,
+                    cthreshold,
+                    tolerance,
+                    victim.timestamp,
+                );
+                self.metrics
+                    .panda_windows_filtered
+                    .add(stats.windows_filtered);
+                self.metrics.panda_evidence_evictions.add(stats.evictions);
+                ranked
+            }
+        };
+        let threshold = kind.decision_threshold(&self.config);
         let mut top: Vec<Suspect> = ranked.iter().take(10).cloned().collect();
         // Always report the best throttle-eligible suspect, even when ten
         // latency-sensitive neighbours outrank it (the Case-4 shape: it is
@@ -399,8 +436,8 @@ impl Agent {
         }
 
         let eligible_victim = victim.class.protected;
-        let target = select_target(&ranked, self.config.correlation_threshold)
-            .filter(|t| !self.active_caps.contains_key(&t.task));
+        let target =
+            select_target(&ranked, threshold).filter(|t| !self.active_caps.contains_key(&t.task));
 
         let action = match (&target, eligible_victim, self.config.auto_throttle) {
             (Some(t), true, true) => match cap_for(t.class, &self.config) {
@@ -419,10 +456,13 @@ impl Agent {
                 },
             },
             (None, _, _) => IncidentAction::None {
-                reason: format!(
-                    "no eligible suspect with correlation ≥ {}",
-                    self.config.correlation_threshold
-                ),
+                // Keep the paper backend's historical wording — it is
+                // baked into golden-trace fixtures.
+                reason: if kind.panda_params().is_none() {
+                    format!("no eligible suspect with correlation ≥ {threshold}")
+                } else {
+                    format!("no eligible suspect with confidence ≥ {threshold}")
+                },
             },
             (_, false, _) => IncidentAction::None {
                 reason: "victim job not eligible for protection".into(),
@@ -470,13 +510,16 @@ impl Agent {
             cthreshold,
             suspects: top,
             action,
+            identifier: kind,
         });
         command
     }
 
     /// Computes the §4.2 correlation between a specific victim and suspect
     /// over the trailing window — the operator-facing "why did you pick
-    /// this one" query.
+    /// this one" query. `None` when either task is unknown or the aligned
+    /// window carries no usable signal (empty, constant CPI, non-finite
+    /// samples, zero usage).
     pub fn correlation_between(
         &self,
         victim: TaskHandle,
@@ -487,7 +530,14 @@ impl Agent {
         let s = self.tasks.get(&suspect)?;
         let tolerance = self.config.sampling_period_s * 1_000_000 / 2;
         let pairs = v.cpi.align(&s.usage, tolerance);
-        Some(antagonist_correlation(&pairs, cthreshold))
+        antagonist_correlation(&pairs, cthreshold)
+    }
+
+    /// How many (victim job, suspect job) evidence pairs the PANDA
+    /// identifier currently tracks (0 under the paper backend). Exposed
+    /// for state-bound monitoring and the chaos suite.
+    pub fn evidence_pairs(&self) -> usize {
+        self.evidence.pairs_tracked()
     }
 }
 

@@ -7,6 +7,10 @@
 //! sensitive) suspect at or above the decision threshold — exactly the
 //! Case 1 logic, where the batch video-processing job was chosen even
 //! though four latency-sensitive tasks also scored highly.
+//!
+//! This module implements the paper-exact single-incident ranking. The
+//! PANDA-style backend in [`crate::panda`] produces the same [`Suspect`]
+//! records but ranks by a cross-incident confidence score instead.
 
 use crate::correlation::antagonist_correlation;
 use crate::sample::{TaskClass, TaskHandle};
@@ -22,8 +26,15 @@ pub struct Suspect {
     pub jobname: String,
     /// Its scheduling class.
     pub class: TaskClass,
-    /// Antagonist correlation with the victim, in `[−1, 1]`.
+    /// Antagonist correlation with the victim, in `[−1, 1]` (0 when the
+    /// window score was undefined).
     pub correlation: f64,
+    /// The score the active identifier ranked this suspect by. The
+    /// paper-exact backend sets it to `correlation`; the PANDA-style
+    /// backend sets its cross-incident confidence. Old incident logs
+    /// (pre-confidence) deserialize to 0.
+    #[serde(default)]
+    pub confidence: f64,
 }
 
 /// A suspect's observable state handed to the ranker.
@@ -42,8 +53,9 @@ pub struct SuspectInput<'a> {
 /// Ranks suspects by antagonist correlation, descending.
 ///
 /// `victim_cpi` and each suspect's usage are aligned with
-/// `tolerance_us` timestamp slack. Suspects with no aligned samples score
-/// 0.
+/// `tolerance_us` timestamp slack. Suspects whose window score is
+/// undefined (no aligned samples, flat victim CPI, no CPU used — see
+/// [`antagonist_correlation`]) score 0.
 pub fn rank_suspects(
     victim_cpi: &TimeSeries,
     suspects: &[SuspectInput<'_>],
@@ -54,11 +66,13 @@ pub fn rank_suspects(
         .iter()
         .map(|s| {
             let pairs = victim_cpi.align(s.usage, tolerance_us);
+            let correlation = antagonist_correlation(&pairs, cthreshold).unwrap_or(0.0);
             Suspect {
                 task: s.task,
                 jobname: s.jobname.to_string(),
                 class: s.class,
-                correlation: antagonist_correlation(&pairs, cthreshold),
+                correlation,
+                confidence: correlation,
             }
         })
         .collect();
@@ -70,12 +84,14 @@ pub fn rank_suspects(
     out
 }
 
-/// Chooses the throttling target: the highest-correlation suspect that is
-/// throttle-eligible and at or above `threshold`.
+/// Chooses the throttling target: the highest-ranked suspect that is
+/// throttle-eligible and whose identifier score ([`Suspect::confidence`])
+/// is at or above `threshold`. For the paper-exact backend the score is
+/// the raw §4.2 correlation, so this is exactly the paper's rule.
 pub fn select_target(ranked: &[Suspect], threshold: f64) -> Option<&Suspect> {
     ranked
         .iter()
-        .find(|s| s.class.throttle_eligible() && s.correlation >= threshold)
+        .find(|s| s.class.throttle_eligible() && s.confidence >= threshold)
 }
 
 #[cfg(test)]
@@ -115,6 +131,8 @@ mod tests {
         );
         assert_eq!(ranked[0].task, TaskHandle(2));
         assert!(ranked[0].correlation > 0.35);
+        // Paper backend: the ranking score is the correlation itself.
+        assert_eq!(ranked[0].confidence, ranked[0].correlation);
         assert!(ranked[1].correlation < 0.0);
     }
 
@@ -128,12 +146,14 @@ mod tests {
                 jobname: "content-digitizing".into(),
                 class: TaskClass::latency_sensitive(),
                 correlation: 0.44,
+                confidence: 0.44,
             },
             Suspect {
                 task: TaskHandle(2),
                 jobname: "video-processing".into(),
                 class: TaskClass::batch(),
                 correlation: 0.46,
+                confidence: 0.46,
             },
         ];
         // (already sorted descending in real use; order here: 0.44 then 0.46
@@ -151,6 +171,7 @@ mod tests {
             jobname: "b".into(),
             class: TaskClass::batch(),
             correlation: 0.2,
+            confidence: 0.2,
         }];
         assert!(select_target(&ranked, 0.35).is_none());
     }
@@ -197,5 +218,34 @@ mod tests {
             1_000,
         );
         assert_eq!(ranked[0].task, TaskHandle(3));
+    }
+
+    #[test]
+    fn nan_poisoned_window_cannot_top_the_ranking() {
+        // The regression the Option guard prevents: a corrupted sample
+        // (NaN CPI) used to produce a NaN correlation, and `total_cmp`
+        // sorts NaN above +∞ — so a garbage suspect would have outranked
+        // the genuinely guilty one and been capped.
+        let victim = series(&[(0, 1.0), (60, 5.0), (120, 1.0), (180, 5.0)]);
+        let victim_nan = series(&[(0, f64::NAN), (60, 5.0), (120, 1.0), (180, 5.0)]);
+        let guilty = series(&[(0, 0.0), (60, 4.0), (120, 0.0), (180, 4.0)]);
+        let inputs = [SuspectInput {
+            task: TaskHandle(7),
+            jobname: "corrupt",
+            class: TaskClass::batch(),
+            usage: &guilty,
+        }];
+        // Against a poisoned victim window the score degrades to 0 …
+        let ranked = rank_suspects(&victim_nan, &inputs, 2.0, 1_000);
+        assert_eq!(ranked[0].correlation, 0.0);
+        assert!(ranked[0].correlation.is_finite());
+        assert!(select_target(&ranked, 0.35).is_none(), "NaN must not cap");
+        // … while the clean window still convicts.
+        let clean = rank_suspects(&victim, &inputs, 2.0, 1_000);
+        assert!(clean[0].correlation > 0.35);
+        // And a NaN cthreshold (corrupt spec) degrades the same way
+        // instead of panicking.
+        let bad_spec = rank_suspects(&victim, &inputs, f64::NAN, 1_000);
+        assert_eq!(bad_spec[0].correlation, 0.0);
     }
 }

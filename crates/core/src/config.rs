@@ -1,5 +1,8 @@
-//! CPI² configuration: the parameters of Table 2.
+//! CPI² configuration: the parameters of Table 2, plus the
+//! antagonist-identifier backend selector (not in the paper; see
+//! [`crate::panda`]).
 
+use crate::panda::IdentifierKind;
 use serde::{Deserialize, Serialize};
 
 /// All tunable parameters of CPI², with the paper's defaults (Table 2).
@@ -64,6 +67,12 @@ pub struct Cpi2Config {
     /// workloads, per the conservative-fallback degraded mode). Clamped
     /// up to `outlier_sigma` at use sites if configured lower.
     pub stale_outlier_sigma: f64,
+    /// Which antagonist-identification backend the agent runs (see
+    /// [`crate::panda::IdentifierKind`]). Defaults to the paper-exact
+    /// correlator; configs checkpointed before this field existed
+    /// deserialize to the default.
+    #[serde(default)]
+    pub identifier: IdentifierKind,
 }
 
 impl Default for Cpi2Config {
@@ -89,6 +98,7 @@ impl Default for Cpi2Config {
             auto_throttle: true,
             spec_ttl_hours: 48,
             stale_outlier_sigma: 3.0,
+            identifier: IdentifierKind::Paper,
         }
     }
 }
@@ -185,6 +195,8 @@ mod tests {
     #[test]
     fn defaults_match_table2() {
         let c = Cpi2Config::default();
+        // Not a Table 2 row: the identifier backend defaults paper-exact.
+        assert_eq!(c.identifier, IdentifierKind::Paper);
         assert_eq!(c.sampling_duration_s, 10);
         assert_eq!(c.sampling_period_s, 60);
         assert_eq!(c.spec_refresh_hours, 24);

@@ -22,12 +22,19 @@
 /// Computes the §4.2 antagonist correlation from time-aligned
 /// `(victim_cpi, suspect_cpu_usage)` pairs.
 ///
-/// Returns 0.0 for an empty window or a suspect that used no CPU at all
-/// (an idle task can't be blamed for anything).
+/// Returns `None` when the score is undefined — there is no evidence to
+/// correlate, or the inputs would poison the arithmetic:
 ///
-/// # Panics
-///
-/// Panics if `cthreshold` is not positive.
+/// * `cthreshold` is non-finite or not positive (a spec with no usable
+///   outlier threshold);
+/// * the window is empty, or any sample in it is non-finite (NaN/∞ from a
+///   corrupted shipment must not propagate into suspect rankings, where
+///   `total_cmp` would sort a NaN score above every real one);
+/// * the victim's CPI is constant across the window (zero variance: with
+///   no victim signal to correlate against, every co-resident task would
+///   score identically and the ranking would be noise);
+/// * the suspect used no CPU at all (an idle task can't be blamed, and the
+///   paper's `Σ ui = 1` normalization divides by zero).
 ///
 /// # Examples
 ///
@@ -35,14 +42,28 @@
 /// use cpi2_core::correlation::antagonist_correlation;
 /// // Victim CPI doubles exactly when the suspect burns CPU.
 /// let pairs = [(1.0, 0.0), (4.0, 10.0), (1.0, 0.0), (4.0, 10.0)];
-/// let c = antagonist_correlation(&pairs, 2.0);
+/// let c = antagonist_correlation(&pairs, 2.0).unwrap();
 /// assert!(c > 0.4);
+/// // A constant-CPI window carries no signal: undefined, not 0.
+/// let flat = [(5.0, 1.0), (5.0, 2.0)];
+/// assert_eq!(antagonist_correlation(&flat, 2.0), None);
 /// ```
-pub fn antagonist_correlation(pairs: &[(f64, f64)], cthreshold: f64) -> f64 {
-    assert!(cthreshold > 0.0, "cthreshold must be positive");
+pub fn antagonist_correlation(pairs: &[(f64, f64)], cthreshold: f64) -> Option<f64> {
+    if !cthreshold.is_finite() || cthreshold <= 0.0 {
+        return None;
+    }
+    let (first, rest) = pairs.split_first()?;
+    if pairs.iter().any(|&(c, u)| !c.is_finite() || !u.is_finite()) {
+        return None;
+    }
+    // Zero-variance guard: a flat victim CPI window (including a
+    // single-sample window) cannot discriminate between suspects.
+    if rest.iter().all(|&(c, _)| c == first.0) {
+        return None;
+    }
     let total_usage: f64 = pairs.iter().map(|&(_, u)| u.max(0.0)).sum();
     if total_usage <= 0.0 {
-        return 0.0;
+        return None;
     }
     let mut correlation = 0.0;
     for &(ci, ui) in pairs {
@@ -53,7 +74,7 @@ pub fn antagonist_correlation(pairs: &[(f64, f64)], cthreshold: f64) -> f64 {
             correlation += ui * (ci / cthreshold - 1.0);
         }
     }
-    correlation
+    Some(correlation)
 }
 
 #[cfg(test)]
@@ -61,14 +82,65 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_window_is_zero() {
-        assert_eq!(antagonist_correlation(&[], 2.0), 0.0);
+    fn empty_window_is_undefined() {
+        assert_eq!(antagonist_correlation(&[], 2.0), None);
     }
 
     #[test]
-    fn idle_suspect_is_zero() {
-        let pairs = [(5.0, 0.0), (5.0, 0.0)];
-        assert_eq!(antagonist_correlation(&pairs, 2.0), 0.0);
+    fn idle_suspect_is_undefined() {
+        let pairs = [(5.0, 0.0), (1.0, 0.0)];
+        assert_eq!(antagonist_correlation(&pairs, 2.0), None);
+    }
+
+    #[test]
+    fn constant_cpi_window_is_undefined() {
+        // Zero victim-CPI variance: every suspect would score alike, so
+        // the score is declared undefined rather than misleading.
+        let pairs = [(5.0, 1.0), (5.0, 3.0), (5.0, 0.5)];
+        assert_eq!(antagonist_correlation(&pairs, 2.0), None);
+        // A single sample is a degenerate constant window.
+        assert_eq!(antagonist_correlation(&[(2.0, 5.0)], 2.0), None);
+    }
+
+    #[test]
+    fn nan_and_infinite_samples_are_undefined() {
+        // NaN anywhere must yield None, never a NaN score — `total_cmp`
+        // sorts NaN above +∞, so a NaN score would top every ranking.
+        assert_eq!(
+            antagonist_correlation(&[(f64::NAN, 1.0), (1.0, 1.0)], 2.0),
+            None
+        );
+        assert_eq!(
+            antagonist_correlation(&[(6.0, f64::NAN), (1.0, 1.0)], 2.0),
+            None
+        );
+        assert_eq!(
+            antagonist_correlation(&[(f64::INFINITY, 1.0), (1.0, 1.0)], 2.0),
+            None
+        );
+        assert_eq!(
+            antagonist_correlation(&[(6.0, 1.0), (1.0, f64::NEG_INFINITY)], 2.0),
+            None
+        );
+    }
+
+    #[test]
+    fn nonpositive_or_nan_threshold_is_undefined() {
+        // Previously a panic; undefined thresholds now degrade to "no
+        // score" so a corrupt spec can't take the agent down.
+        assert_eq!(antagonist_correlation(&[(1.0, 1.0), (2.0, 1.0)], 0.0), None);
+        assert_eq!(
+            antagonist_correlation(&[(1.0, 1.0), (2.0, 1.0)], -2.0),
+            None
+        );
+        assert_eq!(
+            antagonist_correlation(&[(1.0, 1.0), (2.0, 1.0)], f64::NAN),
+            None
+        );
+        assert_eq!(
+            antagonist_correlation(&[(1.0, 1.0), (2.0, 1.0)], f64::INFINITY),
+            None
+        );
     }
 
     #[test]
@@ -77,7 +149,7 @@ mod tests {
         let pairs: Vec<(f64, f64)> = (0..10)
             .map(|i| if i % 2 == 0 { (6.0, 3.0) } else { (1.0, 0.0) })
             .collect();
-        let c = antagonist_correlation(&pairs, 2.0);
+        let c = antagonist_correlation(&pairs, 2.0).unwrap();
         // All usage mass sits at ci=6 > cth=2: contribution 1 − 2/6 = 2/3.
         assert!((c - 2.0 / 3.0).abs() < 1e-12, "c={c}");
     }
@@ -88,7 +160,7 @@ mod tests {
         let pairs: Vec<(f64, f64)> = (0..10)
             .map(|i| if i % 2 == 0 { (6.0, 0.0) } else { (1.0, 3.0) })
             .collect();
-        let c = antagonist_correlation(&pairs, 2.0);
+        let c = antagonist_correlation(&pairs, 2.0).unwrap();
         // All mass at ci=1 < cth=2: contribution 1/2 − 1 = −1/2.
         assert!((c + 0.5).abs() < 1e-12, "c={c}");
     }
@@ -99,7 +171,7 @@ mod tests {
         // of +1/2·(1−2/6) and −1/2·(1−1/2)... not exactly zero, but small
         // relative to the guilty case.
         let pairs = [(6.0, 1.0), (1.0, 1.0)];
-        let c = antagonist_correlation(&pairs, 2.0);
+        let c = antagonist_correlation(&pairs, 2.0).unwrap();
         let expect = 0.5 * (1.0 - 2.0 / 6.0) + 0.5 * (1.0 / 2.0 - 1.0);
         assert!((c - expect).abs() < 1e-12);
         assert!(c.abs() < 0.35, "c={c} should be below the decision bar");
@@ -107,29 +179,30 @@ mod tests {
 
     #[test]
     fn at_threshold_contributes_nothing() {
-        let pairs = [(2.0, 5.0)];
-        assert_eq!(antagonist_correlation(&pairs, 2.0), 0.0);
+        // Mass at exactly cthreshold adds zero either way; the high/low
+        // minutes still decide the sign.
+        let pairs = [(2.0, 5.0), (6.0, 1.0), (1.0, 0.0)];
+        let with_mass = antagonist_correlation(&pairs, 2.0).unwrap();
+        let without = antagonist_correlation(&[(6.0, 1.0), (1.0, 0.0)], 2.0).unwrap();
+        // The threshold-level mass dilutes the normalization but adds no
+        // contribution of its own.
+        assert!(with_mass > 0.0);
+        assert!(with_mass < without);
     }
 
     #[test]
     fn bounded_in_unit_interval() {
         // Extreme cases stay within [−1, 1].
-        let high = [(1e9, 1.0)];
-        let low = [(1e-9, 1.0)];
-        assert!(antagonist_correlation(&high, 2.0) <= 1.0);
-        assert!(antagonist_correlation(&low, 2.0) >= -1.0);
+        let high = [(1e9, 1.0), (1.0, 0.0)];
+        let low = [(1e-9, 1.0), (10.0, 0.0)];
+        assert!(antagonist_correlation(&high, 2.0).unwrap() <= 1.0);
+        assert!(antagonist_correlation(&low, 2.0).unwrap() >= -1.0);
     }
 
     #[test]
     fn negative_usage_treated_as_zero() {
-        let pairs = [(6.0, -5.0), (6.0, 1.0)];
-        let c = antagonist_correlation(&pairs, 2.0);
+        let pairs = [(6.0, -5.0), (6.0, 1.0), (1.0, 0.0)];
+        let c = antagonist_correlation(&pairs, 2.0).unwrap();
         assert!((c - (1.0 - 2.0 / 6.0)).abs() < 1e-12);
-    }
-
-    #[test]
-    #[should_panic]
-    fn rejects_nonpositive_threshold() {
-        antagonist_correlation(&[(1.0, 1.0)], 0.0);
     }
 }

@@ -5,6 +5,7 @@
 //! `cpi2-pipeline` crate's query engine runs over these records.
 
 use crate::antagonist::Suspect;
+use crate::panda::IdentifierKind;
 use crate::sample::TaskHandle;
 use serde::{Deserialize, Serialize};
 
@@ -43,10 +44,15 @@ pub struct Incident {
     pub victim_cpi: f64,
     /// The victim's outlier threshold (`cthreshold` in §4.2).
     pub cthreshold: f64,
-    /// Ranked suspects (highest correlation first), as in Figs. 8a/11a.
+    /// Ranked suspects (highest identifier score first), as in Figs.
+    /// 8a/11a.
     pub suspects: Vec<Suspect>,
     /// What was done.
     pub action: IncidentAction,
+    /// Which identification backend produced the ranking (older logs
+    /// deserialize to the paper-exact default).
+    #[serde(default)]
+    pub identifier: IdentifierKind,
 }
 
 impl Incident {
@@ -79,6 +85,7 @@ mod tests {
                 jobname: "video".into(),
                 class: TaskClass::batch(),
                 correlation: 0.46,
+                confidence: 0.46,
             }],
             action: IncidentAction::HardCap {
                 target: TaskHandle(2),
@@ -86,6 +93,7 @@ mod tests {
                 cpu_rate: 0.1,
                 until: 300_000_000,
             },
+            identifier: IdentifierKind::Paper,
         };
         assert!(inc.acted());
         assert_eq!(inc.top_suspect().unwrap().jobname, "video");
@@ -107,6 +115,7 @@ mod tests {
             action: IncidentAction::None {
                 reason: "no suspect above threshold".into(),
             },
+            identifier: IdentifierKind::default(),
         };
         assert!(!inc.acted());
         assert!(inc.top_suspect().is_none());

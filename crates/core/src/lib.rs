@@ -34,6 +34,7 @@ pub mod config;
 pub mod correlation;
 pub mod incident;
 pub mod outlier;
+pub mod panda;
 pub mod sample;
 pub mod sharded;
 pub mod spec;
@@ -46,6 +47,7 @@ pub use config::Cpi2Config;
 pub use correlation::antagonist_correlation;
 pub use incident::{Incident, IncidentAction};
 pub use outlier::{OutlierDetector, Verdict};
+pub use panda::{EvidenceBook, IdentifierKind, PandaParams};
 pub use sample::{CpiSample, JobKey, TaskClass, TaskHandle};
 pub use sharded::{ShardedSpecBuilder, DEFAULT_SPEC_SHARDS};
 pub use spec::CpiSpec;

@@ -1,0 +1,756 @@
+//! PANDA-style noise-resilient antagonist identification.
+//!
+//! The paper's §4.2 correlator scores each suspect from a *single*
+//! incident window, which is noisy: thin windows (a suspect that just
+//! landed), flat victim signal, and lossy sample pipelines all produce
+//! scores that swing around the decision threshold. Its production
+//! successor (PAPERS.md: "PANDA: Noise-Resilient Antagonist Identification
+//! in Production Datacenters") hardens identification three ways, all
+//! reproduced here:
+//!
+//! 1. **Cross-incident aggregation** — correlation evidence is accumulated
+//!    per *(victim job, suspect job)* pair across repeated incidents, so a
+//!    verdict rests on a body of observations rather than one window
+//!    ([`EvidenceBook`]).
+//! 2. **Noise filtering** — a window only contributes evidence when the
+//!    victim and suspect series overlap in at least
+//!    [`PandaParams::min_overlap`] aligned samples, and (with
+//!    [`PandaParams::variance_weighting`]) each window is weighted by how
+//!    much victim-CPI signal it actually carried, down-weighting windows
+//!    where the victim barely deviated from its threshold.
+//! 3. **Confidence scoring** — suspects are ranked by a score that shrinks
+//!    toward zero when evidence is scarce (a Bayesian-style support prior)
+//!    or inconsistent (variance across incidents), instead of by the raw
+//!    last-window correlation.
+//!
+//! # Determinism
+//!
+//! All state lives in `BTreeMap`s keyed by [`PairKey`]; iteration,
+//! eviction and tie-breaking are pure functions of the stored state and
+//! the sim-time `now` passed in by the caller. No clocks, no hashing, no
+//! randomness: two agents fed identical sample streams hold bit-identical
+//! evidence books, which keeps the workspace determinism suite green at
+//! any parallelism.
+//!
+//! # Backend selection
+//!
+//! [`IdentifierKind`] is threaded through [`crate::Cpi2Config`]; the agent
+//! consults [`IdentifierKind::panda_params`] and either runs the
+//! paper-exact [`crate::antagonist::rank_suspects`] or
+//! [`EvidenceBook::rank`]. The ablation variants exist for the accuracy
+//! leaderboard (`cpi2-bench`'s `accuracy_leaderboard`): each switches off
+//! exactly one of the three mechanisms above.
+
+use crate::antagonist::{Suspect, SuspectInput};
+use crate::correlation::antagonist_correlation;
+use cpi2_stats::timeseries::TimeSeries;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which antagonist-identification backend the agent runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IdentifierKind {
+    /// The paper-exact §4.2 single-incident correlator (the default:
+    /// golden traces and the determinism suite were recorded against it).
+    #[default]
+    Paper,
+    /// Full PANDA-style backend: aggregation + filtering + confidence.
+    Panda,
+    /// Ablation: evidence window of one incident (no cross-incident
+    /// memory); filtering and confidence unchanged.
+    PandaNoAggregation,
+    /// Ablation: no minimum-overlap filter and no variance weighting;
+    /// aggregation and confidence unchanged.
+    PandaNoFiltering,
+    /// Ablation: rank by the weighted-mean correlation alone (no support
+    /// shrinkage, no consistency discount); aggregation and filtering
+    /// unchanged.
+    PandaNoConfidence,
+}
+
+impl IdentifierKind {
+    /// Every backend, in leaderboard order.
+    pub const ALL: [IdentifierKind; 5] = [
+        IdentifierKind::Paper,
+        IdentifierKind::Panda,
+        IdentifierKind::PandaNoAggregation,
+        IdentifierKind::PandaNoFiltering,
+        IdentifierKind::PandaNoConfidence,
+    ];
+
+    /// Stable machine-readable name (CLI flags, telemetry labels,
+    /// `LEADERBOARD.json` keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            IdentifierKind::Paper => "paper",
+            IdentifierKind::Panda => "panda",
+            IdentifierKind::PandaNoAggregation => "panda-no-aggregation",
+            IdentifierKind::PandaNoFiltering => "panda-no-filtering",
+            IdentifierKind::PandaNoConfidence => "panda-no-confidence",
+        }
+    }
+
+    /// Parses a [`IdentifierKind::name`] back into a kind.
+    pub fn named(name: &str) -> Option<IdentifierKind> {
+        IdentifierKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The PANDA parameters for this backend, or `None` for the paper
+    /// correlator.
+    pub fn panda_params(self) -> Option<PandaParams> {
+        let base = PandaParams::default();
+        match self {
+            IdentifierKind::Paper => None,
+            IdentifierKind::Panda => Some(base),
+            IdentifierKind::PandaNoAggregation => Some(PandaParams {
+                aggregation_window: 1,
+                ..base
+            }),
+            IdentifierKind::PandaNoFiltering => Some(PandaParams {
+                min_overlap: 0,
+                variance_weighting: false,
+                ..base
+            }),
+            IdentifierKind::PandaNoConfidence => Some(PandaParams {
+                use_confidence: false,
+                // Without support shrinkage the score is a weighted mean
+                // correlation in [−1, 1]; the paper's own operating point
+                // is the comparable bar.
+                confidence_threshold: 0.35,
+                ..base
+            }),
+        }
+    }
+
+    /// The decision bar applied to [`Suspect::confidence`] when selecting
+    /// a throttling target: the paper's correlation threshold for the
+    /// paper backend, the backend's confidence threshold otherwise.
+    pub fn decision_threshold(self, config: &crate::Cpi2Config) -> f64 {
+        match self.panda_params() {
+            None => config.correlation_threshold,
+            Some(p) => p.confidence_threshold,
+        }
+    }
+}
+
+/// Tuning knobs of the PANDA-style backend.
+///
+/// The ablation [`IdentifierKind`]s are expressed entirely through these
+/// fields (see [`IdentifierKind::panda_params`]), so the scoring code has
+/// a single path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PandaParams {
+    /// How many incidents of evidence per (victim job, suspect job) pair
+    /// feed one verdict (and the per-pair storage cap). `1` reduces to
+    /// single-incident scoring.
+    pub aggregation_window: usize,
+    /// Minimum aligned (victim CPI, suspect usage) sample pairs for a
+    /// window to contribute evidence. Thinner windows are filtered.
+    pub min_overlap: usize,
+    /// Weight each window's evidence by the victim-CPI signal it carried
+    /// (RMS relative deviation from `cthreshold`, capped at 1) instead of
+    /// uniformly.
+    pub variance_weighting: bool,
+    /// Apply the support prior and consistency discount on top of the
+    /// weighted mean correlation.
+    pub use_confidence: bool,
+    /// Pseudo-weight of the "no evidence yet" prior: with total evidence
+    /// weight `W`, the support factor is `W / (W + prior)`.
+    pub confidence_prior: f64,
+    /// Strength of the consistency discount `1 / (1 + k·Var)` applied for
+    /// cross-incident disagreement.
+    pub consistency_strength: f64,
+    /// Decision bar on the confidence score (the analogue of the paper's
+    /// 0.35 correlation threshold; lower, because support shrinkage keeps
+    /// honest scores below the raw correlation).
+    pub confidence_threshold: f64,
+    /// Upper bound on tracked (victim job, suspect job) pairs; the
+    /// least-recently-updated pair is evicted first (ties by key order).
+    pub max_pairs: usize,
+}
+
+impl Default for PandaParams {
+    fn default() -> Self {
+        PandaParams {
+            aggregation_window: 8,
+            min_overlap: 3,
+            variance_weighting: true,
+            use_confidence: true,
+            confidence_prior: 1.0,
+            consistency_strength: 4.0,
+            // Support shrinkage halves a lone strong window's score, and
+            // agent restarts keep resetting the book in degraded fleets;
+            // the bar sits where one clear window (≈ 0.45 correlation,
+            // high signal) clears it but a weak or inconsistent body of
+            // evidence does not.
+            confidence_threshold: 0.12,
+            max_pairs: 256,
+        }
+    }
+}
+
+/// One (victim job, suspect job) evidence stream. Ordered by victim job,
+/// then suspect job (the derive's field order).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PairKey {
+    /// The anomalous job the evidence is about.
+    pub victim_job: String,
+    /// The suspected antagonist job.
+    pub suspect_job: String,
+}
+
+/// One incident's worth of evidence for a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceRecord {
+    /// Evidence weight in `(0, 1]` — the window's signal measure under
+    /// variance weighting, 1 otherwise.
+    pub weight: f64,
+    /// The §4.2 correlation observed in that window.
+    pub correlation: f64,
+}
+
+/// Evidence for one pair: bounded history plus recency for eviction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct PairEvidence {
+    /// Oldest-first, trimmed to the aggregation window.
+    records: Vec<EvidenceRecord>,
+    /// Sim time (µs) of the newest record, for LRU eviction.
+    last_update: i64,
+}
+
+/// Serializes the evidence map as an array of `[key, value]` pairs (JSON
+/// map keys must be strings; ordered pairs keep checkpoints byte-stable).
+mod pairmap {
+    use super::{PairEvidence, PairKey};
+    use serde::{Deserialize, Error, Serialize, Value};
+    use std::collections::BTreeMap;
+
+    pub fn to_value(map: &BTreeMap<PairKey, PairEvidence>) -> Value {
+        Value::Array(
+            map.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+
+    pub fn from_value(v: &Value) -> Result<BTreeMap<PairKey, PairEvidence>, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array of pairs"))?;
+        items
+            .iter()
+            .map(|item| match item.as_array().map(Vec::as_slice) {
+                Some([k, v]) => Ok((PairKey::from_value(k)?, PairEvidence::from_value(v)?)),
+                _ => Err(Error::custom("expected [key, value] pair")),
+            })
+            .collect()
+    }
+}
+
+/// What one [`EvidenceBook::rank`] pass did, for telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankStats {
+    /// Windows whose evidence was filtered out (overlap below the minimum
+    /// or no usable signal).
+    pub windows_filtered: u64,
+    /// Evidence pairs evicted to honor [`PandaParams::max_pairs`].
+    pub evictions: u64,
+}
+
+/// Cross-incident evidence, keyed by (victim job, suspect job).
+///
+/// Part of the agent's checkpointable state; like the rest of it, the book
+/// does not survive an agent restart that discards the checkpoint — a
+/// fresh agent re-accumulates evidence from its next incidents.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceBook {
+    #[serde(with = "pairmap")]
+    pairs: BTreeMap<PairKey, PairEvidence>,
+}
+
+impl EvidenceBook {
+    /// A book with no evidence.
+    pub fn new() -> EvidenceBook {
+        EvidenceBook::default()
+    }
+
+    /// Number of (victim job, suspect job) pairs currently tracked —
+    /// bounded by [`PandaParams::max_pairs`].
+    pub fn pairs_tracked(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total stored evidence records across all pairs.
+    pub fn records_tracked(&self) -> usize {
+        self.pairs.values().map(|p| p.records.len()).sum()
+    }
+
+    /// Scores and ranks `suspects` against an anomalous `victim_cpi`
+    /// window, then commits this window's evidence to the book.
+    ///
+    /// Each suspect task is scored over the pair's historical evidence
+    /// (up to `aggregation_window − 1` prior incidents) plus *its own*
+    /// current window; afterwards, at most one record per suspect job —
+    /// the strongest task's — is committed, so a wide job does not flood
+    /// the book with near-duplicate evidence from one incident.
+    ///
+    /// With `aggregation_window = 1` and filtering disabled this ranks
+    /// identically to the paper correlator (the history contributes
+    /// nothing and the confidence factors are constant across suspects) —
+    /// pinned by a property test.
+    #[allow(clippy::too_many_arguments)] // mirrors rank_suspects + book context
+    pub fn rank(
+        &mut self,
+        params: &PandaParams,
+        victim_job: &str,
+        victim_cpi: &TimeSeries,
+        suspects: &[SuspectInput<'_>],
+        cthreshold: f64,
+        tolerance_us: i64,
+        now: i64,
+    ) -> (Vec<Suspect>, RankStats) {
+        let mut stats = RankStats::default();
+        let window = params.aggregation_window.max(1);
+        let mut ranked: Vec<Suspect> = Vec::with_capacity(suspects.len());
+        // Strongest current-window record per suspect job, committed after
+        // scoring so this incident can't feed back into its own ranking.
+        let mut commits: BTreeMap<&str, EvidenceRecord> = BTreeMap::new();
+
+        for s in suspects {
+            let pairs = victim_cpi.align(s.usage, tolerance_us);
+            let correlation = antagonist_correlation(&pairs, cthreshold);
+            let current = match correlation {
+                Some(c) if pairs.len() >= params.min_overlap => {
+                    let weight = if params.variance_weighting {
+                        window_signal(&pairs, cthreshold)
+                    } else {
+                        1.0
+                    };
+                    if weight > 0.0 {
+                        Some(EvidenceRecord {
+                            weight,
+                            correlation: c,
+                        })
+                    } else {
+                        stats.windows_filtered += 1;
+                        None
+                    }
+                }
+                Some(_) => {
+                    stats.windows_filtered += 1;
+                    None
+                }
+                // An undefined window (no overlap at all, flat victim CPI,
+                // idle suspect) carries no evidence either way; it is not
+                // counted as "filtered noise".
+                None => None,
+            };
+
+            let key = PairKey {
+                victim_job: victim_job.to_string(),
+                suspect_job: s.jobname.to_string(),
+            };
+            // Historical evidence: the newest window−1 records, so the
+            // score never mixes more than `aggregation_window` incidents.
+            let history = self.pairs.get(&key).map(|p| p.records.as_slice());
+            let mut evidence: Vec<EvidenceRecord> = history
+                .unwrap_or(&[])
+                .iter()
+                .copied()
+                .skip(history.map_or(0, |h| h.len()).saturating_sub(window - 1))
+                .collect();
+            evidence.extend(current);
+            let confidence = confidence_score(&evidence, params);
+
+            if let Some(rec) = current {
+                let stronger = match commits.get(s.jobname) {
+                    Some(best) => rec.correlation > best.correlation,
+                    None => true,
+                };
+                if stronger {
+                    commits.insert(s.jobname, rec);
+                }
+            }
+            ranked.push(Suspect {
+                task: s.task,
+                jobname: s.jobname.to_string(),
+                class: s.class,
+                correlation: correlation.unwrap_or(0.0),
+                confidence,
+            });
+        }
+
+        ranked.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then(b.correlation.total_cmp(&a.correlation))
+                .then(a.task.cmp(&b.task))
+        });
+
+        for (suspect_job, rec) in commits {
+            let key = PairKey {
+                victim_job: victim_job.to_string(),
+                suspect_job: suspect_job.to_string(),
+            };
+            let pair = self.pairs.entry(key).or_default();
+            pair.records.push(rec);
+            let excess = pair.records.len().saturating_sub(window);
+            if excess > 0 {
+                pair.records.drain(..excess);
+            }
+            pair.last_update = now;
+        }
+        stats.evictions = self.evict_to(params.max_pairs.max(1));
+        (ranked, stats)
+    }
+
+    /// Evicts least-recently-updated pairs (ties by key order) until at
+    /// most `max_pairs` remain; returns how many were dropped.
+    fn evict_to(&mut self, max_pairs: usize) -> u64 {
+        let mut evicted = 0;
+        while self.pairs.len() > max_pairs {
+            let victim = self
+                .pairs
+                .iter()
+                .min_by(|(ka, va), (kb, vb)| va.last_update.cmp(&vb.last_update).then(ka.cmp(kb)))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.pairs.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+}
+
+/// How much victim-CPI signal a window carried: the RMS relative deviation
+/// of victim CPI from `cthreshold`, capped at 1. A window where the victim
+/// hovered at its threshold is weak evidence regardless of the suspect's
+/// usage pattern.
+fn window_signal(pairs: &[(f64, f64)], cthreshold: f64) -> f64 {
+    if pairs.is_empty() || cthreshold <= 0.0 {
+        return 0.0;
+    }
+    let ss: f64 = pairs
+        .iter()
+        .map(|&(c, _)| {
+            let d = c / cthreshold - 1.0;
+            d * d
+        })
+        .sum();
+    (ss / pairs.len() as f64).sqrt().min(1.0)
+}
+
+/// The confidence score over a body of evidence:
+///
+/// ```text
+/// W     = Σ wᵢ                       (total evidence weight)
+/// mean  = Σ wᵢ·corrᵢ / W             (weighted mean correlation)
+/// conf  = mean · W/(W + prior)       (support: shrink scarce evidence)
+///              · 1/(1 + k·Var)       (consistency: discount disagreement)
+/// ```
+///
+/// Sign-preserving and bounded by `|mean| ≤ 1`; zero when there is no
+/// evidence. With `use_confidence` off it is the weighted mean alone.
+fn confidence_score(records: &[EvidenceRecord], params: &PandaParams) -> f64 {
+    let total: f64 = records.iter().map(|r| r.weight).sum();
+    if total <= 0.0 || !total.is_finite() {
+        return 0.0;
+    }
+    let mean = records
+        .iter()
+        .map(|r| r.weight * r.correlation)
+        .sum::<f64>()
+        / total;
+    if !mean.is_finite() {
+        return 0.0;
+    }
+    if !params.use_confidence {
+        return mean;
+    }
+    let support = total / (total + params.confidence_prior.max(0.0));
+    let var = records
+        .iter()
+        .map(|r| r.weight * (r.correlation - mean) * (r.correlation - mean))
+        .sum::<f64>()
+        / total;
+    let consistency = 1.0 / (1.0 + params.consistency_strength.max(0.0) * var);
+    mean * support * consistency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{TaskClass, TaskHandle};
+
+    fn series(points: &[(i64, f64)]) -> TimeSeries {
+        TimeSeries::from_points(points.to_vec())
+    }
+
+    /// Victim CPI spiking at odd minutes; a guilty suspect active exactly
+    /// then, an innocent one active in the quiet minutes.
+    fn scenario() -> (TimeSeries, TimeSeries, TimeSeries) {
+        let minutes: Vec<i64> = (0..10).collect();
+        let victim = series(
+            &minutes
+                .iter()
+                .map(|&m| (m * 60, if m % 2 == 1 { 5.0 } else { 1.0 }))
+                .collect::<Vec<_>>(),
+        );
+        let guilty = series(
+            &minutes
+                .iter()
+                .map(|&m| (m * 60, if m % 2 == 1 { 4.0 } else { 0.0 }))
+                .collect::<Vec<_>>(),
+        );
+        let innocent = series(
+            &minutes
+                .iter()
+                .map(|&m| (m * 60, if m % 2 == 1 { 0.0 } else { 4.0 }))
+                .collect::<Vec<_>>(),
+        );
+        (victim, guilty, innocent)
+    }
+
+    fn inputs<'a>(guilty: &'a TimeSeries, innocent: &'a TimeSeries) -> Vec<SuspectInput<'a>> {
+        vec![
+            SuspectInput {
+                task: TaskHandle(1),
+                jobname: "innocent",
+                class: TaskClass::batch(),
+                usage: innocent,
+            },
+            SuspectInput {
+                task: TaskHandle(2),
+                jobname: "guilty",
+                class: TaskClass::batch(),
+                usage: guilty,
+            },
+        ]
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in IdentifierKind::ALL {
+            assert_eq!(IdentifierKind::named(k.name()), Some(k));
+        }
+        assert_eq!(IdentifierKind::named("nonsense"), None);
+        assert_eq!(IdentifierKind::default(), IdentifierKind::Paper);
+        assert!(IdentifierKind::Paper.panda_params().is_none());
+        assert!(IdentifierKind::Panda.panda_params().is_some());
+    }
+
+    #[test]
+    fn guilty_outranks_innocent_and_confidence_grows() {
+        let (victim, guilty, innocent) = scenario();
+        let params = IdentifierKind::Panda.panda_params().unwrap();
+        let mut book = EvidenceBook::new();
+        let mut last = 0.0;
+        for incident in 0..4 {
+            let (ranked, _) = book.rank(
+                &params,
+                "victim",
+                &victim,
+                &inputs(&guilty, &innocent),
+                2.0,
+                1_000,
+                incident * 600_000_000,
+            );
+            assert_eq!(ranked[0].jobname, "guilty", "incident {incident}");
+            assert!(ranked[0].confidence > 0.0);
+            assert!(ranked[1].confidence < ranked[0].confidence);
+            assert!(
+                ranked[0].confidence >= last,
+                "confidence must grow with consistent evidence: {} then {}",
+                last,
+                ranked[0].confidence
+            );
+            last = ranked[0].confidence;
+        }
+        // Aggregated consistent evidence clears the decision bar.
+        assert!(last >= params.confidence_threshold, "final conf {last}");
+        assert_eq!(book.pairs_tracked(), 2);
+    }
+
+    #[test]
+    fn thin_windows_are_filtered_but_history_still_ranks() {
+        let (victim, guilty, innocent) = scenario();
+        let params = IdentifierKind::Panda.panda_params().unwrap();
+        let mut book = EvidenceBook::new();
+        // Build evidence from clean incidents first.
+        for i in 0..3 {
+            book.rank(
+                &params,
+                "victim",
+                &victim,
+                &inputs(&guilty, &innocent),
+                2.0,
+                1_000,
+                i * 600_000_000,
+            );
+        }
+        // Now a thin window: only 2 aligned samples (below min_overlap 4).
+        let thin_victim = series(&[(0, 5.0), (60, 1.0)]);
+        let thin_guilty = series(&[(0, 4.0), (60, 0.0)]);
+        let thin_innocent = series(&[(0, 0.0), (60, 4.0)]);
+        let (ranked, stats) = book.rank(
+            &params,
+            "victim",
+            &thin_victim,
+            &inputs(&thin_guilty, &thin_innocent),
+            2.0,
+            1_000,
+            4 * 600_000_000,
+        );
+        assert!(stats.windows_filtered >= 2, "thin windows must filter");
+        // History alone still convicts the right job.
+        assert_eq!(ranked[0].jobname, "guilty");
+        assert!(ranked[0].confidence > 0.0);
+    }
+
+    #[test]
+    fn inconsistent_evidence_is_discounted() {
+        let params = PandaParams::default();
+        let consistent: Vec<EvidenceRecord> = (0..4)
+            .map(|_| EvidenceRecord {
+                weight: 1.0,
+                correlation: 0.5,
+            })
+            .collect();
+        let flaky: Vec<EvidenceRecord> = (0..4)
+            .map(|i| EvidenceRecord {
+                weight: 1.0,
+                correlation: if i % 2 == 0 { 1.0 } else { 0.0 },
+            })
+            .collect();
+        // Same weighted mean, very different consistency.
+        let a = confidence_score(&consistent, &params);
+        let b = confidence_score(&flaky, &params);
+        assert!(a > b, "consistent {a} must beat flaky {b}");
+        // Sign-preserving on negative evidence.
+        let negative = [EvidenceRecord {
+            weight: 1.0,
+            correlation: -0.5,
+        }];
+        assert!(confidence_score(&negative, &params) < 0.0);
+        assert_eq!(confidence_score(&[], &params), 0.0);
+    }
+
+    #[test]
+    fn aggregation_window_bounds_stored_records() {
+        let (victim, guilty, innocent) = scenario();
+        let params = PandaParams {
+            aggregation_window: 3,
+            ..PandaParams::default()
+        };
+        let mut book = EvidenceBook::new();
+        for i in 0..10 {
+            book.rank(
+                &params,
+                "victim",
+                &victim,
+                &inputs(&guilty, &innocent),
+                2.0,
+                1_000,
+                i * 600_000_000,
+            );
+        }
+        assert_eq!(book.pairs_tracked(), 2);
+        assert!(
+            book.records_tracked() <= 2 * 3,
+            "records {} exceed window cap",
+            book.records_tracked()
+        );
+    }
+
+    #[test]
+    fn lru_eviction_bounds_pairs() {
+        let (victim, guilty, _) = scenario();
+        let params = PandaParams {
+            max_pairs: 4,
+            ..PandaParams::default()
+        };
+        let mut book = EvidenceBook::new();
+        let mut total_evicted = 0;
+        for i in 0..10i64 {
+            // A different victim job each incident: 10 distinct pairs.
+            let vj = format!("victim-{i}");
+            let (_, stats) = book.rank(
+                &params,
+                &vj,
+                &victim,
+                &[SuspectInput {
+                    task: TaskHandle(2),
+                    jobname: "guilty",
+                    class: TaskClass::batch(),
+                    usage: &guilty,
+                }],
+                2.0,
+                1_000,
+                i * 600_000_000,
+            );
+            total_evicted += stats.evictions;
+            assert!(book.pairs_tracked() <= 4);
+        }
+        assert_eq!(total_evicted, 6, "10 pairs through a 4-pair book");
+        // The survivors are the most recently updated victims.
+        assert_eq!(book.pairs_tracked(), 4);
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let (victim, guilty, innocent) = scenario();
+        let params = PandaParams::default();
+        let mut book = EvidenceBook::new();
+        for i in 0..3 {
+            book.rank(
+                &params,
+                "victim",
+                &victim,
+                &inputs(&guilty, &innocent),
+                2.0,
+                1_000,
+                i * 600_000_000,
+            );
+        }
+        let blob = serde_json::to_string(&book).unwrap();
+        let back: EvidenceBook = serde_json::from_str(&blob).unwrap();
+        assert_eq!(back, book);
+    }
+
+    #[test]
+    fn same_job_tasks_commit_one_record_per_incident() {
+        let (victim, guilty, _) = scenario();
+        // Two tasks of the same job, one clearly stronger.
+        let weak = series(&[(0, 0.5), (60, 0.5), (120, 0.5), (180, 0.5)]);
+        let params = PandaParams::default();
+        let mut book = EvidenceBook::new();
+        book.rank(
+            &params,
+            "victim",
+            &victim,
+            &[
+                SuspectInput {
+                    task: TaskHandle(1),
+                    jobname: "swarm",
+                    class: TaskClass::batch(),
+                    usage: &guilty,
+                },
+                SuspectInput {
+                    task: TaskHandle(2),
+                    jobname: "swarm",
+                    class: TaskClass::batch(),
+                    usage: &weak,
+                },
+            ],
+            2.0,
+            1_000,
+            0,
+        );
+        assert_eq!(book.pairs_tracked(), 1);
+        assert_eq!(book.records_tracked(), 1, "one record per job-incident");
+    }
+}

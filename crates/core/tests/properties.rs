@@ -2,13 +2,18 @@
 
 use cpi2_core::correlation::antagonist_correlation;
 use cpi2_core::{
-    Cpi2Config, CpiSample, CpiSpec, OutlierDetector, SpecBuilder, TaskClass, TaskHandle, Verdict,
+    rank_suspects, Cpi2Config, CpiSample, CpiSpec, EvidenceBook, OutlierDetector, PandaParams,
+    SpecBuilder, SuspectInput, TaskClass, TaskHandle, Verdict,
 };
+use cpi2_stats::timeseries::TimeSeries;
 use proptest::prelude::*;
 
 fn pairs_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
     prop::collection::vec((0.01..20.0f64, 0.0..10.0f64), 0..40)
 }
+
+/// One generated minute of (victim CPI, suspect-a, suspect-b, suspect-c usage).
+type UsageRow = (f64, f64, f64, f64);
 
 fn sample(task: u64, minute: i64, cpi: f64, usage: f64) -> CpiSample {
     CpiSample {
@@ -37,18 +42,26 @@ fn spec(mean: f64, stddev: f64) -> CpiSpec {
 proptest! {
     #[test]
     fn correlation_bounded(pairs in pairs_strategy(), cth in 0.1..10.0f64) {
-        let c = antagonist_correlation(&pairs, cth);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c), "c={c}");
+        // Defined scores stay in [-1, 1]; undefined windows (empty,
+        // constant CPI, zero usage) yield None rather than a junk score.
+        if let Some(c) = antagonist_correlation(&pairs, cth) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c), "c={c}");
+        }
     }
 
     #[test]
     fn correlation_usage_scale_invariant(pairs in pairs_strategy(), k in 0.1..100.0f64, cth in 0.5..5.0f64) {
         // The §4.2 normalization makes the score invariant to scaling the
-        // suspect's absolute CPU usage.
+        // suspect's absolute CPU usage — including whether the window is
+        // scorable at all.
         let scaled: Vec<(f64, f64)> = pairs.iter().map(|&(c, u)| (c, u * k)).collect();
         let a = antagonist_correlation(&pairs, cth);
         let b = antagonist_correlation(&scaled, cth);
-        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        match (a, b) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+            (None, None) => {}
+            _ => prop_assert!(false, "scorability changed under scaling: {a:?} vs {b:?}"),
+        }
     }
 
     #[test]
@@ -59,8 +72,60 @@ proptest! {
         let lo_cpi = cth * lo;             // strictly below cth
         let guilty = [(hi_cpi, 1.0), (lo_cpi, 0.0)];
         let innocent = [(hi_cpi, 0.0), (lo_cpi, 1.0)];
-        prop_assert!(antagonist_correlation(&guilty, cth) > 0.0);
-        prop_assert!(antagonist_correlation(&innocent, cth) < 0.0);
+        prop_assert!(antagonist_correlation(&guilty, cth).unwrap() > 0.0);
+        prop_assert!(antagonist_correlation(&innocent, cth).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn panda_window_one_unfiltered_ranks_like_paper(
+        rows in prop::collection::vec(
+            (0.01..10.0f64, 0.0..4.0f64, 0.0..4.0f64, 0.0..4.0f64),
+            2..24,
+        ),
+        cth in 0.5..5.0f64,
+        incidents in 1..4usize,
+    ) {
+        // ISSUE satellite: PANDA with an aggregation window of one
+        // incident and filtering disabled must rank identically to the
+        // paper correlator — the history contributes nothing and the
+        // confidence transform (mean · W/(W+prior), Var = 0) is monotone
+        // in the raw correlation.
+        let params = PandaParams {
+            aggregation_window: 1,
+            min_overlap: 0,
+            variance_weighting: false,
+            ..PandaParams::default()
+        };
+        let ts = |f: &dyn Fn(&UsageRow) -> f64| {
+            TimeSeries::from_points(
+                rows.iter()
+                    .enumerate()
+                    .map(|(m, r)| (m as i64 * 60_000_000, f(r)))
+                    .collect(),
+            )
+        };
+        let victim = ts(&|r| r.0);
+        let (u1, u2, u3) = (ts(&|r| r.1), ts(&|r| r.2), ts(&|r| r.3));
+        let suspects = vec![
+            SuspectInput { task: TaskHandle(1), jobname: "job-a", class: TaskClass::batch(), usage: &u1 },
+            SuspectInput { task: TaskHandle(2), jobname: "job-b", class: TaskClass::best_effort(), usage: &u2 },
+            SuspectInput { task: TaskHandle(3), jobname: "job-c", class: TaskClass::batch(), usage: &u3 },
+        ];
+        let paper = rank_suspects(&victim, &suspects, cth, 1_000);
+        let mut book = EvidenceBook::new();
+        for i in 0..incidents {
+            // Repeats must not change the verdict either: with window = 1
+            // the committed evidence can never feed back into a ranking.
+            let (panda, _) = book.rank(
+                &params, "victim", &victim, &suspects, cth, 1_000, i as i64,
+            );
+            let paper_order: Vec<TaskHandle> = paper.iter().map(|s| s.task).collect();
+            let panda_order: Vec<TaskHandle> = panda.iter().map(|s| s.task).collect();
+            prop_assert_eq!(&paper_order, &panda_order, "incident {}", i);
+            for (p, q) in paper.iter().zip(panda.iter()) {
+                prop_assert!((p.correlation - q.correlation).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

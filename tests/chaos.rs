@@ -1,7 +1,7 @@
 //! Chaos test: hours of random job churn, kills, caps and migrations over
 //! the full CPI² stack, asserting global invariants the whole way.
 
-use cpi2::core::Cpi2Config;
+use cpi2::core::{Cpi2Config, IdentifierKind, PandaParams};
 use cpi2::harness::Cpi2Harness;
 use cpi2::sim::{
     Cluster, ClusterConfig, FaultPlan, FaultProfile, JobId, JobSpec, Platform, SimDuration, TaskId,
@@ -165,10 +165,17 @@ fn churn_under_faults_holds_invariants() {
 
     let config = Cpi2Config {
         min_samples_per_task: 5,
+        // Run the evidence-accumulating identifier so churn + faults also
+        // exercise the PANDA state machine (restart wipes, bounded books).
+        identifier: IdentifierKind::Panda,
         ..Cpi2Config::default()
     };
     let mut system = Cpi2Harness::new(cluster, config);
     system.set_fault_plan(Some(FaultPlan::new(0xFA_C405, FaultProfile::heavy())));
+    let max_pairs = IdentifierKind::Panda
+        .panda_params()
+        .map(|p| p.max_pairs)
+        .unwrap_or(PandaParams::default().max_pairs);
 
     let mut rng = SimRng::new(0xD1CF);
     let mut live_jobs: Vec<(JobId, u32)> = Vec::new();
@@ -247,13 +254,23 @@ fn churn_under_faults_holds_invariants() {
         }
 
         // Agent-cache staleness bounds: an agent never claims a sync
-        // version the store has not published.
+        // version the store has not published. PANDA evidence books stay
+        // within their configured pair bound no matter how much churn and
+        // how many restarts (which wipe them) the agent absorbed.
         for m in system.cluster.machines() {
             if let Some(v) = system.agent_spec_version(m.id) {
                 assert!(
                     v <= system.spec_store.version(),
                     "{}: agent synced to unpublished version {v}",
                     m.id
+                );
+            }
+            if let Some(agent) = system.agent(m.id) {
+                assert!(
+                    agent.evidence_pairs() <= max_pairs,
+                    "{}: evidence book grew past max_pairs ({} > {max_pairs})",
+                    m.id,
+                    agent.evidence_pairs()
                 );
             }
         }

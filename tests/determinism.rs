@@ -7,7 +7,7 @@
 //! observational only, and these tests pin that down — instrumented runs
 //! must stay bit-identical across worker counts.
 
-use cpi2::core::{Cpi2Config, CpiSpec};
+use cpi2::core::{Cpi2Config, CpiSpec, IdentifierKind};
 use cpi2::harness::Cpi2Harness;
 use cpi2::sim::{
     Cluster, ClusterConfig, FaultPlan, FaultProfile, Platform, SimDuration, TraceEntry,
@@ -19,6 +19,10 @@ const MACHINES: u32 = 16;
 const SEED: u64 = 0x0DE7_E121;
 
 fn build_system(parallelism: usize) -> Cpi2Harness {
+    build_system_with(parallelism, IdentifierKind::Paper)
+}
+
+fn build_system_with(parallelism: usize, identifier: IdentifierKind) -> Cpi2Harness {
     let mut cluster = Cluster::new(ClusterConfig {
         seed: SEED,
         overcommit: 2.0,
@@ -33,6 +37,7 @@ fn build_system(parallelism: usize) -> Cpi2Harness {
         // short run.
         spec_refresh_hours: 1,
         min_samples_per_task: 5,
+        identifier,
         ..Cpi2Config::default()
     };
     Cpi2Harness::new(cluster, config)
@@ -102,6 +107,47 @@ fn run_faulty(parallelism: usize) -> (Vec<TraceEntry>, Vec<CpiSpec>, Vec<String>
             system.shipment_faults(),
         ],
     )
+}
+
+/// A faulty run with the PANDA identifier enabled: trace, incident lines
+/// and the agents' total evidence-book size, per parallelism level.
+fn run_panda(parallelism: usize) -> (Vec<TraceEntry>, Vec<CpiSpec>, Vec<String>, usize) {
+    let mut system = build_system_with(parallelism, IdentifierKind::Panda);
+    system.set_fault_plan(Some(FaultPlan::new(SEED, FaultProfile::lossy())));
+    system.run_for(SimDuration::from_mins(135));
+    let evidence: usize = system
+        .cluster
+        .machines()
+        .iter()
+        .filter_map(|m| system.agent(m.id))
+        .map(|a| a.evidence_pairs())
+        .sum();
+    (
+        system.cluster.trace().entries().cloned().collect(),
+        system.spec_store.changed_since(0),
+        system.incident_lines(),
+        evidence,
+    )
+}
+
+#[test]
+fn panda_identifier_is_bit_identical_across_parallelism() {
+    // The PANDA evidence book is per-agent BTreeMap state updated only
+    // from that machine's own incident stream; sharding machines across
+    // workers must not change what any book accumulates — nor, therefore,
+    // any confidence score or incident line.
+    let (trace_1, specs_1, incidents_1, evidence_1) = run_panda(1);
+    let (trace_4, specs_4, incidents_4, evidence_4) = run_panda(4);
+    let (trace_64, specs_64, incidents_64, evidence_64) = run_panda(64);
+
+    assert_eq!(trace_1, trace_4, "panda trace diverged at parallelism 4");
+    assert_eq!(trace_1, trace_64, "panda trace diverged at parallelism 64");
+    assert_eq!(specs_1, specs_4);
+    assert_eq!(specs_1, specs_64);
+    assert_eq!(incidents_1, incidents_4);
+    assert_eq!(incidents_1, incidents_64);
+    assert_eq!(evidence_1, evidence_4);
+    assert_eq!(evidence_1, evidence_64);
 }
 
 #[test]

@@ -160,6 +160,7 @@ fn incident_messages_collected() {
         action: IncidentAction::None {
             reason: "test".into(),
         },
+        identifier: cpi2::core::IdentifierKind::Paper,
     };
     assert!(tx.send(AgentMessage::Incidents(vec![incident.clone()])));
     collector.drain();
