@@ -35,10 +35,18 @@
 //! the selected antagonist-identification backend (DESIGN.md §10);
 //! default `paper`.
 //!
+//! With `--serve <addr>` the day-mode run is *resident*: the fleet is
+//! wrapped in a `cpi2_serve::ServeHarness` and the observability plane
+//! (`/metrics`, `/incidents`, `/query`, operator actions — see
+//! DESIGN.md §11) is served at `addr` for the whole simulated day, so a
+//! scraper or a human can watch the measurement live. Serving is
+//! strictly observational: the reported numbers are bit-identical to a
+//! bare run with the same seed.
+//!
 //! Run: `cargo run -p cpi2-bench --release --bin fleet_rate -- \
 //!           [--machines N] [--parallelism P] [--seconds S] \
 //!           [--seed SEED] [--faults PROFILE] [--identifier KIND] \
-//!           [--telemetry PATH|-]`
+//!           [--telemetry PATH|-] [--serve ADDR]`
 //! (a bare positional `N` still sets the machine count, as before).
 
 use cpi2::core::{Cpi2Config, IdentifierKind};
@@ -51,8 +59,35 @@ use cpi2::telemetry::Telemetry;
 use cpi2::workloads::{self, TraceJob};
 use cpi2_bench::args::Args;
 use cpi2_bench::plot;
+use cpi2_serve::{ServeHarness, ServerConfig};
 use cpi2_stats::rng::SimRng;
 use std::time::Instant;
+
+const USAGE: &str = "\
+fleet_rate: fleet-scale incident rate (paper §7) and simulator throughput
+
+USAGE:
+    fleet_rate [N] [FLAGS]
+
+MODES:
+    (default)          simulate one fleet day, report identifications per
+                       machine-day against the paper's 0.37
+    --seconds S        raw throughput: advance the fleet S simulated seconds
+                       serially and sharded, assert bit-identical traces
+
+FLAGS:
+    --machines N       fleet size (default 150; bare positional N also works)
+    --parallelism P    worker shards for the parallel path (default: cores)
+    --seed SEED        reseed the fleet, antagonist stream and fault plan
+    --faults PROFILE   arm deterministic fault injection: none|lossy|heavy
+    --identifier KIND  antagonist-identification backend (DESIGN.md §10)
+    --telemetry PATH   report fleet metrics: JSON snapshots during the run,
+                       final Prometheus dump ('-' = stdout)
+    --serve ADDR       day mode only: serve the live observability plane
+                       (/metrics, /incidents, /query, operator actions) at
+                       ADDR, e.g. 127.0.0.1:8900, for the whole run
+    --help             this text
+";
 
 /// Writes `text` to the telemetry sink: stdout when `path` is `-`,
 /// appended to the file otherwise.
@@ -249,8 +284,43 @@ fn throughput_mode(
     }
 }
 
+/// Day-mode driver: the same fleet day, bare or resident behind the
+/// observability plane. Both paths tick the identical harness, so the
+/// reported numbers don't depend on which one ran.
+enum Runner {
+    Bare(Cpi2Harness),
+    Resident(ServeHarness),
+}
+
+impl Runner {
+    fn run_for(&mut self, d: SimDuration) {
+        match self {
+            Runner::Bare(s) => s.run_for(d),
+            Runner::Resident(sh) => sh.run_for(d),
+        }
+    }
+
+    fn system_mut(&mut self) -> &mut Cpi2Harness {
+        match self {
+            Runner::Bare(s) => s,
+            Runner::Resident(sh) => sh.inner_mut(),
+        }
+    }
+
+    fn finish(self) -> Cpi2Harness {
+        match self {
+            Runner::Bare(s) => s,
+            Runner::Resident(sh) => sh.into_inner(),
+        }
+    }
+}
+
 fn main() {
     let args = Args::new();
+    if args.flag("--help") {
+        print!("{USAGE}");
+        return;
+    }
     let machines: u32 = args.parsed("--machines", args.positional().unwrap_or(150));
     let parallelism: usize = args.parsed("--parallelism", default_parallelism());
     let seed: u64 = args.parsed("--seed", 0xF1EE7);
@@ -322,24 +392,40 @@ fn main() {
         system.set_fault_plan(Some(FaultPlan::new(seed, profile.clone())));
     }
 
+    // With --serve, run the day resident: same ticks, but every tick
+    // publishes a snapshot the HTTP plane reads, so the measurement can
+    // be watched live without perturbing it.
+    let mut runner = match args.value("--serve") {
+        Some(addr) => {
+            let mut sh = ServeHarness::new(system);
+            let bound = sh
+                .serve(addr, ServerConfig::default())
+                .unwrap_or_else(|e| panic!("--serve {addr}: bind failed: {e}"));
+            println!("observability plane at http://{bound} (for the whole run)");
+            Runner::Resident(sh)
+        }
+        None => Runner::Bare(system),
+    };
+
     // Learn specs over one clean day: the spec σ must absorb the diurnal
     // swing (the paper refreshes every 24 h).
-    system.run_for(SimDuration::from_hours(24));
-    system.force_spec_refresh();
+    runner.run_for(SimDuration::from_hours(24));
+    runner.system_mut().force_spec_refresh();
 
     // Measure the next 22 hours (antagonists arrive from hour 25 on).
     // With telemetry on, snapshot the registry as JSON every 2 simulated
     // hours so the measured day leaves a time series, not just a total.
     if let Some(path) = &telemetry_path {
         for _ in 0..11 {
-            system.run_for(SimDuration::from_hours(2));
-            if let Some(json) = system.telemetry().json_snapshot() {
+            runner.run_for(SimDuration::from_hours(2));
+            if let Some(json) = runner.system_mut().telemetry().json_snapshot() {
                 emit(path, &format!("{json}\n"));
             }
         }
     } else {
-        system.run_for(SimDuration::from_hours(22));
+        runner.run_for(SimDuration::from_hours(22));
     }
+    let system = runner.finish();
 
     let identifications = system
         .incidents()

@@ -16,6 +16,7 @@ use crate::outlier::{OutlierDetector, Verdict};
 use crate::panda::EvidenceBook;
 use crate::sample::{CpiSample, JobKey, TaskClass, TaskHandle};
 use crate::spec::CpiSpec;
+use crate::trace::{TraceId, TraceSpan, TraceStage};
 use cpi2_stats::timeseries::TimeSeries;
 use cpi2_telemetry::{Counter, Histo, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -119,6 +120,9 @@ pub enum AgentCommand {
         cpu_rate: f64,
         /// Expiry, µs since epoch.
         until: i64,
+        /// The incident trace this cap belongs to (the executor appends
+        /// the amelioration span to it).
+        trace: TraceId,
     },
 }
 
@@ -167,6 +171,14 @@ pub struct Agent {
     /// backend; checkpoints from before the field deserialize empty).
     #[serde(default)]
     evidence: EvidenceBook,
+    /// Detection-side trace spans awaiting collection
+    /// ([`Agent::take_trace_spans`]).
+    #[serde(default)]
+    trace_spans: Vec<TraceSpan>,
+    /// Victims with an open trace awaiting recovery: the first
+    /// non-anomalous sample closes the chain with a recovery span.
+    #[serde(default, with = "pairs")]
+    open_traces: BTreeMap<TaskHandle, TraceId>,
     /// Telemetry handles are runtime wiring, not state: checkpoints store
     /// `null` and restores come back disabled (re-attach after restore).
     #[serde(with = "cpi2_telemetry::serde_stub")]
@@ -193,6 +205,8 @@ impl Agent {
             last_incident: BTreeMap::new(),
             incidents: Vec::new(),
             evidence: EvidenceBook::new(),
+            trace_spans: Vec::new(),
+            open_traces: BTreeMap::new(),
             metrics: AgentMetrics::default(),
         }
     }
@@ -247,6 +261,13 @@ impl Agent {
         std::mem::take(&mut self.incidents)
     }
 
+    /// Drains the detection-side trace spans recorded since the last call
+    /// (sample window, violation, identification, decision, recovery), in
+    /// the order they were produced.
+    pub fn take_trace_spans(&mut self) -> Vec<TraceSpan> {
+        std::mem::take(&mut self.trace_spans)
+    }
+
     /// Serializes the agent's full state (specs, per-task histories,
     /// violation windows, active caps) for a daemon restart.
     ///
@@ -297,6 +318,10 @@ impl Agent {
         if let Some(&newest) = samples.iter().map(|s| &s.timestamp).max() {
             self.tasks
                 .retain(|_, st| st.last_seen > newest - 2 * window_us);
+            let tasks = &self.tasks;
+            // A victim that left the machine before recovering leaves its
+            // trace open-ended (the chain simply has no recovery span).
+            self.open_traces.retain(|t, _| tasks.contains_key(t));
             self.active_caps.retain(|_, &mut until| until > newest);
             let cooldown_us = self.config.incident_cooldown_s * 1_000_000;
             self.last_incident
@@ -342,6 +367,28 @@ impl Agent {
             if matches!(verdict, Verdict::Flagged | Verdict::Anomalous) {
                 self.metrics.violations.inc();
             }
+            // Close an open incident trace at the victim's first sample
+            // that is back within spec (recovery).
+            if verdict == Verdict::Normal {
+                if let Some(trace) = self.open_traces.remove(&s.task) {
+                    let span = TraceSpan {
+                        trace,
+                        stage: TraceStage::Recovery,
+                        start_us: s.timestamp,
+                        end_us: s.timestamp,
+                        detail: format!(
+                            "victim={} job={} cpi={:.3} back under threshold={:.3}",
+                            s.task.0,
+                            s.jobname,
+                            s.cpi,
+                            spec.outlier_threshold(sigma)
+                        ),
+                    };
+                    // Field-disjoint push (`st` is still borrowed below).
+                    self.metrics.telemetry.event("trace", || span.event_line());
+                    self.trace_spans.push(span);
+                }
+            }
             // When this flag entered the live violation window: the start
             // of the streak that may become an incident below.
             let window_entry = st.detector.first_flag_at();
@@ -366,7 +413,7 @@ impl Agent {
                     .detection_latency_us
                     .record((s.timestamp - entry) as f64);
             }
-            if let Some(cmd) = self.analyze(s, &spec, window_us, sigma) {
+            if let Some(cmd) = self.analyze(s, &spec, window_us, sigma, window_entry) {
                 commands.push(cmd);
             }
         }
@@ -381,10 +428,12 @@ impl Agent {
         spec: &CpiSpec,
         window_us: i64,
         sigma: f64,
+        window_entry: Option<i64>,
     ) -> Option<AgentCommand> {
         self.metrics.correlation_runs.inc();
         let cthreshold = spec.outlier_threshold(sigma);
         let victim_state = self.tasks.get(&victim.task)?;
+        let window_flags = victim_state.detector.flag_count();
         let victim_cpi = victim_state
             .cpi
             .window(victim.timestamp - window_us, victim.timestamp + 1);
@@ -472,6 +521,7 @@ impl Agent {
             },
         };
 
+        let trace_id = TraceId::derive(victim.task.0, victim.timestamp);
         let command = match &action {
             IncidentAction::HardCap {
                 target,
@@ -483,6 +533,7 @@ impl Agent {
                 target_job: target_job.clone(),
                 cpu_rate: *cpu_rate,
                 until: *until,
+                trace: trace_id,
             }),
             IncidentAction::None { .. } => None,
         };
@@ -502,6 +553,64 @@ impl Agent {
             )
         });
         self.last_incident.insert(victim.task, victim.timestamp);
+
+        // Record the detection-side span chain (sample window → violation
+        // → identification → decision); the executor appends amelioration
+        // and recovery closes it on the victim's next in-spec sample.
+        let at = victim.timestamp;
+        let window_start = window_entry.unwrap_or(at);
+        self.push_span(TraceSpan {
+            trace: trace_id,
+            stage: TraceStage::SampleWindow,
+            start_us: window_start,
+            end_us: at,
+            detail: format!(
+                "victim={} job={} flags={window_flags} in window",
+                victim.task.0, victim.jobname
+            ),
+        });
+        self.push_span(TraceSpan {
+            trace: trace_id,
+            stage: TraceStage::Violation,
+            start_us: at,
+            end_us: at,
+            detail: format!(
+                "cpi={:.3} threshold={:.3} sigma={sigma:.1}",
+                victim.cpi, cthreshold
+            ),
+        });
+        self.push_span(TraceSpan {
+            trace: trace_id,
+            stage: TraceStage::Identification,
+            start_us: at,
+            end_us: at,
+            detail: match top.first() {
+                Some(s) => format!(
+                    "backend={} suspects={} top={}@{:.3}",
+                    kind.name(),
+                    top.len(),
+                    s.jobname,
+                    s.confidence
+                ),
+                None => format!("backend={} suspects=0", kind.name()),
+            },
+        });
+        self.push_span(TraceSpan {
+            trace: trace_id,
+            stage: TraceStage::Decision,
+            start_us: at,
+            end_us: at,
+            detail: match &action {
+                IncidentAction::HardCap {
+                    target_job,
+                    cpu_rate,
+                    ..
+                } => format!("hard_cap target={target_job} rate={cpu_rate}"),
+                IncidentAction::None { reason } => format!("none reason={reason}"),
+            },
+        });
+        self.open_traces.insert(victim.task, trace_id);
+
         self.incidents.push(Incident {
             at: victim.timestamp,
             victim: victim.task,
@@ -511,8 +620,16 @@ impl Agent {
             suspects: top,
             action,
             identifier: kind,
+            trace_id,
         });
         command
+    }
+
+    /// Appends a span to the pending buffer and mirrors it into the
+    /// telemetry event ring.
+    fn push_span(&mut self, span: TraceSpan) {
+        self.metrics.telemetry.event("trace", || span.event_line());
+        self.trace_spans.push(span);
     }
 
     /// Computes the §4.2 correlation between a specific victim and suspect

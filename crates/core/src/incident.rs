@@ -7,6 +7,7 @@
 use crate::antagonist::Suspect;
 use crate::panda::IdentifierKind;
 use crate::sample::TaskHandle;
+use crate::trace::TraceId;
 use serde::{Deserialize, Serialize};
 
 /// The action CPI² took for an incident.
@@ -53,6 +54,10 @@ pub struct Incident {
     /// deserialize to the paper-exact default).
     #[serde(default)]
     pub identifier: IdentifierKind,
+    /// End-to-end trace this incident belongs to (see [`crate::trace`]);
+    /// pre-tracing logs deserialize to the reserved "untraced" zero ID.
+    #[serde(default)]
+    pub trace_id: TraceId,
 }
 
 impl Incident {
@@ -94,6 +99,7 @@ mod tests {
                 until: 300_000_000,
             },
             identifier: IdentifierKind::Paper,
+            trace_id: TraceId::derive(1, 0),
         };
         assert!(inc.acted());
         assert_eq!(inc.top_suspect().unwrap().jobname, "video");
@@ -116,6 +122,7 @@ mod tests {
                 reason: "no suspect above threshold".into(),
             },
             identifier: IdentifierKind::default(),
+            trace_id: TraceId::default(),
         };
         assert!(!inc.acted());
         assert!(inc.top_suspect().is_none());

@@ -39,6 +39,7 @@ pub mod sample;
 pub mod sharded;
 pub mod spec;
 pub mod specbuilder;
+pub mod trace;
 
 pub use agent::{Agent, AgentCommand};
 pub use amelioration::{cap_for, AdaptiveThrottle, CapDecision};
@@ -52,3 +53,4 @@ pub use sample::{CpiSample, JobKey, TaskClass, TaskHandle};
 pub use sharded::{ShardedSpecBuilder, DEFAULT_SPEC_SHARDS};
 pub use spec::CpiSpec;
 pub use specbuilder::SpecBuilder;
+pub use trace::{TraceId, TraceLog, TraceSpan, TraceStage, DEFAULT_TRACE_CAPACITY};

@@ -95,6 +95,24 @@ pub fn ruleset_for(rel: &str) -> Option<RuleSet> {
         // Telemetry legitimately reads clocks and forwards dynamic names
         // internally; only lock discipline applies.
         rs.locks = true;
+    } else if rel.starts_with("crates/serve/") {
+        // The control plane must never perturb the tick stream: state
+        // shared with handlers is snapshot-swapped (lock discipline),
+        // and everything off the socket path stays clock-free and
+        // thread-free. `env_random` is off: the binary reads
+        // `std::env::args`.
+        rs.clock = true;
+        rs.spawn = true;
+        rs.map_iter = true;
+        rs.locks = true;
+        rs.metric_name = true;
+        if rel.ends_with("/server.rs") || rel.ends_with("/harness.rs") {
+            // The two sanctioned homes for wall time and threads: socket
+            // timeouts / worker pool (server) and tick pacing (harness).
+            // Wall time there is never committed to sim state.
+            rs.spawn_allowed = true;
+            rs.clock = false;
+        }
     } else if rel.starts_with("crates/workloads/")
         || rel.starts_with("crates/bench/")
         || rel.starts_with("src/")
@@ -237,6 +255,20 @@ mod tests {
         assert!(ruleset_for("crates/lint/src/lexer.rs").is_none());
         let tel = ruleset_for("crates/telemetry/src/registry.rs").expect("telemetry in scope");
         assert!(tel.locks && !tel.clock);
+        let serve = ruleset_for("crates/serve/src/state.rs").expect("serve in scope");
+        assert!(serve.clock && serve.spawn && serve.map_iter && serve.locks);
+        assert!(serve.metric_name && !serve.env_random && !serve.spawn_allowed);
+    }
+
+    #[test]
+    fn serve_socket_modules_get_spawn_and_clock_allowances() {
+        for sanctioned in ["crates/serve/src/server.rs", "crates/serve/src/harness.rs"] {
+            let rs = ruleset_for(sanctioned).expect("serve in scope");
+            assert!(rs.spawn_allowed && !rs.clock, "{sanctioned}");
+            assert!(rs.locks && rs.map_iter, "{sanctioned}");
+        }
+        let routes = ruleset_for("crates/serve/src/routes.rs").expect("serve in scope");
+        assert!(!routes.spawn_allowed && routes.clock);
     }
 
     #[test]

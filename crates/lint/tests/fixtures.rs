@@ -3,12 +3,16 @@
 //! in the lexer or a rule pass is caught here, not by a silently-green
 //! workspace gate.
 
-use cpi2_lint::{lint_source, Finding, Rule, RuleSet};
+use cpi2_lint::{lint_source, ruleset_for, Finding, Rule, RuleSet};
 
-fn lint_fixture(name: &str) -> Vec<Finding> {
+fn lint_fixture_with(name: &str, rules: &RuleSet) -> Vec<Finding> {
     let path = format!("{}/tests/fixtures/{}.rs", env!("CARGO_MANIFEST_DIR"), name);
     let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    lint_source(&format!("{name}.rs"), &src, &RuleSet::all())
+    lint_source(&format!("{name}.rs"), &src, rules)
+}
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    lint_fixture_with(name, &RuleSet::all())
 }
 
 /// Asserts the bad fixture fires `rule` (at least `min` times) and the
@@ -74,6 +78,38 @@ fn metric_name_fixture_pair() {
 #[test]
 fn hot_path_alloc_fixture_pair() {
     assert_pair(Rule::HotPathAlloc, 4);
+}
+
+#[test]
+fn serve_scope_fixture_pair() {
+    // Handler-side serve modules (state.rs, routes.rs) are clock- and
+    // thread-free; the bad fixture fires both rules under their ruleset.
+    let handler_rules = ruleset_for("crates/serve/src/state.rs").expect("serve in scope");
+    let bad = lint_fixture_with("serve_scope_bad", &handler_rules);
+    assert!(
+        bad.iter().any(|f| f.rule == Rule::Clock),
+        "serve handler modules must fire `clock`:\n{bad:#?}"
+    );
+    assert!(
+        bad.iter().any(|f| f.rule == Rule::ThreadSpawn),
+        "serve handler modules must fire `thread-spawn`:\n{bad:#?}"
+    );
+
+    // The same source under server.rs's ruleset is sanctioned: that
+    // module owns socket timeouts and the worker pool.
+    let socket_rules = ruleset_for("crates/serve/src/server.rs").expect("serve in scope");
+    let waived = lint_fixture_with("serve_scope_bad", &socket_rules);
+    assert!(
+        waived.is_empty(),
+        "server.rs ruleset must sanction clocks and spawns, got:\n{waived:#?}"
+    );
+
+    // The snapshot-swap idiom is clean even under the strict ruleset.
+    let clean = lint_fixture_with("serve_scope_clean", &handler_rules);
+    assert!(
+        clean.is_empty(),
+        "serve_scope_clean.rs must be clean, got:\n{clean:#?}"
+    );
 }
 
 #[test]

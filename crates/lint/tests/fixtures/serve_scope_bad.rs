@@ -1,0 +1,14 @@
+//! Fixture: the serve-crate scoping. This source is what a *handler-side*
+//! module (`state.rs`, `routes.rs`) must never do — read wall clocks or
+//! spawn threads — and under that module's ruleset both fire. The same
+//! source under `server.rs`'s ruleset is waived (sanctioned spawn/clock
+//! site), which `serve_scope_fixture_pair` asserts from both sides.
+use std::time::Instant;
+
+fn snapshot_age(published: Instant) -> u128 {
+    published.elapsed().as_micros()
+}
+
+fn refresh_in_background(state: SharedState) {
+    std::thread::spawn(move || state.refresh());
+}

@@ -1,0 +1,16 @@
+//! Fixture: the snapshot-swap idiom the serve crate's handler-side
+//! modules are built on — no clocks, no threads, guards never nested,
+//! metric names literal. Clean under the full serve-crate ruleset.
+fn publish(live: &LiveState, snap: LiveSnapshot) {
+    let fresh = Arc::new(snap);
+    {
+        let mut cur = live.snap.lock();
+        *cur = fresh;
+    }
+    live.telemetry.counter("cpi_serve_snapshots_total").inc();
+}
+
+fn read(live: &LiveState) -> Arc<LiveSnapshot> {
+    let cur = live.snap.lock();
+    Arc::clone(&cur)
+}

@@ -1,0 +1,309 @@
+//! [`ServeHarness`]: the resident deployment — a [`Cpi2Harness`] ticking
+//! continuously while the HTTP server reads torn-free snapshots.
+//!
+//! Serving never perturbs the simulation: after every tick the harness
+//! publishes an immutable [`LiveSnapshot`] for the handlers, and operator
+//! actions posted over HTTP are drained **at the next tick start**, in
+//! FIFO acceptance order — the one deterministic injection point. A run
+//! with a server attached (and no actions posted) is therefore
+//! bit-identical to the same seed with no server at all; the determinism
+//! suite proves it under 32 concurrent clients.
+//!
+//! This module (with [`server`](crate::server)) is the crate's only
+//! sanctioned home for wall clocks and `thread::spawn` — wall time here
+//! only *paces* ticks in resident mode, it never feeds sim state.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cpi2::core::{CpiSample, IncidentAction};
+use cpi2::harness::Cpi2Harness;
+use cpi2::sim::{JobId, SimDuration, TaskId};
+
+use crate::routes::Router;
+use crate::server::{self, Handler, ServerConfig, ServerHandle};
+use crate::state::{
+    IncidentView, LiveSnapshot, MachineView, OperatorAction, SharedState, SpanView, SuspectView,
+    TaskView, TraceView,
+};
+
+/// Bounded tails kept in each snapshot (full history stays queryable via
+/// the harness itself; the HTTP surface serves recent state).
+const INCIDENT_TAIL: usize = 256;
+const SAMPLE_TAIL: usize = 512;
+
+/// The resident CPI² deployment: harness + snapshot publisher + action
+/// sink + (optionally) an attached HTTP server.
+pub struct ServeHarness {
+    inner: Cpi2Harness,
+    state: Arc<SharedState>,
+    sample_tail: VecDeque<CpiSample>,
+    ticks: u64,
+    server: Option<ServerHandle>,
+}
+
+impl ServeHarness {
+    /// Wraps a harness; sample retention is turned on so snapshots can
+    /// carry a recent-sample tail.
+    pub fn new(mut inner: Cpi2Harness) -> ServeHarness {
+        inner.record_samples = true;
+        let state = SharedState::new(inner.telemetry().clone());
+        let mut sh = ServeHarness {
+            inner,
+            state,
+            sample_tail: VecDeque::with_capacity(SAMPLE_TAIL),
+            ticks: 0,
+            server: None,
+        };
+        sh.publish_snapshot();
+        sh
+    }
+
+    /// The state shared with the HTTP router (for tests that drive the
+    /// router without a socket).
+    pub fn state(&self) -> Arc<SharedState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Read access to the wrapped harness.
+    pub fn inner(&self) -> &Cpi2Harness {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped harness, for embedding binaries
+    /// that adjust it between ticks (e.g. a forced spec refresh).
+    /// Unlike queued operator actions this applies immediately, so only
+    /// touch it from the thread driving [`tick`](Self::tick).
+    pub fn inner_mut(&mut self) -> &mut Cpi2Harness {
+        &mut self.inner
+    }
+
+    /// Unwraps the harness (shutting the server down first if attached).
+    pub fn into_inner(mut self) -> Cpi2Harness {
+        self.shutdown_server();
+        self.inner
+    }
+
+    /// One tick: apply queued operator actions, step the system, publish
+    /// a fresh snapshot.
+    pub fn tick(&mut self) {
+        self.apply_actions();
+        self.inner.step();
+        self.ticks += 1;
+        for s in std::mem::take(&mut self.inner.samples) {
+            if self.sample_tail.len() == SAMPLE_TAIL {
+                self.sample_tail.pop_front();
+            }
+            self.sample_tail.push_back(s);
+        }
+        self.publish_snapshot();
+    }
+
+    /// Runs for a sim duration (whole ticks), as fast as possible.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.inner.cluster.now() + duration;
+        while self.inner.cluster.now() < end {
+            self.tick();
+        }
+    }
+
+    /// Attaches an HTTP server at `addr` serving this harness's state.
+    /// Returns the bound address (useful with a `:0` port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve(&mut self, addr: &str, cfg: ServerConfig) -> io::Result<SocketAddr> {
+        let router = Router::new(self.state());
+        let handler: Handler = Arc::new(move |req| router.handle(req));
+        let handle = server::start(addr, cfg, self.inner.telemetry(), handler)?;
+        let bound = handle.addr();
+        self.server = Some(handle);
+        Ok(bound)
+    }
+
+    /// Stops the attached HTTP server, if any.
+    pub fn shutdown_server(&mut self) {
+        if let Some(h) = self.server.take() {
+            h.shutdown();
+        }
+    }
+
+    /// Resident mode: tick forever (or for `total` sim time when given),
+    /// pacing each tick by `pace_ms` of wall time (0 = free-running).
+    /// Wall time only paces the loop — it never feeds sim state. Used by
+    /// the `cpi2-serve` binary and `fleet_rate --serve` after
+    /// [`serve`](Self::serve).
+    pub fn run_paced(&mut self, pace_ms: u64, total: Option<SimDuration>) {
+        let end = total.map(|d| self.inner.cluster.now() + d);
+        loop {
+            if let Some(end) = end {
+                if self.inner.cluster.now() >= end {
+                    break;
+                }
+            }
+            self.tick();
+            if pace_ms > 0 {
+                std::thread::sleep(Duration::from_millis(pace_ms));
+            }
+        }
+    }
+
+    /// Ticks executed through this harness.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Drains the action queue and applies each action against the
+    /// cluster, FIFO. Outcomes are recorded as `operator` telemetry
+    /// events (visible at `/debug/events`).
+    fn apply_actions(&mut self) {
+        for action in self.state.actions.drain() {
+            let outcome = match action {
+                OperatorAction::Cap {
+                    job,
+                    index,
+                    rate,
+                    duration_us,
+                } => {
+                    let task = TaskId {
+                        job: JobId(job),
+                        index,
+                    };
+                    let ok = self
+                        .inner
+                        .operator_cap(task, rate, SimDuration(duration_us));
+                    format!("cap job={job} index={index} rate={rate} ok={ok}")
+                }
+                OperatorAction::Uncap { job, index } => {
+                    let task = TaskId {
+                        job: JobId(job),
+                        index,
+                    };
+                    let ok = self.inner.cluster.remove_hard_cap(task);
+                    format!("uncap job={job} index={index} ok={ok}")
+                }
+                OperatorAction::KillRestart { job, index } => {
+                    let task = TaskId {
+                        job: JobId(job),
+                        index,
+                    };
+                    let moved = self.inner.operator_migrate(task);
+                    format!("kill-restart job={job} index={index} moved_to={moved:?}")
+                }
+                OperatorAction::SetProtection(on) => {
+                    self.inner.set_protection_enabled(on);
+                    format!("protection enabled={on}")
+                }
+            };
+            self.inner.telemetry().event("operator", || outcome.clone());
+        }
+    }
+
+    fn publish_snapshot(&mut self) {
+        let cluster = &self.inner.cluster;
+        let machines: Vec<MachineView> = cluster
+            .machines()
+            .iter()
+            .map(|m| MachineView {
+                id: m.id.0,
+                tasks: m.task_count(),
+                threads: m.thread_count(),
+                utilization: m.utilization(),
+                throttle_events: m.throttle_events(),
+                task_list: m
+                    .tasks()
+                    .map(|t| TaskView {
+                        job: t.id.job.0,
+                        index: t.id.index,
+                        job_name: t.job_name.clone(),
+                        class: format!("{:?}", t.class),
+                        threads: t.threads(),
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let all = self.inner.incidents();
+        let start = all.len().saturating_sub(INCIDENT_TAIL);
+        let incidents: Vec<IncidentView> = all[start..]
+            .iter()
+            .map(|mi| {
+                let inc = &mi.incident;
+                let (action, target_job, cpu_rate, reason) = match &inc.action {
+                    IncidentAction::HardCap {
+                        target_job,
+                        cpu_rate,
+                        ..
+                    } => ("hard_cap", target_job.clone(), *cpu_rate, String::new()),
+                    IncidentAction::None { reason } => ("none", String::new(), 0.0, reason.clone()),
+                };
+                IncidentView {
+                    trace: inc.trace_id.to_string(),
+                    at_us: inc.at,
+                    machine: mi.machine.0,
+                    victim_job: inc.victim_job.clone(),
+                    victim_task: inc.victim.0,
+                    victim_cpi: inc.victim_cpi,
+                    cthreshold: inc.cthreshold,
+                    action: action.to_string(),
+                    target_job,
+                    cpu_rate,
+                    reason,
+                    suspects: inc
+                        .suspects
+                        .iter()
+                        .map(|s| SuspectView {
+                            jobname: s.jobname.clone(),
+                            correlation: s.correlation,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+
+        let spec_snap = self.inner.spec_store.snapshot();
+        let specs: Vec<_> = spec_snap
+            .changed_since_with_age(0)
+            .into_iter()
+            .map(|(spec, _published_at)| spec)
+            .collect();
+
+        let trace_log = self.inner.trace_log();
+        let traces: Vec<TraceView> = trace_log
+            .ids()
+            .map(|id| TraceView {
+                trace: id.to_string(),
+                spans: trace_log
+                    .get(id)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|sp| SpanView {
+                        stage: sp.stage.name().to_string(),
+                        start_us: sp.start_us,
+                        end_us: sp.end_us,
+                        detail: sp.detail.clone(),
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        self.state.live.publish(LiveSnapshot {
+            now_us: cluster.now().as_us(),
+            tick_us: cluster.tick_len().as_us(),
+            ticks: self.ticks,
+            spec_version: spec_snap.version(),
+            protection_enabled: self.inner.protection_enabled(),
+            caps_applied: self.inner.caps_applied(),
+            collector_dropped: self.inner.collector_dropped(),
+            machines,
+            incidents,
+            specs,
+            samples: self.sample_tail.iter().cloned().collect(),
+            traces,
+        });
+    }
+}

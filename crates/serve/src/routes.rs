@@ -1,0 +1,416 @@
+//! HTTP routes over the live snapshot: metrics, incidents, traces,
+//! specs, machines, ad-hoc SQL, and operator actions.
+//!
+//! Every GET handler reads one [`LiveSnapshot`](crate::state::LiveSnapshot)
+//! `Arc` and never touches the harness; every operator POST enqueues into
+//! the [`ActionQueue`](crate::state::ActionQueue) for deterministic
+//! application at the next tick boundary. Handlers therefore cannot
+//! perturb tick ordering no matter how hard they are driven.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use cpi2::core::TraceId;
+use cpi2::pipeline::query::{Dataset, QueryResult, Value};
+use serde_json;
+
+use crate::server::{Request, Response};
+use crate::state::{OperatorAction, SharedState};
+
+/// The route table: one instance serves every worker thread.
+#[derive(Debug)]
+pub struct Router {
+    state: Arc<SharedState>,
+}
+
+impl Router {
+    /// Creates a router over the shared state.
+    pub fn new(state: Arc<SharedState>) -> Router {
+        Router { state }
+    }
+
+    /// Dispatches one request.
+    pub fn handle(&self, req: &Request) -> Response {
+        let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (req.method.as_str(), segs.as_slice()) {
+            ("GET", []) => self.index(),
+            ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+            ("GET", ["version"]) => self.version(),
+            ("GET", ["metrics"]) => self.metrics_text(),
+            ("GET", ["metrics.json"]) => self.metrics_json(),
+            ("GET", ["incidents"]) => self.incidents(),
+            ("GET", ["incidents", id, "trace"]) => self.incident_trace(id),
+            ("GET", ["specs", job]) => self.specs(job),
+            ("GET", ["machines", id]) => self.machine(id),
+            ("GET", ["debug", "events"]) => self.events(),
+            ("POST", ["query"]) => self.query(req),
+            ("POST", ["actions", action]) => self.action(action, req),
+            ("POST", _) => Response::error(404, "unknown route"),
+            ("GET", _) => Response::error(404, "unknown route"),
+            _ => Response::error(405, "method not allowed"),
+        }
+    }
+
+    fn index(&self) -> Response {
+        Response::text(
+            200,
+            "cpi2-serve — resident CPI² observability & control plane\n\
+             GET  /healthz /version /metrics /metrics.json\n\
+             GET  /incidents /incidents/{id}/trace /specs/{job} /machines/{id} /debug/events\n\
+             POST /query                       (body: SQL over incidents|machines|specs|samples)\n\
+             POST /actions/cap?job=&index=&rate=&secs=\n\
+             POST /actions/uncap?job=&index=\n\
+             POST /actions/kill-restart?job=&index=\n\
+             POST /actions/protection?enabled=true|false\n",
+        )
+    }
+
+    fn version(&self) -> Response {
+        let snap = self.state.live.snapshot();
+        Response::json(format!(
+            "{{\"name\":\"cpi2-serve\",\"version\":\"{}\",\"now_us\":{},\"ticks\":{},\"spec_version\":{},\"protection_enabled\":{}}}",
+            env!("CARGO_PKG_VERSION"),
+            snap.now_us,
+            snap.ticks,
+            snap.spec_version,
+            snap.protection_enabled
+        ))
+    }
+
+    fn metrics_text(&self) -> Response {
+        match self.state.telemetry.prometheus_text() {
+            Some(text) => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: text.into_bytes(),
+            },
+            None => Response::error(503, "telemetry disabled"),
+        }
+    }
+
+    fn metrics_json(&self) -> Response {
+        match self.state.telemetry.json_snapshot() {
+            Some(json) => Response::json(json),
+            None => Response::error(503, "telemetry disabled"),
+        }
+    }
+
+    fn incidents(&self) -> Response {
+        let snap = self.state.live.snapshot();
+        match serde_json::to_string(&snap.incidents) {
+            Ok(json) => Response::json(json),
+            Err(_) => Response::error(500, "serialization failed"),
+        }
+    }
+
+    fn incident_trace(&self, id: &str) -> Response {
+        if TraceId::parse(id).is_none() {
+            return Response::error(400, "trace id must be 16 hex digits");
+        }
+        let snap = self.state.live.snapshot();
+        match snap.traces.iter().find(|t| t.trace == id) {
+            Some(trace) => match serde_json::to_string(trace) {
+                Ok(json) => Response::json(json),
+                Err(_) => Response::error(500, "serialization failed"),
+            },
+            None => Response::error(404, "no such trace (evicted or never recorded)"),
+        }
+    }
+
+    fn specs(&self, job: &str) -> Response {
+        let snap = self.state.live.snapshot();
+        let matching: Vec<_> = snap
+            .specs
+            .iter()
+            .filter(|s| s.jobname == job)
+            .cloned()
+            .collect();
+        if matching.is_empty() {
+            return Response::error(404, "no spec published for that job");
+        }
+        match serde_json::to_string(&matching) {
+            Ok(json) => Response::json(json),
+            Err(_) => Response::error(500, "serialization failed"),
+        }
+    }
+
+    fn machine(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u32>() else {
+            return Response::error(400, "machine id must be an integer");
+        };
+        let snap = self.state.live.snapshot();
+        match snap.machines.iter().find(|m| m.id == id) {
+            Some(m) => match serde_json::to_string(m) {
+                Ok(json) => Response::json(json),
+                Err(_) => Response::error(500, "serialization failed"),
+            },
+            None => Response::error(404, "no such machine"),
+        }
+    }
+
+    fn events(&self) -> Response {
+        let events = self.state.telemetry.recent_events();
+        let mut out = String::from("[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"at_us\":{},\"kind\":{},\"detail\":{}}}",
+                e.at_us,
+                jstr(&e.kind),
+                jstr(&e.detail)
+            );
+        }
+        out.push(']');
+        Response::json(out)
+    }
+
+    fn query(&self, req: &Request) -> Response {
+        let Ok(sql) = std::str::from_utf8(&req.body) else {
+            return Response::error(400, "query body must be UTF-8 SQL");
+        };
+        if sql.trim().is_empty() {
+            return Response::error(400, "empty query");
+        }
+        let snap = self.state.live.snapshot();
+        let mut ds = Dataset::new();
+        let loaded = ds
+            .insert_records("incidents", &snap.incidents)
+            .and_then(|()| ds.insert_records("machines", &snap.machines))
+            .and_then(|()| ds.insert_records("specs", &snap.specs))
+            .and_then(|()| ds.insert_records("samples", &snap.samples));
+        if loaded.is_err() {
+            return Response::error(500, "failed to build query tables");
+        }
+        match ds.query(sql) {
+            Ok(result) => Response::json(render_query_result(&result)),
+            Err(e) => Response::error(400, &format!("{e:?}")),
+        }
+    }
+
+    fn action(&self, action: &str, req: &Request) -> Response {
+        let parsed = match action {
+            "cap" => {
+                let (Some(job), Some(index), Some(rate)) = (
+                    req.param("job").and_then(|v| v.parse::<u32>().ok()),
+                    req.param("index").and_then(|v| v.parse::<u32>().ok()),
+                    req.param("rate").and_then(|v| v.parse::<f64>().ok()),
+                ) else {
+                    return Response::error(400, "cap needs job=<u32>&index=<u32>&rate=<f64>");
+                };
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Response::error(400, "rate must be a positive number");
+                }
+                let secs = req
+                    .param("secs")
+                    .and_then(|v| v.parse::<i64>().ok())
+                    .unwrap_or(300)
+                    .max(1);
+                OperatorAction::Cap {
+                    job,
+                    index,
+                    rate,
+                    duration_us: secs.saturating_mul(1_000_000),
+                }
+            }
+            "uncap" | "kill-restart" => {
+                let (Some(job), Some(index)) = (
+                    req.param("job").and_then(|v| v.parse::<u32>().ok()),
+                    req.param("index").and_then(|v| v.parse::<u32>().ok()),
+                ) else {
+                    return Response::error(400, "action needs job=<u32>&index=<u32>");
+                };
+                if action == "uncap" {
+                    OperatorAction::Uncap { job, index }
+                } else {
+                    OperatorAction::KillRestart { job, index }
+                }
+            }
+            "protection" => match req.param("enabled") {
+                Some("true") => OperatorAction::SetProtection(true),
+                Some("false") => OperatorAction::SetProtection(false),
+                _ => return Response::error(400, "protection needs enabled=true|false"),
+            },
+            _ => return Response::error(404, "unknown action"),
+        };
+        let seq = self.state.actions.push(parsed);
+        Response {
+            status: 202,
+            content_type: "application/json",
+            body: format!(
+                "{{\"accepted\":{seq},\"pending\":{},\"applies\":\"next tick\"}}",
+                self.state.actions.pending()
+            )
+            .into_bytes(),
+        }
+    }
+}
+
+/// Renders a query result as `{"columns": [...], "rows": [[...]]}`.
+fn render_query_result(r: &QueryResult) -> String {
+    let mut out = String::from("{\"columns\":[");
+    for (i, c) in r.columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&jstr(c));
+    }
+    out.push_str("],\"rows\":[");
+    for (i, row) in r.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match v {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Num(n) if n.is_finite() => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::Num(_) => out.push_str("null"),
+                Value::Str(s) => out.push_str(&jstr(s)),
+            }
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// JSON string literal with escaping.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{LiveSnapshot, MachineView};
+    use cpi2::telemetry::Telemetry;
+
+    fn router() -> Router {
+        let state = SharedState::new(Telemetry::enabled());
+        state.live.publish(LiveSnapshot {
+            ticks: 3,
+            now_us: 60_000_000,
+            machines: vec![MachineView {
+                id: 0,
+                tasks: 2,
+                threads: 4,
+                utilization: 0.5,
+                throttle_events: 0,
+                task_list: Vec::new(),
+            }],
+            ..LiveSnapshot::default()
+        });
+        Router::new(state)
+    }
+
+    fn get(router: &Router, path: &str) -> Response {
+        router.handle(&Request {
+            method: "GET".into(),
+            path: path.into(),
+            ..Request::default()
+        })
+    }
+
+    #[test]
+    fn basic_routes_respond() {
+        let r = router();
+        assert_eq!(get(&r, "/healthz").status, 200);
+        assert_eq!(get(&r, "/version").status, 200);
+        assert_eq!(get(&r, "/metrics").status, 200);
+        assert_eq!(get(&r, "/metrics.json").status, 200);
+        assert_eq!(get(&r, "/incidents").status, 200);
+        assert_eq!(get(&r, "/machines/0").status, 200);
+        assert_eq!(get(&r, "/machines/99").status, 404);
+        assert_eq!(get(&r, "/machines/zero").status, 400);
+        assert_eq!(get(&r, "/specs/nothing").status, 404);
+        assert_eq!(get(&r, "/nope").status, 404);
+        assert_eq!(get(&r, "/incidents/zzz/trace").status, 400);
+        assert_eq!(get(&r, "/incidents/00000000000000ab/trace").status, 404);
+    }
+
+    #[test]
+    fn query_endpoint_runs_sql() {
+        let r = router();
+        let resp = r.handle(&Request {
+            method: "POST".into(),
+            path: "/query".into(),
+            body: b"SELECT id, utilization FROM machines".to_vec(),
+            ..Request::default()
+        });
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(
+            body.contains("\"columns\":[\"id\",\"utilization\"]"),
+            "{body}"
+        );
+        assert!(body.contains("[0,0.5]"), "{body}");
+        // Bad SQL is a client error, not a panic.
+        let resp = r.handle(&Request {
+            method: "POST".into(),
+            path: "/query".into(),
+            body: b"SELEKT nope".to_vec(),
+            ..Request::default()
+        });
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn actions_enqueue_for_next_tick() {
+        let r = router();
+        let resp = r.handle(&Request {
+            method: "POST".into(),
+            path: "/actions/cap".into(),
+            query: vec![
+                ("job".into(), "3".into()),
+                ("index".into(), "1".into()),
+                ("rate".into(), "0.1".into()),
+                ("secs".into(), "60".into()),
+            ],
+            ..Request::default()
+        });
+        assert_eq!(resp.status, 202);
+        assert_eq!(r.state.actions.pending(), 1);
+        assert_eq!(
+            r.state.actions.drain(),
+            vec![OperatorAction::Cap {
+                job: 3,
+                index: 1,
+                rate: 0.1,
+                duration_us: 60_000_000,
+            }]
+        );
+        // Missing params are rejected without enqueueing.
+        let resp = r.handle(&Request {
+            method: "POST".into(),
+            path: "/actions/cap".into(),
+            ..Request::default()
+        });
+        assert_eq!(resp.status, 400);
+        assert_eq!(r.state.actions.pending(), 0);
+    }
+}

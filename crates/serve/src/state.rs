@@ -1,0 +1,282 @@
+//! Shared state between the ticking harness and the request handlers.
+//!
+//! The contract mirrors the spec store's snapshot-swap pattern: the
+//! harness thread builds a fresh immutable [`LiveSnapshot`] after every
+//! tick and swaps it in under a short mutex; request handlers clone the
+//! `Arc` out and read without ever blocking the tick loop or observing a
+//! torn view. Operator actions flow the other way through the
+//! [`ActionQueue`] and are applied only at the next tick boundary, so a
+//! resident server perturbs neither tick ordering nor determinism.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cpi2::core::{CpiSample, CpiSpec};
+use cpi2::telemetry::Telemetry;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// One resident task, as seen on a machine page.
+#[derive(Debug, Clone, Serialize)]
+pub struct TaskView {
+    /// Owning job id.
+    pub job: u32,
+    /// Task index within the job.
+    pub index: u32,
+    /// Job name (the `jobname` of CPI records).
+    pub job_name: String,
+    /// Scheduling class (`LatencySensitive` / `Batch` / `BestEffort`).
+    pub class: String,
+    /// Runnable threads as of the last tick.
+    pub threads: u32,
+}
+
+/// One machine's live summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineView {
+    /// Machine id.
+    pub id: u32,
+    /// Resident task count.
+    pub tasks: usize,
+    /// Total runnable threads.
+    pub threads: u64,
+    /// CPU utilization, 0..1+.
+    pub utilization: f64,
+    /// Hard-cap throttle events since boot.
+    pub throttle_events: u64,
+    /// The resident tasks.
+    pub task_list: Vec<TaskView>,
+}
+
+/// One ranked suspect of an incident.
+#[derive(Debug, Clone, Serialize)]
+pub struct SuspectView {
+    /// Suspect job name.
+    pub jobname: String,
+    /// Identifier score (correlation / PANDA credit).
+    pub correlation: f64,
+}
+
+/// One incident, flattened for serving and querying.
+#[derive(Debug, Clone, Serialize)]
+pub struct IncidentView {
+    /// End-to-end trace id, 16 hex digits.
+    pub trace: String,
+    /// Detection time, sim µs.
+    pub at_us: i64,
+    /// Reporting machine.
+    pub machine: u32,
+    /// Victim job name.
+    pub victim_job: String,
+    /// Victim task handle.
+    pub victim_task: u64,
+    /// Victim CPI at detection.
+    pub victim_cpi: f64,
+    /// The 2σ outlier threshold in force.
+    pub cthreshold: f64,
+    /// `"hard_cap"` or `"none"`.
+    pub action: String,
+    /// Capped job (empty for `none`).
+    pub target_job: String,
+    /// Cap rate in CPU-sec/sec (0 for `none`).
+    pub cpu_rate: f64,
+    /// Why nothing was done (empty for `hard_cap`).
+    pub reason: String,
+    /// Ranked suspects, top first.
+    pub suspects: Vec<SuspectView>,
+}
+
+/// One span of an incident trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanView {
+    /// Lifecycle stage name (`sample_window` … `recovery`).
+    pub stage: String,
+    /// Span start, sim µs.
+    pub start_us: i64,
+    /// Span end, sim µs.
+    pub end_us: i64,
+    /// Human-readable stage detail.
+    pub detail: String,
+}
+
+/// One complete incident trace: the span chain in causal order.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceView {
+    /// Trace id, 16 hex digits.
+    pub trace: String,
+    /// Spans in causal order.
+    pub spans: Vec<SpanView>,
+}
+
+/// Immutable per-tick snapshot of everything the server reads.
+#[derive(Debug, Clone, Default)]
+pub struct LiveSnapshot {
+    /// Sim time of the snapshot, µs.
+    pub now_us: i64,
+    /// Tick length, µs.
+    pub tick_us: i64,
+    /// Ticks the harness has executed.
+    pub ticks: u64,
+    /// Spec store version.
+    pub spec_version: u64,
+    /// Whether cluster-wide CPI protection is on.
+    pub protection_enabled: bool,
+    /// Hard caps applied so far.
+    pub caps_applied: u64,
+    /// Sample batches lost to collector back-pressure.
+    pub collector_dropped: u64,
+    /// Per-machine summaries, machine-id order.
+    pub machines: Vec<MachineView>,
+    /// Recent incidents, oldest first (bounded tail).
+    pub incidents: Vec<IncidentView>,
+    /// Every published CPI spec.
+    pub specs: Vec<CpiSpec>,
+    /// Recent CPI samples (bounded tail).
+    pub samples: Vec<CpiSample>,
+    /// Retained incident traces, oldest first.
+    pub traces: Vec<TraceView>,
+}
+
+/// Snapshot-swap cell: writers publish a whole new snapshot; readers
+/// clone the `Arc` out under a short lock and never see a torn view.
+#[derive(Debug, Default)]
+pub struct LiveState {
+    snap: Mutex<Arc<LiveSnapshot>>,
+}
+
+impl LiveState {
+    /// Atomically replaces the current snapshot.
+    pub fn publish(&self, snap: LiveSnapshot) {
+        *self.snap.lock() = Arc::new(snap);
+    }
+
+    /// The current snapshot (clone-cheap).
+    pub fn snapshot(&self) -> Arc<LiveSnapshot> {
+        Arc::clone(&self.snap.lock())
+    }
+}
+
+/// An operator action accepted over HTTP, pending deterministic
+/// application at the next tick boundary (§5's operator interface).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperatorAction {
+    /// Manually hard-cap a task.
+    Cap {
+        /// Target job id.
+        job: u32,
+        /// Target task index.
+        index: u32,
+        /// Cap rate, CPU-sec/sec.
+        rate: f64,
+        /// Cap lifetime, µs of sim time.
+        duration_us: i64,
+    },
+    /// Lift a task's hard cap.
+    Uncap {
+        /// Target job id.
+        job: u32,
+        /// Target task index.
+        index: u32,
+    },
+    /// Kill a persistent offender and restart it elsewhere ("our version
+    /// of task migration", §5).
+    KillRestart {
+        /// Target job id.
+        job: u32,
+        /// Target task index.
+        index: u32,
+    },
+    /// Turn cluster-wide CPI protection on or off.
+    SetProtection(
+        /// Desired protection state.
+        bool,
+    ),
+}
+
+/// FIFO queue of operator actions awaiting the next tick.
+#[derive(Debug, Default)]
+pub struct ActionQueue {
+    q: Mutex<VecDeque<OperatorAction>>,
+    accepted: AtomicU64,
+}
+
+impl ActionQueue {
+    /// Enqueues an action; returns its 1-based acceptance sequence number.
+    pub fn push(&self, action: OperatorAction) -> u64 {
+        self.q.lock().push_back(action);
+        self.accepted.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Takes every queued action, FIFO order.
+    pub fn drain(&self) -> Vec<OperatorAction> {
+        self.q.lock().drain(..).collect()
+    }
+
+    /// Actions accepted since boot.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Actions currently awaiting a tick.
+    pub fn pending(&self) -> usize {
+        self.q.lock().len()
+    }
+}
+
+/// Everything the router and the harness share.
+#[derive(Debug)]
+pub struct SharedState {
+    /// The per-tick snapshot cell.
+    pub live: LiveState,
+    /// Operator actions awaiting the next tick.
+    pub actions: ActionQueue,
+    /// The system's telemetry registry (serves `/metrics`).
+    pub telemetry: Telemetry,
+}
+
+impl SharedState {
+    /// Creates shared state around the system's telemetry handle.
+    pub fn new(telemetry: Telemetry) -> Arc<SharedState> {
+        Arc::new(SharedState {
+            live: LiveState::default(),
+            actions: ActionQueue::default(),
+            telemetry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_swap_is_torn_free() {
+        let state = LiveState::default();
+        assert_eq!(state.snapshot().ticks, 0);
+        let held = state.snapshot();
+        state.publish(LiveSnapshot {
+            ticks: 7,
+            now_us: 42,
+            ..LiveSnapshot::default()
+        });
+        // The old snapshot a reader holds is unchanged; new readers see
+        // the new one.
+        assert_eq!(held.ticks, 0);
+        assert_eq!(state.snapshot().ticks, 7);
+        assert_eq!(state.snapshot().now_us, 42);
+    }
+
+    #[test]
+    fn action_queue_is_fifo() {
+        let q = ActionQueue::default();
+        assert_eq!(q.push(OperatorAction::SetProtection(false)), 1);
+        assert_eq!(q.push(OperatorAction::Uncap { job: 1, index: 2 }), 2);
+        assert_eq!(q.pending(), 2);
+        let drained = q.drain();
+        assert_eq!(drained[0], OperatorAction::SetProtection(false));
+        assert_eq!(drained[1], OperatorAction::Uncap { job: 1, index: 2 });
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.accepted(), 2);
+    }
+}

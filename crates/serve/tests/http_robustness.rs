@@ -1,0 +1,227 @@
+//! Loopback HTTP tests: every endpoint answers well-formed output, and
+//! hostile input (malformed request lines, oversized headers/bodies,
+//! unknown routes, mid-request disconnects) gets a 4xx or a clean close —
+//! never a panic, never a wedged worker.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use cpi2::core::Cpi2Config;
+use cpi2::harness::Cpi2Harness;
+use cpi2::sim::{Cluster, ClusterConfig, Platform, SimDuration};
+use cpi2::telemetry::Telemetry;
+use cpi2_serve::{ServeHarness, ServerConfig};
+
+fn boot() -> (ServeHarness, std::net::SocketAddr) {
+    let telemetry = Telemetry::enabled();
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed: 42,
+        telemetry: telemetry.clone(),
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), 4);
+    cpi2::workloads::submit_typical_mix(&mut cluster, 1, 42);
+    let config = Cpi2Config {
+        min_samples_per_task: 5,
+        ..Cpi2Config::default()
+    };
+    let mut sh = ServeHarness::new(Cpi2Harness::new(cluster, config));
+    sh.run_for(SimDuration::from_mins(3));
+    let addr = sh
+        .serve("127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback");
+    (sh, addr)
+}
+
+/// Sends raw bytes, returns (status, full body). Half-closes the write
+/// side after sending so the server's lingering-close drain ends at EOF.
+fn raw(addr: std::net::SocketAddr, bytes: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(bytes).expect("write");
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    let status: u16 = out
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = out
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Mirror of the CI scrape-line regex `^# |^[a-z_]+(\{[^}]*\})? [0-9.eE+-]+$`.
+fn sample_line_ok(line: &str) -> bool {
+    if line.starts_with("# ") {
+        return true;
+    }
+    let Some((name_part, value)) = line.rsplit_once(' ') else {
+        return false;
+    };
+    if value.is_empty()
+        || !value
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+    {
+        return false;
+    }
+    let name = match name_part.split_once('{') {
+        Some((n, rest)) => {
+            if !rest.ends_with('}') || rest[..rest.len() - 1].contains('}') {
+                return false;
+            }
+            n
+        }
+        None => name_part,
+    };
+    !name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+}
+
+#[test]
+fn endpoints_serve_well_formed_output() {
+    let (mut sh, addr) = boot();
+
+    let (code, body) = get(addr, "/healthz");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+    let (code, body) = get(addr, "/version");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"name\":\"cpi2-serve\""), "{body}");
+
+    let (code, body) = get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert!(body.contains("cpi_sim_ticks_total"), "{body}");
+    for line in body.lines() {
+        assert!(
+            sample_line_ok(line),
+            "scrape line fails CI grammar: {line:?}"
+        );
+    }
+
+    let (code, body) = get(addr, "/metrics.json");
+    assert_eq!(code, 200);
+    assert!(
+        body.starts_with('{') && body.contains("\"counters\""),
+        "{body}"
+    );
+
+    let (code, body) = get(addr, "/incidents");
+    assert_eq!(code, 200);
+    assert!(body.starts_with('['), "{body}");
+
+    let (code, body) = get(addr, "/machines/0");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"task_list\""), "{body}");
+
+    let (code, body) = get(addr, "/debug/events");
+    assert_eq!(code, 200);
+    assert!(body.starts_with('['), "{body}");
+
+    let (code, body) = post(addr, "/query", "SELECT id, tasks FROM machines ORDER BY id");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"columns\":[\"id\",\"tasks\"]"), "{body}");
+
+    let (code, _) = post(addr, "/actions/protection?enabled=false", "");
+    assert_eq!(code, 202);
+    sh.tick();
+    assert!(!sh.inner().protection_enabled());
+    let (code, _) = post(addr, "/actions/protection?enabled=true", "");
+    assert_eq!(code, 202);
+    sh.tick();
+    assert!(sh.inner().protection_enabled());
+
+    sh.shutdown_server();
+}
+
+#[test]
+fn hostile_input_never_panics() {
+    let (mut sh, addr) = boot();
+
+    // Malformed request line.
+    let (code, _) = raw(addr, b"GARBAGE\r\n\r\n");
+    assert_eq!(code, 400);
+    let (code, _) = raw(addr, b"GET /too many words here\r\n\r\n");
+    assert_eq!(code, 400);
+    // HTTP/0.9-style and bad versions.
+    let (code, _) = raw(addr, b"GET / SPDY/99\r\n\r\n");
+    assert_eq!(code, 400);
+    // Unsupported method.
+    let (code, _) = raw(addr, b"DELETE / HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(code, 405);
+    // Unknown routes.
+    let (code, _) = get(addr, "/no/such/route");
+    assert_eq!(code, 404);
+    let (code, _) = post(addr, "/actions/self-destruct?job=1&index=0", "");
+    assert_eq!(code, 404);
+    // Oversized headers.
+    let mut big = Vec::from(&b"GET / HTTP/1.1\r\n"[..]);
+    big.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "a".repeat(16 * 1024)).as_bytes());
+    let (code, _) = raw(addr, &big);
+    assert_eq!(code, 431);
+    // Oversized declared body.
+    let (code, _) = raw(
+        addr,
+        b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 10000000\r\n\r\n",
+    );
+    assert_eq!(code, 413);
+    // Nonsense content-length.
+    let (code, _) = raw(
+        addr,
+        b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: banana\r\n\r\n",
+    );
+    assert_eq!(code, 400);
+    // Bad SQL is a 400, not a panic.
+    let (code, _) = post(addr, "/query", "DROP TABLE incidents");
+    assert_eq!(code, 400);
+    // Bad action parameters.
+    let (code, _) = post(addr, "/actions/cap?job=x&index=y&rate=z", "");
+    assert_eq!(code, 400);
+    let (code, _) = post(addr, "/actions/cap?job=1&index=0&rate=-4", "");
+    assert_eq!(code, 400);
+
+    // Mid-request disconnects: write a partial request and hang up.
+    for partial in [
+        &b"GET /metr"[..],
+        &b"POST /query HTTP/1.1\r\nContent-Length: 50\r\n\r\nSELE"[..],
+    ] {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(partial).expect("write");
+        drop(s);
+    }
+
+    // The server survived all of it and still answers.
+    let (code, body) = get(addr, "/healthz");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    let text = sh
+        .inner()
+        .telemetry()
+        .prometheus_text()
+        .expect("telemetry on");
+    assert!(
+        text.contains("cpi_serve_handler_panics_total 0"),
+        "a handler panicked:\n{text}"
+    );
+
+    sh.shutdown_server();
+}

@@ -18,10 +18,29 @@ use crate::registry::{Registry, SeriesKey};
 /// Quantiles reported for every histogram.
 pub const EXPORT_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote and newline must be escaped inside the quoted
+/// value (an unescaped `"` in a job-name label corrupts the scrape).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
-    let mut pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
     if let Some((k, v)) = extra {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
     }
     if pairs.is_empty() {
         String::new()

@@ -260,6 +260,27 @@ mod tests {
     }
 
     #[test]
+    fn label_values_are_escaped_per_exposition_format() {
+        // Regression: a job name containing `"`, `\` or a newline used to
+        // be emitted verbatim, corrupting the scrape.
+        let tel = Telemetry::enabled();
+        tel.counter("cpi_esc_total", &[("job", "we\"ird\\name\nx")])
+            .inc();
+        let text = tel.prometheus_text().unwrap();
+        assert!(
+            text.contains(r#"cpi_esc_total{job="we\"ird\\name\nx"} 1"#),
+            "{text}"
+        );
+        // Every emitted line must still satisfy the CI scrape grammar.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || sample_line_ok(line),
+                "line fails CI grammar: {line:?}"
+            );
+        }
+    }
+
+    #[test]
     fn json_snapshot_contains_metrics_and_events() {
         let tel = Telemetry::enabled();
         tel.counter("cpi_j_total", &[]).add(3);

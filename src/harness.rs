@@ -8,7 +8,7 @@
 
 use cpi2_core::{
     Agent, AgentCommand, Cpi2Config, CpiSample, CpiSpec, Incident, IncidentAction, TaskClass,
-    TaskHandle,
+    TaskHandle, TraceId, TraceLog, TraceSpan, TraceStage,
 };
 use cpi2_perf::{ClusterSampler, CounterReading};
 use cpi2_pipeline::{Aggregator, Collector, CollectorHandle, RetryQueue, SpecStore};
@@ -129,6 +129,11 @@ pub struct Cpi2Harness {
     agent_restarts: u64,
     machine_crashes: u64,
     shipment_faults: u64,
+    /// End-to-end incident traces: bounded span chains keyed by trace ID
+    /// (detection spans from the agents, amelioration spans appended here
+    /// when caps execute). Served by `cpi2-serve` at
+    /// `GET /incidents/{id}/trace`.
+    trace_log: TraceLog,
 }
 
 impl Cpi2Harness {
@@ -183,7 +188,18 @@ impl Cpi2Harness {
             agent_restarts: 0,
             machine_crashes: 0,
             shipment_faults: 0,
+            trace_log: TraceLog::default(),
         }
+    }
+
+    /// The end-to-end incident trace log (bounded; oldest traces evicted).
+    pub fn trace_log(&self) -> &TraceLog {
+        &self.trace_log
+    }
+
+    /// The span chain for one incident trace, causal order.
+    pub fn incident_trace(&self, id: TraceId) -> Option<&[TraceSpan]> {
+        self.trace_log.get(id)
     }
 
     /// Victims migrated by the chronic-contention policy.
@@ -314,7 +330,7 @@ impl Cpi2Harness {
         }
 
         // Sample every machine and run its agent.
-        let mut pending_caps: Vec<(TaskId, f64, SimTime)> = Vec::new();
+        let mut pending_caps: Vec<(TaskId, f64, SimTime, TraceId)> = Vec::new();
         let mut chronic_victims: Vec<TaskId> = Vec::new();
         let machine_count = self.cluster.machines().len();
         for i in 0..machine_count {
@@ -394,14 +410,18 @@ impl Cpi2Harness {
                     incident: inc,
                 });
             }
+            for span in agent.take_trace_spans() {
+                self.trace_log.record(span);
+            }
             for cmd in commands {
                 let AgentCommand::ApplyHardCap {
                     target,
                     cpu_rate,
                     until,
+                    trace,
                     ..
                 } = cmd;
-                pending_caps.push((task_for(target), cpu_rate, SimTime(until)));
+                pending_caps.push((task_for(target), cpu_rate, SimTime(until), trace));
             }
 
             // Detection ran locally (§4.1); now push the batch up the
@@ -462,9 +482,25 @@ impl Cpi2Harness {
         // Execute cap commands against the cluster (unless the operator
         // turned protection off for the cluster).
         if self.protection_enabled {
-            for (task, rate, until) in pending_caps {
+            for (task, rate, until, trace) in pending_caps {
                 if self.cluster.apply_hard_cap(task, rate, until) {
                     self.caps_applied += 1;
+                    // Close the loop in the incident trace: the cap the
+                    // decision called for actually executed.
+                    let span = TraceSpan {
+                        trace,
+                        stage: TraceStage::Amelioration,
+                        start_us: now.as_us(),
+                        end_us: until.as_us(),
+                        detail: format!(
+                            "hard_cap task={}/{} rate={rate} until={}",
+                            task.job.0,
+                            task.index,
+                            until.as_us()
+                        ),
+                    };
+                    self.telemetry.event("trace", || span.event_line());
+                    self.trace_log.record(span);
                 }
 
                 // §9 future work: once a pair offends repeatedly, teach the

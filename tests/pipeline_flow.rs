@@ -161,6 +161,7 @@ fn incident_messages_collected() {
             reason: "test".into(),
         },
         identifier: cpi2::core::IdentifierKind::Paper,
+        trace_id: cpi2::core::TraceId::derive(1, 0),
     };
     assert!(tx.send(AgentMessage::Incidents(vec![incident.clone()])));
     collector.drain();
