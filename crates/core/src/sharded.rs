@@ -145,8 +145,10 @@ impl ShardedSpecBuilder {
     /// Routes one sample to its shard and adds it to the current period.
     pub fn add_sample(&self, sample: &CpiSample) {
         let idx = shard_of(&sample.jobname, &sample.platforminfo, self.shards.len());
-        // lint: allow(slice-index) — idx is h % shards.len(), always in bounds.
-        let shard = &self.shards[idx];
+        // idx is h % shards.len(); `get` makes in-bounds locally evident.
+        let Some(shard) = self.shards.get(idx) else {
+            return;
+        };
         let mut b = shard.builder.lock();
         b.add_sample(sample);
         // Under the lock, so a concurrent roll either sees the flag or
@@ -163,8 +165,10 @@ impl ShardedSpecBuilder {
         let n = self.shards.len();
         let mut buckets: Vec<Vec<&CpiSample>> = vec![Vec::new(); n];
         for s in samples {
-            // lint: allow(slice-index) — shard_of returns h % n, always in bounds.
-            buckets[shard_of(&s.jobname, &s.platforminfo, n)].push(s);
+            // shard_of returns h % n, so the bucket always exists.
+            if let Some(bucket) = buckets.get_mut(shard_of(&s.jobname, &s.platforminfo, n)) {
+                bucket.push(s);
+            }
         }
         for (shard, bucket) in self.shards.iter().zip(buckets) {
             if bucket.is_empty() {
@@ -181,8 +185,10 @@ impl ShardedSpecBuilder {
     /// Number of samples accumulated in the current period for a key.
     pub fn period_samples(&self, key: &JobKey) -> u64 {
         let idx = shard_of(&key.job, &key.platform, self.shards.len());
-        // lint: allow(slice-index) — idx is h % shards.len(), always in bounds.
-        self.shards[idx].builder.lock().period_samples(key)
+        // idx is h % shards.len(); an out-of-range shard means no samples.
+        self.shards
+            .get(idx)
+            .map_or(0, |s| s.builder.lock().period_samples(key))
     }
 
     /// Folds the current period into history on every *dirty* shard and

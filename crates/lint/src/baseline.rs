@@ -1,0 +1,134 @@
+//! Baseline files: audited legacy findings that gate nothing.
+//!
+//! A baseline entry is one line, `rule @ path: message`, with every
+//! `:<digits>` sequence in the message normalized to `:_` — so call
+//! chains embedded in transitive-pass messages don't churn the baseline
+//! when unrelated edits shift line numbers. Lines starting with `#` and
+//! blank lines are comments.
+//!
+//! [`diff`] splits findings into (new, matched); unmatched baseline
+//! entries are *stale* and reported so the file shrinks as debt is paid
+//! down. Matching is per-entry with multiplicity: two identical
+//! findings need two identical baseline lines.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// One finding's baseline key: line numbers normalized away.
+pub fn key(f: &Finding) -> String {
+    format!("{} @ {}: {}", f.rule.name(), f.path, normalize(&f.message))
+}
+
+/// Replaces every `:<digits>` with `:_` so embedded `file:line` chains
+/// compare stably across unrelated line drift.
+fn normalize(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len());
+    let mut chars = msg.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == ':' && chars.peek().is_some_and(|n| n.is_ascii_digit()) {
+            while chars.peek().is_some_and(|n| n.is_ascii_digit()) {
+                chars.next();
+            }
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Parses a baseline file's text into entry → multiplicity.
+pub fn parse(text: &str) -> BTreeMap<String, usize> {
+    let mut out: BTreeMap<String, usize> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *out.entry(line.to_string()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Splits `findings` against a baseline: returns (new findings that
+/// must gate, stale baseline entries with no matching finding).
+pub fn diff(
+    findings: &[Finding],
+    baseline: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    let mut budget = baseline.clone();
+    let mut fresh = Vec::new();
+    for f in findings {
+        let k = key(f);
+        match budget.get_mut(&k) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => fresh.push(f.clone()),
+        }
+    }
+    let mut stale: Vec<String> = Vec::new();
+    for (k, n) in budget {
+        for _ in 0..n {
+            stale.push(k.clone());
+        }
+    }
+    (fresh, stale)
+}
+
+/// Renders findings as baseline file text (sorted, with a header).
+pub fn render(findings: &[Finding]) -> String {
+    let mut lines: Vec<String> = findings.iter().map(key).collect();
+    lines.sort();
+    let mut out = String::from(
+        "# cpi2-lint baseline: audited legacy findings that do not gate.\n\
+         # One entry per finding, `rule @ path: message` with `:<line>`\n\
+         # numbers normalized to `:_`. Regenerate with\n\
+         # `cargo run -p cpi2-lint -- --workspace --write-baseline <file>`.\n",
+    );
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(path: &str, line: usize, msg: &str) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            rule: Rule::PanicReach,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn keys_normalize_line_numbers() {
+        let a = finding("a.rs", 10, "`.unwrap()` reachable: a.rs:10 → b.rs:88");
+        let b = finding("a.rs", 99, "`.unwrap()` reachable: a.rs:12 → b.rs:90");
+        assert_eq!(key(&a), key(&b));
+        assert!(key(&a).contains("a.rs:_ → b.rs:_"));
+    }
+
+    #[test]
+    fn diff_matches_with_multiplicity_and_reports_stale() {
+        let f1 = finding("a.rs", 1, "x");
+        let f2 = finding("a.rs", 2, "x"); // same key as f1
+        let text = render(std::slice::from_ref(&f1)); // one entry
+        let base = parse(&text);
+        let (fresh, stale) = diff(&[f1.clone(), f2], &base);
+        assert_eq!(fresh.len(), 1, "second identical finding gates");
+        assert!(stale.is_empty());
+        let (fresh, stale) = diff(&[], &base);
+        assert!(fresh.is_empty());
+        assert_eq!(stale.len(), 1, "unmatched entry is stale");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let base = parse("# header\n\nrule @ a.rs: msg\n");
+        assert_eq!(base.len(), 1);
+    }
+}

@@ -349,6 +349,65 @@ mod tests {
     }
 
     #[test]
+    fn raw_string_with_two_or_more_hashes() {
+        // The terminator must match the opener's hash count exactly: the
+        // embedded `"#` must not close an `r##"…"##` string.
+        let l = lex(r####"let s = r##"inner "# quote and panic!()"##; after"####);
+        assert!(!l.toks.iter().any(|t| t.is_ident("panic")));
+        assert!(l.toks.iter().any(|t| t.is_ident("after")));
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+
+        // Three hashes, multi-line body, with a fake two-hash closer inside.
+        let src = "let s = r###\"line one \"## not done\nline two panic!()\"###; tail";
+        let l = lex(src);
+        assert!(!l.toks.iter().any(|t| t.is_ident("panic")));
+        let tail = l.toks.iter().find(|t| t.is_ident("tail")).expect("tail");
+        assert_eq!(tail.line, 2, "raw string newlines still count lines");
+    }
+
+    #[test]
+    fn nested_block_comments_containing_quotes() {
+        // An unbalanced quote inside a nested block comment must not put
+        // the lexer into string mode; nesting still closes correctly.
+        let l = lex("/* outer \" /* inner \"unclosed */ still \" comment */ ident");
+        assert_eq!(l.toks.len(), 1, "{:?}", l.toks);
+        assert!(l.toks[0].is_ident("ident"));
+
+        // And a comment whose quotes *look* balanced around an unwrap()
+        // must still hide it.
+        let l = lex("/* \"x\" .unwrap() /* \"y\" */ */ let a = 1;");
+        assert!(!l.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.toks.iter().any(|t| t.is_ident("a")));
+    }
+
+    #[test]
+    fn lifetime_vs_char_in_generic_bounds() {
+        // `T: 'a` in a bound is a lifetime, not an unterminated char; a
+        // real char literal in the default expression stays a Str.
+        let l = lex("struct S<'a, T: 'a + Clone, const C: char = 'x'> { r: &'a T }");
+        let lifetimes: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        // Lifetime tokens carry the name without the leading tick.
+        assert_eq!(lifetimes, vec!["a", "a", "a"], "{:?}", l.toks);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+
+        // `<'static>` and a char right after a generic close.
+        let l = lex("fn f() -> Box<dyn Any + 'static> { let c = 'z'; }");
+        assert_eq!(
+            l.toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            1
+        );
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
     fn lifetimes_vs_char_literals() {
         let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
         assert_eq!(

@@ -18,26 +18,52 @@
 //!   `.collect()`, `vec!`) — they write into caller-owned scratch
 //!   buffers instead.
 //!
+//! On top of the per-file rules, four **whole-program passes** run over
+//! a workspace call graph (lightweight item/fn parser, name-based
+//! resolution with conservative fan-out — see [`parser`] and
+//! [`callgraph`]):
+//!
+//! - **transitive-alloc** — the full closure of every
+//!   `// lint: hot-path` fn must be allocation-free;
+//! - **panic-reach** — no panic site reachable from the core/perf
+//!   entry points (`Agent::ingest`, `Machine::tick`, sampler `poll`);
+//! - **determinism-taint** — no clock/spawn/map-iteration reachable
+//!   from `Cluster::step` through helpers;
+//! - **lock-cycle** — no cycle in the interprocedural lock-order graph.
+//!
 //! Findings are waivable inline with
 //! `// lint: allow(<rule>) — <reason>`; a waiver without a reason is
-//! itself a finding.
+//! itself a finding, as is a waiver that suppresses nothing (workspace
+//! runs only — dead waivers rot). Audited legacy findings can live in a
+//! baseline file ([`baseline`]) so new findings gate without churn.
 
+pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod lockorder;
 pub mod model;
+pub mod parser;
+pub mod reach;
 pub mod rules;
+pub mod sarif;
 
+pub use callgraph::{AnalyzedFile, CallGraph};
+pub use reach::{EntrySpec, ProgramConfig};
 pub use rules::{check_file, Finding, Rule, RuleSet};
+pub use sarif::render_sarif;
 
 use model::FileModel;
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Lints one file's source text under `rules`; `path` is used only for
-/// reporting.
+/// reporting. Per-file rules only — the whole-program passes need
+/// [`lint_program`].
 pub fn lint_source(path: &str, src: &str, rules: &RuleSet) -> Vec<Finding> {
     let model = FileModel::build(src);
-    check_file(path, &model, rules)
+    rules::check_file(path, &model, rules)
 }
 
 /// The rule set for a workspace-relative path, or `None` if the file is
@@ -128,6 +154,123 @@ pub fn ruleset_for(rel: &str) -> Option<RuleSet> {
     Some(rs)
 }
 
+/// The whole-program pass configuration for this workspace: the entry
+/// points whose closures must stay panic-free / deterministic, and the
+/// observational sinks the determinism pass does not traverse into.
+pub fn workspace_program_config() -> ProgramConfig {
+    ProgramConfig {
+        panic_entries: vec![
+            // The agent's per-window entry: runs on every machine.
+            EntrySpec::new("crates/core/", Some("Agent"), "ingest"),
+            EntrySpec::new("crates/core/", Some("OutlierDetector"), "observe"),
+            // The simulator hot loop.
+            EntrySpec::new("crates/sim/", Some("Machine"), "tick"),
+            // Both sampler variants' poll paths.
+            EntrySpec::new("crates/perf/", None, "poll"),
+        ],
+        determinism_entries: vec![EntrySpec::new("crates/sim/", Some("Cluster"), "step")],
+        // Telemetry is observational: gated behind enabled checks and
+        // never fed back into sim state (same exemption the per-file
+        // scope table grants it).
+        determinism_sinks: vec!["crates/telemetry/".to_string()],
+    }
+}
+
+/// Analyzes one source file into the form the whole-program passes
+/// consume.
+pub fn analyze_file(path: &str, src: &str, rules: RuleSet) -> AnalyzedFile {
+    let model = FileModel::build(src);
+    let parsed = parser::parse(&model);
+    let sites = rules::collect_sites(&model, &rules);
+    AnalyzedFile {
+        path: path.to_string(),
+        rules,
+        model,
+        parsed,
+        sites,
+    }
+}
+
+/// Lints a whole program: per-file rules on every file, then the four
+/// interprocedural passes over the shared call graph, then
+/// unused-waiver detection (a waiver that suppresses nothing is dead
+/// documentation and becomes a finding itself).
+pub fn lint_program(files: &[AnalyzedFile], config: &ProgramConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // (file idx, waiver line, rule name) consumed anywhere.
+    let mut used: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+
+    // Per-file rules.
+    for (fi, file) in files.iter().enumerate() {
+        let mut file_used = Vec::new();
+        findings.extend(rules::check_sites(
+            &file.path,
+            &file.model,
+            &file.rules,
+            &file.sites,
+            &mut file_used,
+        ));
+        for (line, rule) in file_used {
+            used.insert((fi, line, rule));
+        }
+    }
+
+    // Whole-program passes.
+    let graph = CallGraph::build(files);
+    let mut pass_findings = Vec::new();
+    reach::transitive_alloc(files, &graph, &mut pass_findings);
+    reach::panic_reach(files, &graph, config, &mut pass_findings);
+    reach::determinism_taint(files, &graph, config, &mut pass_findings);
+    lockorder::lock_order(files, &graph, &mut pass_findings);
+    for pf in pass_findings {
+        let file = &files[pf.file];
+        let mut file_used = Vec::new();
+        if let Some(f) = rules::waiver_filter(
+            &file.path,
+            &file.model,
+            pf.line,
+            &pf.waiver_names,
+            pf.rule,
+            pf.message,
+            &mut file_used,
+        ) {
+            findings.push(f);
+        }
+        for (line, rule) in file_used {
+            used.insert((pf.file, line, rule));
+        }
+    }
+
+    // Unused waivers: every syntactically-valid waiver must suppress
+    // something, per-file or transitive.
+    for (fi, file) in files.iter().enumerate() {
+        for ws in file.model.waivers.values() {
+            for w in ws {
+                if !Rule::known_names().contains(&w.rule.as_str()) {
+                    continue; // already a `waiver` finding (unknown rule)
+                }
+                if !used.contains(&(fi, w.line, w.rule.clone())) {
+                    findings.push(Finding {
+                        path: file.path.clone(),
+                        line: w.line,
+                        rule: Rule::Waiver,
+                        message: format!(
+                            "unused waiver: `lint: allow({})` suppresses nothing here — \
+                             remove it (or fix the rule name)",
+                            w.rule
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings.dedup();
+    findings
+}
+
 /// Recursively collects `.rs` files under `dir` into `out`.
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
@@ -144,11 +287,12 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every in-scope source file under the workspace `root`.
+/// Loads and analyzes every in-scope source file under the workspace
+/// `root`.
 ///
 /// Only `src/` trees are scanned (crate `tests/` and `benches/` dirs are
 /// integration-test code and out of scope by design).
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+pub fn load_workspace(root: &Path) -> io::Result<Vec<AnalyzedFile>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -169,7 +313,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         walk(&root_src, &mut files)?;
     }
 
-    let mut findings = Vec::new();
+    let mut out = Vec::new();
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -180,11 +324,67 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             continue;
         };
         let src = fs::read_to_string(&file)?;
-        findings.extend(lint_source(&rel, &src, &rules));
+        out.push(analyze_file(&rel, &src, rules));
     }
+    Ok(out)
+}
+
+/// Lints every in-scope source file under the workspace `root`:
+/// per-file rules plus the whole-program passes under
+/// [`workspace_program_config`].
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = load_workspace(root)?;
+    Ok(lint_program(&files, &workspace_program_config()))
+}
+
+/// Restricts `findings` to those touching `paths` (the changed set plus
+/// its reverse-dependency closure): a finding survives if its own path
+/// is in the set or its message's call chain names one.
+pub fn filter_to_paths(findings: Vec<Finding>, paths: &BTreeSet<String>) -> Vec<Finding> {
     findings
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
-    Ok(findings)
+        .into_iter()
+        .filter(|f| paths.contains(&f.path) || paths.iter().any(|p| f.message.contains(p.as_str())))
+        .collect()
+}
+
+/// The reverse-dependency closure of `changed` (workspace-relative
+/// paths): every file containing a fn from which a changed file's fn is
+/// reachable, fixpointed. Used by `--changed` to lint exactly the blast
+/// radius of a diff.
+pub fn reverse_dependency_closure(
+    files: &[AnalyzedFile],
+    changed: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    let graph = CallGraph::build(files);
+    // file → set of files it calls into (via any fn edge).
+    let mut calls_into: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); files.len()];
+    for (&(caller_file, _), outs) in &graph.edges {
+        for e in outs {
+            calls_into[caller_file].insert(e.to.0);
+        }
+    }
+    let mut in_closure: Vec<bool> = files.iter().map(|f| changed.contains(&f.path)).collect();
+    loop {
+        let mut grew = false;
+        for fi in 0..files.len() {
+            if in_closure[fi] {
+                continue;
+            }
+            if calls_into[fi].iter().any(|&t| in_closure[t]) {
+                in_closure[fi] = true;
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    files
+        .iter()
+        .zip(&in_closure)
+        .filter(|(_, &inc)| inc)
+        .map(|(f, _)| f.path.clone())
+        .collect()
 }
 
 /// Renders findings one per line as `path:line: rule: message`.
@@ -220,7 +420,10 @@ pub fn render_json(findings: &[Finding]) -> String {
     s
 }
 
-fn json_str(s: &str) -> String {
+/// Escapes `s` as a JSON string literal: backslashes, quotes, and all
+/// control characters (so Windows-style paths and messages containing
+/// `"` cannot break the output).
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -292,5 +495,64 @@ mod tests {
         let j = render_json(std::slice::from_ref(&f));
         assert!(j.contains(r#""message":"say \"hi\"\\\n""#));
         assert!(render_json(&[]).trim() == "[]");
+    }
+
+    #[test]
+    fn json_escapes_windows_paths_and_control_chars() {
+        let f = Finding {
+            path: "crates\\sim\\src\\machine.rs".into(),
+            line: 1,
+            rule: Rule::Clock,
+            message: "bell \u{7} and del \u{1f}".into(),
+        };
+        let j = render_json(std::slice::from_ref(&f));
+        assert!(j.contains(r#""path":"crates\\sim\\src\\machine.rs""#));
+        assert!(j.contains(r#"bell \u0007 and del \u001f"#), "{j}");
+        // The output must be structurally valid: balanced quotes around
+        // every value, no raw control bytes.
+        assert!(!j.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
+    }
+
+    #[test]
+    fn unused_waiver_is_a_finding_in_program_runs() {
+        let src = "// lint: allow(panic) — stale: nothing here panics\n\
+                   pub fn quiet() -> u32 { 1 }\n";
+        let files = vec![analyze_file(
+            "crates/core/src/x.rs",
+            src,
+            ruleset_for("crates/core/src/x.rs").expect("in scope"),
+        )];
+        let findings = lint_program(&files, &ProgramConfig::default());
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].rule, Rule::Waiver);
+        assert!(findings[0].message.contains("unused waiver"));
+    }
+
+    #[test]
+    fn used_waiver_is_not_reported_unused() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   // lint: allow(panic) — contract: caller checked is_some\n\
+                   x.unwrap()\n\
+                   }\n";
+        let files = vec![analyze_file(
+            "crates/core/src/x.rs",
+            src,
+            ruleset_for("crates/core/src/x.rs").expect("in scope"),
+        )];
+        let findings = lint_program(&files, &ProgramConfig::default());
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn reverse_closure_pulls_in_callers() {
+        let a = analyze_file("a.rs", "pub fn top() { mid(); }", RuleSet::default());
+        let b = analyze_file("b.rs", "pub fn mid() { leaf(); }", RuleSet::default());
+        let c = analyze_file("c.rs", "pub fn leaf() {}", RuleSet::default());
+        let d = analyze_file("d.rs", "pub fn unrelated() {}", RuleSet::default());
+        let files = vec![a, b, c, d];
+        let changed: BTreeSet<String> = ["c.rs".to_string()].into();
+        let closure = reverse_dependency_closure(&files, &changed);
+        assert!(closure.contains("a.rs") && closure.contains("b.rs") && closure.contains("c.rs"));
+        assert!(!closure.contains("d.rs"));
     }
 }

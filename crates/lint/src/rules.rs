@@ -1,8 +1,19 @@
 //! The invariant rules: determinism (D), panic-freedom (S), lock
-//! discipline (L) and telemetry hygiene (T), run over a [`FileModel`].
+//! discipline (L), telemetry hygiene (T) and hot-path allocation (P),
+//! run over a [`FileModel`].
+//!
+//! Detection is split from policy: [`collect_sites`] runs *every*
+//! detector over a file and returns raw sites (with token indexes, so
+//! the whole-program passes in [`crate::reach`] / [`crate::lockorder`]
+//! can attribute them to functions), while [`check_file`] filters those
+//! sites down to the rules enabled for the file and applies waivers.
+//! Sanctioned sites — `#[cfg(test)]` regions, `clock_line_allow`
+//! matches, `spawn_allowed` files — are dropped at collection time and
+//! are invisible to both the per-file rules and the transitive passes.
 
 use crate::lexer::{Tok, TokKind};
 use crate::model::FileModel;
+pub use crate::parser::fn_body;
 use std::fmt;
 
 /// A lint rule identifier — also the name used in waiver comments.
@@ -27,7 +38,20 @@ pub enum Rule {
     MetricName,
     /// P: per-call allocation inside a fn marked `// lint: hot-path`.
     HotPathAlloc,
-    /// Waiver-syntax problems (missing reason, unknown rule).
+    /// P (whole-program): allocation reachable from a hot-path fn
+    /// through the call graph.
+    TransitiveAlloc,
+    /// S (whole-program): a panic site reachable from a core/perf entry
+    /// point through the call graph.
+    PanicReach,
+    /// D (whole-program): a determinism hazard reachable from
+    /// `Cluster::step` through helpers.
+    DeterminismTaint,
+    /// L (whole-program): a cycle in the interprocedural lock-order
+    /// graph (potential deadlock).
+    LockCycle,
+    /// Waiver-syntax problems (missing reason, unknown rule, unused
+    /// waiver).
     Waiver,
 }
 
@@ -44,6 +68,10 @@ impl Rule {
             Rule::NestedLock => "nested-lock",
             Rule::MetricName => "metric-name",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::TransitiveAlloc => "transitive-alloc",
+            Rule::PanicReach => "panic-reach",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::LockCycle => "lock-cycle",
             Rule::Waiver => "waiver",
         }
     }
@@ -60,7 +88,31 @@ impl Rule {
             "nested-lock",
             "metric-name",
             "hot-path-alloc",
+            "transitive-alloc",
+            "panic-reach",
+            "determinism-taint",
+            "lock-cycle",
         ]
+    }
+
+    /// One-line description, used by the SARIF rule catalog.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::Clock => "wall-clock read in a determinism-critical crate",
+            Rule::ThreadSpawn => "thread spawn outside the worker pool",
+            Rule::MapIter => "iteration over a hash-ordered map",
+            Rule::EnvRandom => "environment/randomness feeding committed sim state",
+            Rule::Panic => "panic site in a hot path",
+            Rule::SliceIndex => "panicking slice index in a hot path",
+            Rule::NestedLock => "lock acquired while a prior guard is live",
+            Rule::MetricName => "dynamic metric name",
+            Rule::HotPathAlloc => "per-call allocation in a hot-path fn",
+            Rule::TransitiveAlloc => "allocation reachable from a hot-path fn",
+            Rule::PanicReach => "panic site reachable from a core entry point",
+            Rule::DeterminismTaint => "determinism hazard reachable from Cluster::step",
+            Rule::LockCycle => "cycle in the interprocedural lock-order graph",
+            Rule::Waiver => "waiver-syntax problem",
+        }
     }
 }
 
@@ -142,62 +194,140 @@ impl RuleSet {
     }
 }
 
-/// Runs every enabled rule over one file and returns unwaived findings
-/// (plus waiver-syntax findings).
-pub fn check_file(path: &str, model: &FileModel, rules: &RuleSet) -> Vec<Finding> {
+/// One raw detector hit, before policy filtering and waivers.
+#[derive(Debug, Clone)]
+pub struct RawSite {
+    /// Index of the triggering token.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// The base rule the site violates.
+    pub rule: Rule,
+    /// Short backticked pattern (`` `Vec::new()` ``, `` `.unwrap()` ``),
+    /// reused by the whole-program passes for their own messages.
+    pub pattern: String,
+    /// Full per-file diagnostic.
+    pub message: String,
+}
+
+type Raw = Vec<RawSite>;
+
+fn site(out: &mut Raw, tok: usize, line: usize, rule: Rule, pattern: &str, message: String) {
+    out.push(RawSite {
+        tok,
+        line,
+        rule,
+        pattern: pattern.to_string(),
+        message,
+    });
+}
+
+/// Runs every detector over `model` and returns all raw sites, with
+/// sanctioned-site scoping (test regions, `clock_line_allow`,
+/// `spawn_allowed`) already applied. The caller decides which rules are
+/// *enforced* per-file; the whole-program passes consume the rest.
+pub fn collect_sites(model: &FileModel, rules: &RuleSet) -> Vec<RawSite> {
     let mut raw = Vec::new();
-    if rules.clock {
-        clock_rule(model, rules, &mut raw);
-    }
-    if rules.spawn && !rules.spawn_allowed {
+    clock_rule(model, rules, &mut raw);
+    if !rules.spawn_allowed {
         spawn_rule(model, &mut raw);
     }
-    if rules.map_iter {
-        map_iter_rule(model, &mut raw);
-    }
-    if rules.env_random {
-        env_random_rule(model, &mut raw);
-    }
-    if rules.panics {
-        panic_rule(model, &mut raw);
-    }
-    if rules.slice_index {
-        slice_index_rule(model, &mut raw);
-    }
-    if rules.locks {
-        lock_rule(model, &mut raw);
-    }
-    if rules.metric_name {
-        metric_rule(model, &mut raw);
-    }
-    if rules.hot_path_alloc {
-        hot_path_alloc_rule(model, &mut raw);
-    }
+    map_iter_rule(model, &mut raw);
+    env_random_rule(model, &mut raw);
+    panic_rule(model, &mut raw);
+    slice_index_rule(model, &mut raw);
+    lock_rule(model, &mut raw);
+    metric_rule(model, &mut raw);
+    alloc_rule(model, &mut raw);
+    raw.sort_by_key(|a| (a.line, a.rule, a.tok));
+    raw
+}
 
+/// Token ranges of fn bodies annotated `// lint: hot-path`.
+pub fn hot_fn_ranges(model: &FileModel) -> Vec<(usize, usize)> {
+    let toks = &model.toks;
     let mut out = Vec::new();
-    for (line, rule, message) in raw {
-        match model.waiver_for(line, rule.name()) {
-            Some(w) if w.has_reason => {}
-            Some(w) => out.push(Finding {
+    for &marker in &model.hot_path_lines {
+        let Some(fn_idx) = toks
+            .iter()
+            .position(|t| t.line > marker && t.is_ident("fn"))
+        else {
+            continue;
+        };
+        if let Some(range) = fn_body(toks, fn_idx) {
+            out.push(range);
+        }
+    }
+    out
+}
+
+/// True if `site` is enforced as a per-file finding under `rules`.
+/// `hot_ranges` are the `// lint: hot-path` fn bodies (for
+/// [`Rule::HotPathAlloc`], which is annotation-scoped rather than
+/// file-scoped).
+pub fn site_enabled(s: &RawSite, rules: &RuleSet, hot_ranges: &[(usize, usize)]) -> bool {
+    match s.rule {
+        Rule::Clock => rules.clock,
+        Rule::ThreadSpawn => rules.spawn,
+        Rule::MapIter => rules.map_iter,
+        Rule::EnvRandom => rules.env_random,
+        Rule::Panic => rules.panics,
+        Rule::SliceIndex => rules.slice_index,
+        Rule::NestedLock => rules.locks,
+        Rule::MetricName => rules.metric_name,
+        Rule::HotPathAlloc => {
+            rules.hot_path_alloc && hot_ranges.iter().any(|&(s0, e0)| s.tok >= s0 && s.tok < e0)
+        }
+        _ => false,
+    }
+}
+
+/// A waiver consumed while suppressing a finding: (waiver line, rule
+/// name as written in the waiver).
+pub type UsedWaiver = (usize, String);
+
+/// Applies waiver policy to one raw finding: returns `None` when a
+/// reasoned waiver suppresses it (recording the waiver in `used`), a
+/// [`Rule::Waiver`] finding when the waiver lacks a reason, or the
+/// finding itself. `names` are the waiver rule names that can suppress
+/// it, in priority order (a transitive finding accepts both its base
+/// rule name and its pass name).
+pub fn waiver_filter(
+    path: &str,
+    model: &FileModel,
+    line: usize,
+    names: &[&str],
+    rule: Rule,
+    message: String,
+    used: &mut Vec<UsedWaiver>,
+) -> Option<Finding> {
+    for name in names {
+        if let Some(w) = model.waiver_for(line, name) {
+            used.push((w.line, w.rule.clone()));
+            if w.has_reason {
+                return None;
+            }
+            return Some(Finding {
                 path: path.to_string(),
                 line: w.line,
                 rule: Rule::Waiver,
                 message: format!(
-                    "waiver for `{}` has no reason; write `// lint: allow({}) — <reason>`",
-                    rule.name(),
-                    rule.name()
+                    "waiver for `{name}` has no reason; write `// lint: allow({name}) — <reason>`"
                 ),
-            }),
-            None => out.push(Finding {
-                path: path.to_string(),
-                line,
-                rule,
-                message,
-            }),
+            });
         }
     }
-    // Malformed waivers are reported even when nothing matched them:
-    // an unknown rule name is a typo that silently waives nothing.
+    Some(Finding {
+        path: path.to_string(),
+        line,
+        rule,
+        message,
+    })
+}
+
+/// Findings for malformed waivers: an unknown rule name is a typo that
+/// silently waives nothing.
+pub fn waiver_syntax_findings(path: &str, model: &FileModel, out: &mut Vec<Finding>) {
     for ws in model.waivers.values() {
         for w in ws {
             if !Rule::known_names().contains(&w.rule.as_str()) {
@@ -210,12 +340,59 @@ pub fn check_file(path: &str, model: &FileModel, rules: &RuleSet) -> Vec<Finding
             }
         }
     }
+}
+
+/// Runs every enabled per-file rule over one file and returns unwaived
+/// findings (plus waiver-syntax findings), recording consumed waivers
+/// in `used`.
+pub fn check_file_collect(
+    path: &str,
+    model: &FileModel,
+    rules: &RuleSet,
+    used: &mut Vec<UsedWaiver>,
+) -> Vec<Finding> {
+    let sites = collect_sites(model, rules);
+    check_sites(path, model, rules, &sites, used)
+}
+
+/// As [`check_file_collect`], but over pre-collected sites (the
+/// whole-program driver collects once and reuses them).
+pub fn check_sites(
+    path: &str,
+    model: &FileModel,
+    rules: &RuleSet,
+    sites: &[RawSite],
+    used: &mut Vec<UsedWaiver>,
+) -> Vec<Finding> {
+    let hot_ranges = hot_fn_ranges(model);
+    let mut out = Vec::new();
+    for s in sites {
+        if !site_enabled(s, rules, &hot_ranges) {
+            continue;
+        }
+        if let Some(f) = waiver_filter(
+            path,
+            model,
+            s.line,
+            &[s.rule.name()],
+            s.rule,
+            s.message.clone(),
+            used,
+        ) {
+            out.push(f);
+        }
+    }
+    waiver_syntax_findings(path, model, &mut out);
     out.sort_by_key(|a| (a.line, a.rule));
     out.dedup();
     out
 }
 
-type Raw = Vec<(usize, Rule, String)>;
+/// Runs every enabled rule over one file and returns unwaived findings
+/// (plus waiver-syntax findings).
+pub fn check_file(path: &str, model: &FileModel, rules: &RuleSet) -> Vec<Finding> {
+    check_file_collect(path, model, rules, &mut Vec::new())
+}
 
 /// True if tokens at `i..` match the `::`-separated ident path `parts`
 /// (e.g. `["Instant", "now"]` matches `Instant :: now`).
@@ -245,23 +422,26 @@ fn clock_rule(model: &FileModel, rules: &RuleSet, out: &mut Raw) {
             continue;
         }
         let hit = if path_at(toks, i, &["Instant", "now"]) {
-            Some("`Instant::now()` wall-clock read")
+            Some(("`Instant::now()`", "`Instant::now()` wall-clock read"))
         } else if toks[i].is_ident("SystemTime") {
-            Some("`SystemTime` wall-clock read")
+            Some(("`SystemTime`", "`SystemTime` wall-clock read"))
         } else if path_at(toks, i, &["std", "time"]) {
-            Some("`std::time` clock type in a determinism-critical crate")
+            Some((
+                "`std::time`",
+                "`std::time` clock type in a determinism-critical crate",
+            ))
         } else {
             None
         };
-        let Some(msg) = hit else { continue };
+        let Some((pat, msg)) = hit else { continue };
         let line = toks[i].line;
         let text = model.line_text(line);
-        if rules.clock_line_allow.iter().any(|pat| text.contains(pat)) {
+        if rules.clock_line_allow.iter().any(|p| text.contains(p)) {
             continue;
         }
         // `use std::time::Instant;` on an allowlisted file is implied by
         // its allowed call sites; elsewhere the import itself is banned.
-        out.push((line, Rule::Clock, msg.to_string()));
+        site(out, i, line, Rule::Clock, pat, msg.to_string());
     }
 }
 
@@ -272,13 +452,16 @@ fn spawn_rule(model: &FileModel, out: &mut Raw) {
             continue;
         }
         if path_at(toks, i, &["thread", "spawn"]) {
-            out.push((
+            site(
+                out,
+                i,
                 toks[i].line,
                 Rule::ThreadSpawn,
+                "`thread::spawn`",
                 "`thread::spawn` outside the worker pool breaks the \
                  deterministic sharding contract"
                     .to_string(),
-            ));
+            );
         }
     }
 }
@@ -299,37 +482,44 @@ fn map_iter_rule(model: &FileModel, out: &mut Raw) {
             && model.map_names.contains(&toks[i - 2].text)
             && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
         {
-            out.push((
+            site(
+                out,
+                i,
                 toks[i].line,
                 Rule::MapIter,
+                "hash-ordered iteration",
                 format!(
                     "iteration over hash-ordered `{}` (`.{}()`): order is \
                      not deterministic — use BTreeMap/BTreeSet or sort",
                     toks[i - 2].text,
                     toks[i].text
                 ),
-            ));
+            );
         }
         // `for … in [&][mut] path.to.name {`
         if toks[i].is_ident("for") {
-            if let Some((line, name)) = for_loop_over_map(model, i) {
-                out.push((
+            if let Some((tok, line, name)) = for_loop_over_map(model, i) {
+                site(
+                    out,
+                    tok,
                     line,
                     Rule::MapIter,
+                    "hash-ordered iteration",
                     format!(
                         "`for … in &{name}` iterates a hash-ordered map: \
                          order is not deterministic — use BTreeMap/BTreeSet \
                          or sort"
                     ),
-                ));
+                );
             }
         }
     }
 }
 
 /// If the `for` loop starting at token `i` iterates `&map` (a bare
-/// possibly-dotted path ending in a known map name), returns (line, name).
-fn for_loop_over_map(model: &FileModel, i: usize) -> Option<(usize, String)> {
+/// possibly-dotted path ending in a known map name), returns
+/// (token, line, name).
+fn for_loop_over_map(model: &FileModel, i: usize) -> Option<(usize, usize, String)> {
     let toks = &model.toks;
     // Find `in` before the loop body `{`.
     let mut j = i + 1;
@@ -347,18 +537,18 @@ fn for_loop_over_map(model: &FileModel, i: usize) -> Option<(usize, String)> {
     }
     // Accept only a plain path `a.b.c` up to the `{`: any call or other
     // punctuation means the iterated value is not the raw map.
-    let mut last_ident: Option<&Tok> = None;
+    let mut last_ident: Option<usize> = None;
     while k < toks.len() && !toks[k].is_punct('{') {
         match toks[k].kind {
-            TokKind::Ident => last_ident = Some(&toks[k]),
+            TokKind::Ident => last_ident = Some(k),
             TokKind::Punct if toks[k].is_punct('.') => {}
             _ => return None,
         }
         k += 1;
     }
     let last = last_ident?;
-    if model.map_names.contains(&last.text) {
-        Some((last.line, last.text.clone()))
+    if model.map_names.contains(&toks[last].text) {
+        Some((last, toks[last].line, toks[last].text.clone()))
     } else {
         None
     }
@@ -371,27 +561,33 @@ fn env_random_rule(model: &FileModel, out: &mut Raw) {
             continue;
         }
         if path_at(toks, i, &["env", "var"]) {
-            out.push((
+            site(
+                out,
+                i,
                 toks[i].line,
                 Rule::EnvRandom,
+                "`env::var`",
                 "`env::var` makes committed sim state depend on the \
                  environment"
                     .to_string(),
-            ));
+            );
         } else if toks[i].kind == TokKind::Ident
             && (toks[i].text.to_ascii_lowercase().contains("random")
                 || toks[i].text == "thread_rng")
             && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
         {
-            out.push((
+            site(
+                out,
+                i,
                 toks[i].line,
                 Rule::EnvRandom,
+                "OS randomness",
                 format!(
                     "`{}` call: nondeterministic randomness in committed \
                      sim state (seed a `SimRng` instead)",
                     toks[i].text
                 ),
-            ));
+            );
         }
     }
 }
@@ -410,34 +606,43 @@ fn panic_rule(model: &FileModel, out: &mut Raw) {
             && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
             && toks.get(i + 2).is_some_and(|p| p.is_punct(')'))
         {
-            out.push((
+            site(
+                out,
+                i,
                 t.line,
                 Rule::Panic,
+                "`.unwrap()`",
                 "`.unwrap()` in a hot path: propagate the error or handle \
                  the None case"
                     .to_string(),
-            ));
+            );
         }
         if i >= 1
             && t.is_ident("expect")
             && toks[i - 1].is_punct('.')
             && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
         {
-            out.push((
+            site(
+                out,
+                i,
                 t.line,
                 Rule::Panic,
+                "`.expect(…)`",
                 "`.expect(…)` in a hot path: propagate the error or handle \
                  the None case"
                     .to_string(),
-            ));
+            );
         }
         for mac in ["panic", "unreachable", "todo", "unimplemented"] {
             if t.is_ident(mac) && toks.get(i + 1).is_some_and(|p| p.is_punct('!')) {
-                out.push((
+                site(
+                    out,
+                    i,
                     t.line,
                     Rule::Panic,
+                    &format!("`{mac}!`"),
                     format!("`{mac}!` in a hot path: return an error instead"),
-                ));
+                );
             }
         }
     }
@@ -469,13 +674,16 @@ fn slice_index_rule(model: &FileModel, out: &mut Raw) {
         {
             continue;
         }
-        out.push((
+        site(
+            out,
+            i,
             toks[i].line,
             Rule::SliceIndex,
+            "`[…]` indexing",
             "`[…]` indexing can panic: use `.get(…)` or prove the bound \
              and waive"
                 .to_string(),
-        ));
+        );
     }
 }
 
@@ -484,7 +692,7 @@ fn slice_index_rule(model: &FileModel, out: &mut Raw) {
 fn is_keyword(s: &str) -> bool {
     matches!(
         s,
-        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "move" | "as"
+        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "move" | "as" | "let"
     )
 }
 
@@ -492,7 +700,7 @@ const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
 
 /// True if tokens at `i` form `. lock ( )` (no arguments) and `i` is the
 /// method name.
-fn lock_call_at(toks: &[Tok], i: usize) -> bool {
+pub(crate) fn lock_call_at(toks: &[Tok], i: usize) -> bool {
     i >= 1
         && toks[i].kind == TokKind::Ident
         && LOCK_METHODS.contains(&toks[i].text.as_str())
@@ -517,39 +725,6 @@ fn lock_rule(model: &FileModel, out: &mut Raw) {
     }
 }
 
-/// Token range of the `{…}` body of the fn whose `fn` keyword is at `i`
-/// (exclusive of the braces), or `None` for body-less declarations.
-fn fn_body(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
-    let mut j = i + 1;
-    // The body `{` is the first `{` outside the parameter parens /
-    // generic brackets; a `;` first means a trait method declaration.
-    let mut parens = 0i32;
-    while j < toks.len() {
-        if toks[j].is_punct('(') {
-            parens += 1;
-        } else if toks[j].is_punct(')') {
-            parens -= 1;
-        } else if parens == 0 && toks[j].is_punct(';') {
-            return None;
-        } else if parens == 0 && toks[j].is_punct('{') {
-            let mut braces = 1usize;
-            let start = j + 1;
-            let mut k = start;
-            while k < toks.len() && braces > 0 {
-                if toks[k].is_punct('{') {
-                    braces += 1;
-                } else if toks[k].is_punct('}') {
-                    braces -= 1;
-                }
-                k += 1;
-            }
-            return Some((start, k.saturating_sub(1)));
-        }
-        j += 1;
-    }
-    None
-}
-
 /// Scans one fn body: records guards from `let g = ….lock();` statements
 /// and flags any later lock call while a guard is live at an enclosing
 /// depth. `drop(g)` and scope exit release guards.
@@ -570,16 +745,19 @@ fn scan_fn_for_locks(model: &FileModel, start: usize, end: usize, out: &mut Raw)
         }
         if lock_call_at(toks, i) {
             if let Some((holder, _)) = guards.first() {
-                out.push((
+                site(
+                    out,
+                    i,
                     toks[i].line,
                     Rule::NestedLock,
+                    "nested lock",
                     format!(
                         "`.{}()` while guard `{holder}` is still live: \
                          nested locking risks deadlock under shard \
                          contention",
                         toks[i].text
                     ),
-                ));
+                );
             }
             // Does this call create a *held* guard? Only when the lock
             // call ends a `let <name> = …;` statement (possibly through
@@ -603,7 +781,7 @@ fn scan_fn_for_locks(model: &FileModel, start: usize, end: usize, out: &mut Raw)
 
 /// The `let [mut] <name>` binding of the statement containing token `i`,
 /// scanning back at most to `floor`.
-fn let_binding_name(toks: &[Tok], i: usize, floor: usize) -> Option<String> {
+pub(crate) fn let_binding_name(toks: &[Tok], i: usize, floor: usize) -> Option<String> {
     let mut k = i;
     while k > floor {
         k -= 1;
@@ -624,59 +802,52 @@ fn let_binding_name(toks: &[Tok], i: usize, floor: usize) -> Option<String> {
     None
 }
 
-/// Flags per-call allocations (`Vec::new`, `with_capacity`, `.collect`,
-/// `vec!`) inside the first fn following each `// lint: hot-path` marker
-/// comment. Hot-path fns must write into caller-owned scratch buffers.
-fn hot_path_alloc_rule(model: &FileModel, out: &mut Raw) {
+/// Collects per-call allocation sites (`Vec::new`, `with_capacity`,
+/// `.collect`, `vec!`) across the whole file. Per-file enforcement is
+/// scoped to `// lint: hot-path` fn bodies by [`site_enabled`]; the
+/// transitive pass consumes every site.
+fn alloc_rule(model: &FileModel, out: &mut Raw) {
     let toks = &model.toks;
-    for &marker in &model.hot_path_lines {
-        let Some(fn_idx) = toks
-            .iter()
-            .position(|t| t.line > marker && t.is_ident("fn"))
-        else {
+    for i in 0..toks.len() {
+        if model.in_test(i) {
             continue;
+        }
+        let t = &toks[i];
+        let hit = if path_at(toks, i, &["Vec", "new"]) {
+            Some("`Vec::new()`")
+        } else if t.is_ident("with_capacity")
+            && i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            Some("`with_capacity(…)`")
+        } else if t.is_ident("collect")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|p| p.is_punct('(') || p.is_punct(':'))
+        {
+            Some("`.collect()`")
+        } else if t.is_ident("vec") && toks.get(i + 1).is_some_and(|p| p.is_punct('!')) {
+            Some("`vec!`")
+        } else {
+            None
         };
-        let Some((start, end)) = fn_body(toks, fn_idx) else {
-            continue;
-        };
-        for i in start..end {
-            if model.in_test(i) {
-                continue;
-            }
-            let t = &toks[i];
-            let hit = if path_at(toks, i, &["Vec", "new"]) {
-                Some("`Vec::new()`")
-            } else if t.is_ident("with_capacity")
-                && i >= 2
-                && toks[i - 1].is_punct(':')
-                && toks[i - 2].is_punct(':')
-                && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
-            {
-                Some("`with_capacity(…)`")
-            } else if t.is_ident("collect")
-                && i >= 1
-                && toks[i - 1].is_punct('.')
-                && toks
-                    .get(i + 1)
-                    .is_some_and(|p| p.is_punct('(') || p.is_punct(':'))
-            {
-                Some("`.collect()`")
-            } else if t.is_ident("vec") && toks.get(i + 1).is_some_and(|p| p.is_punct('!')) {
-                Some("`vec!`")
-            } else {
-                None
-            };
-            if let Some(what) = hit {
-                out.push((
-                    t.line,
-                    Rule::HotPathAlloc,
-                    format!(
-                        "{what} inside a `lint: hot-path` fn: reuse a \
-                         cleared scratch buffer instead of allocating per \
-                         call"
-                    ),
-                ));
-            }
+        if let Some(what) = hit {
+            site(
+                out,
+                i,
+                t.line,
+                Rule::HotPathAlloc,
+                what,
+                format!(
+                    "{what} inside a `lint: hot-path` fn: reuse a \
+                     cleared scratch buffer instead of allocating per \
+                     call"
+                ),
+            );
         }
     }
 }
@@ -698,16 +869,19 @@ fn metric_rule(model: &FileModel, out: &mut Raw) {
                 // Literal name: fine. Empty call (`registry.counter()`)
                 // is someone else's API: skip.
                 Some(t) if t.kind == TokKind::Str || t.is_punct(')') => {}
-                Some(t) => out.push((
+                Some(t) => site(
+                    out,
+                    i + 2,
                     t.line,
                     Rule::MetricName,
+                    "dynamic metric name",
                     format!(
                         "metric name passed to `.{}(…)` must be a string \
                          literal (dynamic names create unbounded \
                          cardinality)",
                         toks[i].text
                     ),
-                )),
+                ),
                 None => {}
             }
         }

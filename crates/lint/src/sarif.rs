@@ -1,0 +1,110 @@
+//! SARIF 2.1.0 rendering for GitHub code scanning, hand-rolled like the
+//! JSON renderer (the linter takes no dependencies).
+
+use crate::rules::{Finding, Rule};
+
+fn json_str(s: &str) -> String {
+    crate::json_str(s)
+}
+
+/// Renders findings as a minimal SARIF 2.1.0 log: one run, one driver,
+/// a rule catalog covering every rule that appears, and one result per
+/// finding with its `path:line` location.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    // Rule catalog: every known rule, stable order, so rule indexes are
+    // reproducible run to run.
+    let all_rules: Vec<Rule> = vec![
+        Rule::Clock,
+        Rule::ThreadSpawn,
+        Rule::MapIter,
+        Rule::EnvRandom,
+        Rule::Panic,
+        Rule::SliceIndex,
+        Rule::NestedLock,
+        Rule::MetricName,
+        Rule::HotPathAlloc,
+        Rule::TransitiveAlloc,
+        Rule::PanicReach,
+        Rule::DeterminismTaint,
+        Rule::LockCycle,
+        Rule::Waiver,
+    ];
+    let mut rules_json = String::new();
+    for (i, r) in all_rules.iter().enumerate() {
+        if i > 0 {
+            rules_json.push(',');
+        }
+        rules_json.push_str(&format!(
+            "\n        {{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            json_str(r.name()),
+            json_str(r.description())
+        ));
+    }
+
+    let mut results = String::new();
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        let rule_index = all_rules
+            .iter()
+            .position(|r| *r == f.rule)
+            .unwrap_or(all_rules.len() - 1);
+        results.push_str(&format!(
+            "\n        {{\"ruleId\":{},\"ruleIndex\":{rule_index},\"level\":\"error\",\
+             \"message\":{{\"text\":{}}},\"locations\":[{{\"physicalLocation\":\
+             {{\"artifactLocation\":{{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            json_str(f.rule.name()),
+            json_str(&f.message),
+            json_str(&f.path),
+            f.line.max(1)
+        ));
+    }
+
+    format!(
+        "{{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n      \"tool\": {{\n        \"driver\": {{\n          \
+         \"name\": \"cpi2-lint\",\n          \"informationUri\": \"https://github.com/example/cpi2\",\n          \
+         \"rules\": [{rules_json}\n      ]\n        }}\n      }},\n      \"results\": [{results}\n      ]\n    }}\n  ]\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let f = Finding {
+            path: "crates/sim/src/machine.rs".into(),
+            line: 12,
+            rule: Rule::PanicReach,
+            message: "`.unwrap()` panic site reachable: a.rs:1 → b.rs:2".into(),
+        };
+        let s = render_sarif(std::slice::from_ref(&f));
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\":\"panic-reach\""));
+        assert!(s.contains("\"startLine\":12"));
+        assert!(s.contains("crates/sim/src/machine.rs"));
+    }
+
+    #[test]
+    fn empty_findings_is_valid_sarif_with_catalog() {
+        let s = render_sarif(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+        assert!(s.contains("\"id\":\"lock-cycle\""));
+    }
+
+    #[test]
+    fn messages_with_quotes_and_backslashes_escape() {
+        let f = Finding {
+            path: "a\\b.rs".into(),
+            line: 1,
+            rule: Rule::Panic,
+            message: "say \"hi\"\u{1}".into(),
+        };
+        let s = render_sarif(&[f]);
+        assert!(s.contains(r#"a\\b.rs"#));
+        assert!(s.contains(r#"say \"hi\"\u0001"#), "{s}");
+    }
+}

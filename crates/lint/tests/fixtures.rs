@@ -3,12 +3,29 @@
 //! in the lexer or a rule pass is caught here, not by a silently-green
 //! workspace gate.
 
-use cpi2_lint::{lint_source, ruleset_for, Finding, Rule, RuleSet};
+use cpi2_lint::{
+    analyze_file, lint_program, lint_source, ruleset_for, EntrySpec, Finding, ProgramConfig, Rule,
+    RuleSet,
+};
+
+fn fixture_src(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{}.rs", env!("CARGO_MANIFEST_DIR"), name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
 
 fn lint_fixture_with(name: &str, rules: &RuleSet) -> Vec<Finding> {
-    let path = format!("{}/tests/fixtures/{}.rs", env!("CARGO_MANIFEST_DIR"), name);
-    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    lint_source(&format!("{name}.rs"), &src, rules)
+    lint_source(&format!("{name}.rs"), &fixture_src(name), rules)
+}
+
+/// Runs a fixture through the whole-program passes with per-file rules
+/// off, so any finding is the interprocedural analysis speaking.
+fn lint_program_fixture(name: &str, config: &ProgramConfig) -> Vec<Finding> {
+    let file = analyze_file(
+        &format!("{name}.rs"),
+        &fixture_src(name),
+        RuleSet::default(),
+    );
+    lint_program(&[file], config)
 }
 
 fn lint_fixture(name: &str) -> Vec<Finding> {
@@ -109,6 +126,85 @@ fn serve_scope_fixture_pair() {
     assert!(
         clean.is_empty(),
         "serve_scope_clean.rs must be clean, got:\n{clean:#?}"
+    );
+}
+
+/// Asserts the bad fixture fires `rule` with a multi-hop call path
+/// (`file:line → file:line`) in its message and the clean twin is
+/// silent under the same whole-program config.
+fn assert_program_pair(rule: Rule, config: &ProgramConfig) {
+    let slug = rule.name().replace('-', "_");
+    let bad_name = format!("{slug}_bad");
+    let bad = lint_program_fixture(&bad_name, config);
+    let hit = bad
+        .iter()
+        .find(|f| f.rule == rule)
+        .unwrap_or_else(|| panic!("{bad_name}.rs: expected a `{rule}` finding:\n{bad:#?}"));
+    assert!(
+        hit.message.contains(" → "),
+        "{bad_name}.rs: pass findings must print the call path:\n{}",
+        hit.message
+    );
+    // Every hop is a `file:line` reference into the fixture.
+    let hops = hit
+        .message
+        .split(" → ")
+        .filter(|h| h.contains(&format!("{bad_name}.rs:")))
+        .count();
+    assert!(
+        hops >= 2,
+        "{bad_name}.rs: expected ≥2 `file:line` hops, message:\n{}",
+        hit.message
+    );
+    let clean = lint_program_fixture(&format!("{slug}_clean"), config);
+    assert!(
+        clean.is_empty(),
+        "{slug}_clean.rs must be clean, got:\n{clean:#?}"
+    );
+}
+
+#[test]
+fn transitive_alloc_fixture_pair() {
+    // Hot-path entries come from `// lint: hot-path` markers; no config.
+    assert_program_pair(Rule::TransitiveAlloc, &ProgramConfig::default());
+}
+
+#[test]
+fn panic_reach_fixture_pair() {
+    let config = ProgramConfig {
+        panic_entries: vec![EntrySpec::new("", Some("Agent"), "ingest")],
+        ..ProgramConfig::default()
+    };
+    assert_program_pair(Rule::PanicReach, &config);
+}
+
+#[test]
+fn determinism_taint_fixture_pair() {
+    let config = ProgramConfig {
+        determinism_entries: vec![EntrySpec::new("", Some("Cluster"), "step")],
+        ..ProgramConfig::default()
+    };
+    assert_program_pair(Rule::DeterminismTaint, &config);
+}
+
+#[test]
+fn lock_cycle_fixture_pair() {
+    assert_program_pair(Rule::LockCycle, &ProgramConfig::default());
+}
+
+#[test]
+fn determinism_taint_respects_sinks() {
+    // The same tainted fixture is silent when its file sits under a
+    // configured observational sink prefix.
+    let config = ProgramConfig {
+        determinism_entries: vec![EntrySpec::new("", Some("Cluster"), "step")],
+        determinism_sinks: vec!["determinism_taint_bad.rs".to_string()],
+        ..ProgramConfig::default()
+    };
+    let findings = lint_program_fixture("determinism_taint_bad", &config);
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::DeterminismTaint),
+        "sink prefixes must stop taint traversal:\n{findings:#?}"
     );
 }
 

@@ -1,0 +1,24 @@
+// A hash-ordered iteration one hop below `Cluster::step`: per-file
+// determinism rules are off in this fixture's scope, so only the
+// whole-program taint pass can catch it.
+
+use std::collections::HashMap;
+
+pub struct Cluster {
+    weights: HashMap<String, f64>,
+}
+
+impl Cluster {
+    pub fn step(&mut self) -> f64 {
+        self.total_weight()
+    }
+
+    fn total_weight(&self) -> f64 {
+        let mut sum = 0.0;
+        // Iteration order feeds float accumulation: order-dependent.
+        for (_job, w) in self.weights.iter() {
+            sum += w;
+        }
+        sum
+    }
+}

@@ -1,0 +1,22 @@
+// Clean twin of determinism_taint_bad.rs: a BTreeMap iterates in key
+// order, so the float accumulation below `Cluster::step` is stable.
+
+use std::collections::BTreeMap;
+
+pub struct Cluster {
+    weights: BTreeMap<String, f64>,
+}
+
+impl Cluster {
+    pub fn step(&mut self) -> f64 {
+        self.total_weight()
+    }
+
+    fn total_weight(&self) -> f64 {
+        let mut sum = 0.0;
+        for (_job, w) in self.weights.iter() {
+            sum += w;
+        }
+        sum
+    }
+}

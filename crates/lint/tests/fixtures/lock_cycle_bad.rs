@@ -1,0 +1,26 @@
+// A lock-order cycle split across functions: `publish` nests
+// books → index directly, while `reindex` holds index and calls into
+// `flush`, which takes books — index → books through the call graph.
+// Neither function is wrong in isolation; only the whole-program
+// lock-order graph sees the deadlock.
+
+pub struct Store {
+    books: Mutex<u64>,
+    index: Mutex<u64>,
+}
+
+impl Store {
+    pub fn publish(&self) {
+        let _books = self.books.lock();
+        let _index = self.index.lock();
+    }
+
+    pub fn reindex(&self) {
+        let _index = self.index.lock();
+        self.flush();
+    }
+
+    fn flush(&self) {
+        let _books = self.books.lock();
+    }
+}

@@ -1,0 +1,24 @@
+// Clean twin of lock_cycle_bad.rs: every path acquires books before
+// index, so the lock-order graph is acyclic (nesting alone is fine for
+// this pass; ordering is what deadlocks).
+
+pub struct Store {
+    books: Mutex<u64>,
+    index: Mutex<u64>,
+}
+
+impl Store {
+    pub fn publish(&self) {
+        let _books = self.books.lock();
+        let _index = self.index.lock();
+    }
+
+    pub fn reindex(&self) {
+        let _books = self.books.lock();
+        self.refresh();
+    }
+
+    fn refresh(&self) {
+        let _index = self.index.lock();
+    }
+}

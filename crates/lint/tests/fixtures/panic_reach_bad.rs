@@ -1,0 +1,22 @@
+// A panic site two hops below an entry point: per-file panic rules are
+// off in this fixture's scope, so only the whole-program reachability
+// pass can catch it — and it must print the offending call path.
+
+pub struct Agent {
+    last: Option<u64>,
+}
+
+impl Agent {
+    pub fn ingest(&mut self, x: Option<u64>) -> u64 {
+        self.last = x;
+        decode(x)
+    }
+}
+
+fn decode(x: Option<u64>) -> u64 {
+    finishing_move(x)
+}
+
+fn finishing_move(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -1,0 +1,21 @@
+// Clean twin of panic_reach_bad.rs: the helper chain degrades gracefully
+// instead of unwrapping.
+
+pub struct Agent {
+    last: Option<u64>,
+}
+
+impl Agent {
+    pub fn ingest(&mut self, x: Option<u64>) -> u64 {
+        self.last = x;
+        decode(x)
+    }
+}
+
+fn decode(x: Option<u64>) -> u64 {
+    finishing_move(x)
+}
+
+fn finishing_move(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,21 @@
+// A hot-path fn whose helper's helper allocates: the per-file rule sees
+// nothing (the allocation is two hops away), the transitive pass must
+// report it with the full call path.
+
+// lint: hot-path
+pub fn tick(xs: &mut Vec<u64>) {
+    accumulate(xs);
+}
+
+fn accumulate(xs: &mut Vec<u64>) {
+    let extra = build_scratch();
+    for v in extra {
+        xs.push(v);
+    }
+}
+
+fn build_scratch() -> Vec<u64> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

@@ -1,0 +1,15 @@
+// Clean twin of transitive_alloc_bad.rs: the helper chain writes into a
+// caller-owned scratch buffer instead of allocating per call.
+
+// lint: hot-path
+pub fn tick(xs: &mut Vec<u64>) {
+    accumulate(xs);
+}
+
+fn accumulate(xs: &mut Vec<u64>) {
+    fill_scratch(xs);
+}
+
+fn fill_scratch(out: &mut Vec<u64>) {
+    out.push(1);
+}

@@ -326,27 +326,34 @@ impl Machine {
         let _summary =
             interference::compute_into(&self.platform, loads, &self.params, effects, compute);
 
-        // 4. Account counters and let models observe.
+        // 4. Account counters and let models observe. The scratch vectors
+        //    are parallel to `tasks` (one push per task above), so lockstep
+        //    zips replace index arithmetic — no panicking `[…]` anywhere.
         let first_exit = exits.len();
-        for (i, t) in self.tasks.iter_mut().enumerate() {
-            let g = granted[i];
+        let rows = self
+            .tasks
+            .iter_mut()
+            .zip(granted.iter())
+            .zip(capped.iter().zip(wants.iter()))
+            .zip(loads.iter().zip(effects.iter()));
+        for (((t, &g), (&was_capped, &want)), (load, effect)) in rows {
             // Starvation: the task wanted meaningful CPU, was not capped,
             // yet machine pressure squeezed it to a trickle.
-            if !capped[i] && wants[i] > 0.25 && g < 0.1 * wants[i] {
+            if !was_capped && want > 0.25 && g < 0.1 * want {
                 t.starved_ticks += 1;
             } else {
                 t.starved_ticks = 0;
             }
-            let profile = loads[i].profile;
+            let profile = load.profile;
             let noise = if profile.cpi_noise > 0.0 {
                 self.rng.lognormal(0.0, profile.cpi_noise)
             } else {
                 1.0
             };
-            let cpi = effects[i].cpi * noise;
+            let cpi = effect.cpi * noise;
             let cycles = g * self.platform.clock_hz * dt_sec;
             let instructions = if cpi > 0.0 { cycles / cpi } else { 0.0 };
-            let l3 = instructions * effects[i].mpki / 1000.0;
+            let l3 = instructions * effect.mpki / 1000.0;
             let block = CounterBlock {
                 cycles,
                 instructions,
@@ -362,7 +369,7 @@ impl Machine {
             t.cgroup.charge(&block);
             let outcome = TickOutcome {
                 cpu_granted: g,
-                capped: capped[i],
+                capped: was_capped,
                 cpi,
                 instructions,
                 l3_misses: l3,
@@ -372,7 +379,7 @@ impl Machine {
                 exits.push(TaskExit {
                     id: t.id,
                     at: now + dt,
-                    capped: capped[i],
+                    capped: was_capped,
                 });
             }
         }

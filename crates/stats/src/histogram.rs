@@ -47,8 +47,10 @@ impl Histogram {
             return;
         }
         let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
-        let idx = idx.min(self.counts.len() - 1);
-        self.counts[idx] += 1;
+        let idx = idx.min(self.counts.len().saturating_sub(1));
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
     }
 
     /// Number of bins.

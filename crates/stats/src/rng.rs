@@ -61,16 +61,18 @@ impl SimRng {
     /// Next raw 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let r = (self.s[0].wrapping_add(self.s[3]))
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+        // Destructuring the state array keeps the xoshiro mix free of
+        // `[…]` indexing (panic-freedom is machine-checked here: this fn
+        // is reachable from `Machine::tick`).
+        let [s0, s1, s2, s3] = &mut self.s;
+        let r = (s0.wrapping_add(*s3)).rotate_left(23).wrapping_add(*s0);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
         r
     }
 

@@ -60,8 +60,10 @@ impl TimeSeries {
     pub fn window(&self, start: i64, end: i64) -> TimeSeries {
         let lo = self.points.partition_point(|&(t, _)| t < start);
         let hi = self.points.partition_point(|&(t, _)| t < end);
+        // `lo > hi` only when `start > end`; an empty window is the sane
+        // answer there, not a slice panic.
         TimeSeries {
-            points: self.points[lo..hi].to_vec(),
+            points: self.points.get(lo..hi).unwrap_or(&[]).to_vec(),
         }
     }
 
@@ -77,20 +79,24 @@ impl TimeSeries {
     /// Each point matches at most one point of the other series (nearest
     /// neighbour, two-pointer sweep).
     pub fn align(&self, other: &TimeSeries, tolerance_us: i64) -> Vec<(f64, f64)> {
-        if other.points.is_empty() {
+        let Some(mut cur) = other.points.first().copied() else {
             return Vec::new();
-        }
+        };
         let mut out = Vec::new();
         let mut j = 0usize;
         for &(t, v) in &self.points {
-            // Advance j to the nearest candidate (both series are sorted,
-            // so the nearest index is non-decreasing in t).
-            while j + 1 < other.points.len()
-                && (other.points[j + 1].0 - t).abs() <= (other.points[j].0 - t).abs()
-            {
-                j += 1;
+            // Advance to the nearest candidate (both series are sorted,
+            // so the nearest index is non-decreasing in t). Tracking the
+            // current point by value keeps the sweep index-free.
+            while let Some(&next) = other.points.get(j + 1) {
+                if (next.0 - t).abs() <= (cur.0 - t).abs() {
+                    j += 1;
+                    cur = next;
+                } else {
+                    break;
+                }
             }
-            let (ot, ov) = other.points[j];
+            let (ot, ov) = cur;
             if (ot - t).abs() <= tolerance_us {
                 out.push((v, ov));
             }

@@ -86,7 +86,11 @@ pub(crate) fn bucket_edges(i: usize) -> (f64, f64) {
 
 impl HistoCell {
     pub(crate) fn record(&self, v: f64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // `bucket_index` clamps to the last bucket, but prove it locally:
+        // a histogram write must never be able to panic an agent tick.
+        if let Some(b) = self.buckets.get(bucket_index(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         let add = if v.is_finite() { v } else { 0.0 };
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
