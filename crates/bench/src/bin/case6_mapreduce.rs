@@ -53,7 +53,7 @@ fn main() {
             .cluster
             .machine(sc.machine)
             .and_then(|m| m.task(sc.antagonist))
-            .and_then(|t| t.last_outcome())
+            .and_then(|t| t.task().last_outcome())
             .map(|o| o.cpu_granted < 0.2)
             .unwrap_or(false);
         if idle_now {
@@ -81,7 +81,7 @@ fn main() {
             .cluster
             .machine(sc.machine)
             .and_then(|m| m.task(sc.antagonist))
-            .and_then(|t| t.last_outcome())
+            .and_then(|t| t.task().last_outcome())
             .map(|o| o.cpu_granted > 2.0)
             .unwrap_or(false);
         if busy {

@@ -17,6 +17,14 @@
 //! verifying the two runs produced bit-identical traces. This doubles as
 //! the CI smoke job.
 //!
+//! With `--sample-budget B` the binary switches to the statistical fleet
+//! mode (DESIGN.md §12): instead of simulating every machine, the seeded
+//! fleet is stratified by platform × load band × tenancy, `B` machine
+//! cells are simulated via the two-phase (pilot → Neyman) allocator, and
+//! fleet incident/throttle/cap totals are extrapolated with
+//! finite-population-corrected 95% confidence intervals. See
+//! `sampled_fleet` for the JSON-emitting, perf-gated variant.
+//!
 //! With `--telemetry <path|->` the run reports fleet-wide metrics into
 //! the `cpi2-telemetry` registry: periodic JSON snapshots during the
 //! measured day, and a final Prometheus text dump framed by
@@ -45,8 +53,8 @@
 //!
 //! Run: `cargo run -p cpi2-bench --release --bin fleet_rate -- \
 //!           [--machines N] [--parallelism P] [--seconds S] \
-//!           [--seed SEED] [--faults PROFILE] [--identifier KIND] \
-//!           [--telemetry PATH|-] [--serve ADDR]`
+//!           [--sample-budget B] [--seed SEED] [--faults PROFILE] \
+//!           [--identifier KIND] [--telemetry PATH|-] [--serve ADDR]`
 //! (a bare positional `N` still sets the machine count, as before).
 
 use cpi2::core::{Cpi2Config, IdentifierKind};
@@ -59,6 +67,7 @@ use cpi2::telemetry::Telemetry;
 use cpi2::workloads::{self, TraceJob};
 use cpi2_bench::args::Args;
 use cpi2_bench::plot;
+use cpi2_bench::sampling::{run_sampled, simulate_cell, FleetModel, SamplingConfig, METRIC_NAMES};
 use cpi2_serve::{ServeHarness, ServerConfig};
 use cpi2_stats::rng::SimRng;
 use std::time::Instant;
@@ -74,6 +83,10 @@ MODES:
                        machine-day against the paper's 0.37
     --seconds S        raw throughput: advance the fleet S simulated seconds
                        serially and sharded, assert bit-identical traces
+    --sample-budget B  statistical mode (DESIGN.md §12): stratify the
+                       --machines fleet, simulate only B cells via two-phase
+                       (pilot -> Neyman) allocation, report fleet totals
+                       with finite-population-corrected 95% CIs
 
 FLAGS:
     --machines N       fleet size (default 150; bare positional N also works)
@@ -284,6 +297,66 @@ fn throughput_mode(
     }
 }
 
+/// `--sample-budget` mode: fleet figures without simulating the fleet.
+/// Stratifies the seeded fleet description by platform x load band x
+/// tenancy, spends `budget` cell simulations via the two-phase (pilot ->
+/// Neyman) allocator, and extrapolates fleet totals with
+/// finite-population-corrected 95% CIs (DESIGN.md §12). The per-cell
+/// windows match `sampled_fleet`'s defaults (1 h warm-up + 2 h measured).
+fn sampled_mode(machines: u32, budget: u32, seed: u64) {
+    let model = FleetModel::new(machines, seed);
+    let cfg = SamplingConfig::with_budget(budget);
+    println!(
+        "fleet_rate statistical mode: {machines} machines, budget {budget} cells, seed {seed:#x}"
+    );
+    let start = Instant::now();
+    let result = run_sampled(&model, &cfg, &mut |idx| simulate_cell(&model, idx));
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    let plan_rows: Vec<Vec<String>> = result
+        .plan
+        .iter()
+        .map(|p| {
+            vec![
+                p.key.label(),
+                format!("{}", p.population),
+                format!("{}", p.pilot),
+                format!("{}", p.sampled),
+            ]
+        })
+        .collect();
+    plot::print_table(
+        "Two-phase allocation (pilot -> Neyman)",
+        &["stratum", "N_h", "pilot", "sampled"],
+        &plan_rows,
+    );
+
+    let est_rows: Vec<Vec<String>> = METRIC_NAMES
+        .iter()
+        .zip(result.estimator.all_estimates().iter())
+        .map(|(name, e)| {
+            vec![
+                (*name).to_string(),
+                format!("{:.1}", e.total),
+                format!("[{:.1}, {:.1}]", e.total_lo, e.total_hi),
+                format!("{:.4}", e.mean),
+            ]
+        })
+        .collect();
+    plot::print_table(
+        "Fleet estimates (95% CI, finite-population corrected)",
+        &["metric", "fleet total", "95% CI", "per-machine mean"],
+        &est_rows,
+    );
+
+    let cells = result.estimator.cells_sampled();
+    let effective = machines as f64 * model.ticks_per_cell() as f64 / wall;
+    println!(
+        "\nfleet_rate sampled OK ({cells} cells for a {machines}-machine fleet in {wall:.2} s, \
+         {effective:.0} effective fleet machine-ticks/s)"
+    );
+}
+
 /// Day-mode driver: the same fleet day, bare or resident behind the
 /// observability plane. Both paths tick the identical harness, so the
 /// reported numbers don't depend on which one ran.
@@ -346,6 +419,12 @@ fn main() {
     } else {
         Telemetry::disabled()
     };
+
+    if let Some(budget) = args.value("--sample-budget") {
+        let budget: u32 = budget.parse().expect("--sample-budget takes an integer");
+        sampled_mode(machines, budget, seed);
+        return;
+    }
 
     if let Some(seconds) = args.value("--seconds") {
         let seconds: i64 = seconds.parse().expect("--seconds takes an integer");

@@ -10,6 +10,10 @@
 //!    with every shard dirty (fresh sample load) and for the incremental
 //!    refresh immediately after, when every shard is clean and served
 //!    from its cached roll.
+//! 3. **Sampled-mode throughput** — machine-ticks/sec through the
+//!    statistical fleet mode's cell simulations (stratifier + two-phase
+//!    allocator + per-cell sim, DESIGN.md §12). Gated only when the
+//!    baseline file records `sampled_ticks_per_sec`.
 //!
 //! Results are written to `--out` (default `BENCH_5.json`). With
 //! `--baseline <file>` the run compares its throughput against the
@@ -28,6 +32,7 @@ use cpi2::sim::{Cluster, ClusterConfig, JobSpec, Platform, SimDuration};
 use cpi2::telemetry::Telemetry;
 use cpi2::workloads;
 use cpi2_bench::args::Args;
+use cpi2_bench::sampling::{run_sampled, simulate_cell, FleetModel, SamplingConfig};
 use cpi2_core::{CpiSample, TaskClass, TaskHandle};
 use std::time::Instant;
 
@@ -152,6 +157,29 @@ fn measure_refresh(repeat: u32) -> (u64, u64, usize, u64) {
     (dirty_best, clean_best, specs, skipped)
 }
 
+/// Statistical-fleet-mode throughput: raw machine-ticks/sec simulating
+/// the cells of a two-phase stratified sample (best of `repeat`). A
+/// small fleet with short windows — the gate watches the sampled hot
+/// path (stratifier, allocator, per-cell sim), not the statistics.
+fn measure_sampled(repeat: u32) -> f64 {
+    let model = FleetModel {
+        machines: 10_000,
+        seed: 0x5AFE,
+        warmup: SimDuration::from_mins(5),
+        measure: SimDuration::from_mins(10),
+    };
+    let cfg = SamplingConfig::with_budget(24);
+    let mut best = 0.0f64;
+    for _ in 0..repeat.max(1) {
+        let start = Instant::now();
+        let result = run_sampled(&model, &cfg, &mut |idx| simulate_cell(&model, idx));
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        let ticks = u64::from(result.estimator.cells_sampled()) * model.ticks_per_cell();
+        best = best.max(ticks as f64 / wall);
+    }
+    best
+}
+
 /// Pulls `"key": <number>` out of a flat JSON object (hand-rolled: the
 /// gate must not trust a vendored parser with its own gate inputs).
 fn json_f64(text: &str, key: &str) -> Option<f64> {
@@ -181,8 +209,11 @@ fn main() {
     let (dirty_us, clean_us, specs, skipped) = measure_refresh(repeat);
     println!("  spec refresh: dirty {dirty_us} us, clean {clean_us} us ({specs} specs, {skipped} shards cache-served)");
 
+    let sampled_ticks_per_sec = measure_sampled(repeat);
+    println!("  sampled-mode machine-ticks/sec (cell sims): {sampled_ticks_per_sec:.0}");
+
     let json = format!(
-        "{{\n  \"bench\": \"perf_gate\",\n  \"machines\": {machines},\n  \"seconds\": {seconds},\n  \"seed\": {seed},\n  \"repeat\": {repeat},\n  \"machine_ticks_per_sec\": {ticks_per_sec:.0},\n  \"spec_refresh_dirty_us\": {dirty_us},\n  \"spec_refresh_clean_us\": {clean_us},\n  \"specs_published\": {specs},\n  \"shards_cache_served\": {skipped}\n}}\n"
+        "{{\n  \"bench\": \"perf_gate\",\n  \"machines\": {machines},\n  \"seconds\": {seconds},\n  \"seed\": {seed},\n  \"repeat\": {repeat},\n  \"machine_ticks_per_sec\": {ticks_per_sec:.0},\n  \"sampled_ticks_per_sec\": {sampled_ticks_per_sec:.0},\n  \"spec_refresh_dirty_us\": {dirty_us},\n  \"spec_refresh_clean_us\": {clean_us},\n  \"specs_published\": {specs},\n  \"shards_cache_served\": {skipped}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write results");
     println!("  wrote {out_path}");
@@ -204,6 +235,19 @@ fn main() {
                 max_regress * 100.0
             );
             std::process::exit(1);
+        }
+        // The sampled-mode gate only arms once the baseline records the
+        // key — older committed baselines stay valid untouched.
+        if let Some(base_sampled) = json_f64(&base_text, "sampled_ticks_per_sec") {
+            let sampled_floor = base_sampled * (1.0 - max_regress);
+            println!("  sampled baseline {base_sampled:.0} ticks/sec, floor {sampled_floor:.0}");
+            if sampled_ticks_per_sec < sampled_floor {
+                eprintln!(
+                    "perf_gate FAIL: sampled mode {sampled_ticks_per_sec:.0} ticks/sec is \
+                     below the {sampled_floor:.0} floor"
+                );
+                std::process::exit(1);
+            }
         }
         println!(
             "perf_gate OK (within {:.0}% of baseline)",

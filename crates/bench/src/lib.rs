@@ -17,6 +17,7 @@ pub mod args;
 pub mod metrics;
 pub mod plot;
 pub mod probe;
+pub mod sampling;
 pub mod scenario;
 pub mod svg;
 pub mod trials;

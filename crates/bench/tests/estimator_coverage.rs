@@ -1,0 +1,185 @@
+//! Estimator ground truth: the sampled fleet's 95% CIs must actually
+//! cover the exhaustive answer, and must tighten as the budget grows.
+//!
+//! The whole statistical fleet mode (DESIGN.md §12) stands on two claims:
+//!
+//! 1. **Coverage** — run the same fleet exhaustively and sampled (several
+//!    budgets × seeds); the true fleet incident count / throttle total
+//!    must fall inside the sampled 95% CI at roughly the nominal rate.
+//!    Small strata get z-interval (not t) CIs and counts are discrete, so
+//!    a binomial tolerance below 95% is applied, not exact nominal.
+//! 2. **Shrink** — CI width must fall roughly like 1/√n with the budget
+//!    (finite-population correction makes it shrink *faster* as the
+//!    sample approaches a census).
+//!
+//! Every machine of a fleet is an independent cell, deterministic in
+//! `(seed, index)`, so the exhaustive run and every sampled run share one
+//! simulation per machine through a cache — the suite simulates each cell
+//! exactly once, making exhaustive-vs-many-budgets comparisons cheap.
+
+use cpi2_bench::sampling::{
+    exhaustive_totals, run_sampled, simulate_cell, CellMetrics, FleetModel, SamplingConfig,
+};
+use cpi2_sim::SimDuration;
+use std::collections::BTreeMap;
+
+/// Short per-cell windows keep the debug-build suite fast; the cells
+/// still learn specs (600 samples/task in warm-up) and see their
+/// antagonists (arrival ≤ 5 min into the 20-min measured window).
+fn model(machines: u32, seed: u64) -> FleetModel {
+    FleetModel {
+        machines,
+        seed,
+        warmup: SimDuration::from_mins(10),
+        measure: SimDuration::from_mins(20),
+    }
+}
+
+/// Cache-backed cell metrics: each machine index simulates once per
+/// fleet, shared by the exhaustive pass and every sampled budget (valid
+/// because cells are independent and per-index deterministic).
+fn cached<'a>(
+    m: &'a FleetModel,
+    cache: &'a mut BTreeMap<u32, CellMetrics>,
+) -> impl FnMut(u32) -> CellMetrics + 'a {
+    move |idx| *cache.entry(idx).or_insert_with(|| simulate_cell(m, idx))
+}
+
+/// Metrics whose fleet totals the coverage checks target.
+const TARGET_METRICS: [usize; 3] = [0, 1, 2]; // incidents, identifications, throttles
+
+struct CaseResult {
+    /// (covered?, metric, budget) per check.
+    checks: Vec<(bool, usize, u32)>,
+    /// (budget, mean CI width over target metrics, relative to totals).
+    widths: Vec<(u32, f64)>,
+}
+
+/// Runs one fleet at several budgets against its exhaustive truth.
+fn run_case(machines: u32, seed: u64, budgets: &[u32]) -> CaseResult {
+    let m = model(machines, seed);
+    let mut cache = BTreeMap::new();
+    let truth = exhaustive_totals(&m, &mut cached(&m, &mut cache));
+
+    let mut checks = Vec::new();
+    let mut widths = Vec::new();
+    for &budget in budgets {
+        let sampled = run_sampled(
+            &m,
+            &SamplingConfig::with_budget(budget),
+            &mut cached(&m, &mut cache),
+        );
+        assert!(
+            sampled.estimator.cells_sampled() <= budget,
+            "fleet {machines} seed {seed}: sampled {} cells over budget {budget}",
+            sampled.estimator.cells_sampled()
+        );
+        let mut width_sum = 0.0;
+        let mut width_n = 0u32;
+        for &metric in &TARGET_METRICS {
+            let est = sampled.estimator.estimate(metric);
+            let t = truth.for_metric(metric, machines);
+            assert!(
+                est.total.is_finite() && est.total_lo.is_finite() && est.total_hi.is_finite(),
+                "fleet {machines} seed {seed} budget {budget}: non-finite estimate"
+            );
+            checks.push((est.covers(t), metric, budget));
+            // Normalize width by the truth scale so metrics average
+            // sensibly (skip all-zero metrics).
+            if t > 0.0 {
+                width_sum += est.total_width() / t;
+                width_n += 1;
+            }
+        }
+        if width_n > 0 {
+            widths.push((budget, width_sum / f64::from(width_n)));
+        }
+    }
+    CaseResult { checks, widths }
+}
+
+#[test]
+fn sampled_cis_cover_exhaustive_truth_across_seeds_and_budgets() {
+    // Fleets of 200–800 machines: three seeds at 200, one each at 400 and
+    // 800, several budgets each. ~1800 cells total, each simulated once.
+    let mut all = Vec::new();
+    let mut shrink_checked = 0;
+    for (machines, seed, budgets) in [
+        (200u32, 11u64, &[40u32, 80, 160][..]),
+        (200, 12, &[40, 80, 160]),
+        (200, 13, &[40, 80, 160]),
+        (400, 11, &[60, 120, 240]),
+        (800, 21, &[80, 160, 320]),
+    ] {
+        let case = run_case(machines, seed, budgets);
+        all.extend(
+            case.checks
+                .iter()
+                .map(|&(c, m, b)| (machines, seed, c, m, b)),
+        );
+
+        // CI width must shrink with the budget: comparing the smallest
+        // and largest budget (4x apart), the relative width should drop
+        // well below 1 — nominal 1/sqrt(4) = 0.5, with FPC pushing lower;
+        // 0.8 catches an estimator that stopped tightening at all.
+        if let (Some(&(b_lo, w_lo)), Some(&(b_hi, w_hi))) =
+            (case.widths.first(), case.widths.last())
+        {
+            assert!(b_hi > b_lo, "budgets not increasing");
+            assert!(
+                w_hi < w_lo * 0.8,
+                "fleet {machines} seed {seed}: CI width did not shrink with budget \
+                 ({w_lo:.4} at {b_lo} cells -> {w_hi:.4} at {b_hi} cells)"
+            );
+            shrink_checked += 1;
+        }
+    }
+    assert!(shrink_checked >= 3, "width-shrink checks were vacuous");
+
+    let covered = all.iter().filter(|&&(_, _, c, _, _)| c).count();
+    let total = all.len();
+    assert!(total >= 30, "coverage sample too small: {total} checks");
+    let rate = covered as f64 / total as f64;
+    let misses: Vec<String> = all
+        .iter()
+        .filter(|&&(_, _, c, _, _)| !c)
+        .map(|&(m, s, _, metric, b)| format!("fleet {m} seed {s} metric {metric} budget {b}"))
+        .collect();
+    // Binomial tolerance: at a true 95% coverage over ~45 checks, the
+    // chance of dipping below 80% is ~0.2%; a real estimator bug (wrong
+    // variance, missing FPC, biased mean) lands far lower.
+    assert!(
+        rate >= 0.80,
+        "CI coverage {covered}/{total} = {rate:.2} below binomial tolerance; misses: {misses:?}"
+    );
+}
+
+#[test]
+fn cells_are_deterministic_and_budget_never_oversamples() {
+    let m = model(64, 5);
+    // Per-index determinism is what makes sampled == exhaustive per cell.
+    let a = simulate_cell(&m, 7);
+    let b = simulate_cell(&m, 7);
+    assert_eq!(a, b, "cell 7 not deterministic");
+
+    // A budget beyond the population degrades to a census of every
+    // stratum — and a census CI has zero width (FPC).
+    let mut cache = BTreeMap::new();
+    let census = run_sampled(
+        &m,
+        &SamplingConfig::with_budget(10_000),
+        &mut cached(&m, &mut cache),
+    );
+    assert_eq!(census.estimator.cells_sampled(), 64);
+    let truth = exhaustive_totals(&m, &mut cached(&m, &mut cache));
+    for metric in 0..3 {
+        let est = census.estimator.estimate(metric);
+        let t = truth.for_metric(metric, 64);
+        assert!(
+            (est.total - t).abs() < 1e-6,
+            "census metric {metric}: {} != truth {t}",
+            est.total
+        );
+        assert!(est.total_width() < 1e-6, "census CI not degenerate");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the stratifier and the two-phase allocator
+//! (DESIGN.md §12): the partition is exact, the budget is a hard bound,
+//! and degenerate inputs produce finite CIs instead of panics.
+
+use cpi2_bench::sampling::{
+    plan_final, plan_pilot, CellMetrics, FleetEstimator, FleetModel, LoadBand, PlatformClass,
+    SamplingConfig, Stratifier, StratumKey, StratumSamples, TenancyBand,
+};
+use proptest::prelude::*;
+
+fn key() -> StratumKey {
+    StratumKey {
+        platform: PlatformClass::Westmere,
+        load: LoadBand::Light,
+        tenancy: TenancyBand::Sparse,
+    }
+}
+
+proptest! {
+    #[test]
+    fn partition_is_disjoint_and_exhaustive(machines in 1u32..600, seed in 0u64..1000) {
+        let model = FleetModel::new(machines, seed);
+        let strata = Stratifier::partition(&model);
+        let mut seen = vec![false; machines as usize];
+        for s in &strata {
+            prop_assert!(!s.members.is_empty(), "empty stratum kept");
+            for &m in &s.members {
+                prop_assert!(m < machines, "member {m} out of range");
+                let slot = seen.get_mut(m as usize).expect("in range");
+                prop_assert!(!*slot, "machine {m} in two strata");
+                *slot = true;
+            }
+            // Members match the per-machine assignment.
+            for &m in &s.members {
+                prop_assert_eq!(Stratifier::stratum_of(&model, m), s.key);
+            }
+        }
+        prop_assert!(seen.iter().all(|&v| v), "partition not exhaustive");
+    }
+
+    #[test]
+    fn pilot_plus_final_never_exceeds_budget(
+        populations in prop::collection::vec(0u32..200, 1..12),
+        budget in 0u32..300,
+        pilot_per in 1u32..8,
+        stds in prop::collection::vec(0.0f64..5.0, 12),
+    ) {
+        let pilots = plan_pilot(&populations, budget, pilot_per);
+        prop_assert!(pilots.iter().sum::<u32>() <= budget, "pilot over budget");
+        for (p, n) in pilots.iter().zip(populations.iter()) {
+            prop_assert!(p <= n, "pilot exceeds stratum population");
+        }
+        let stds = &stds[..populations.len().min(stds.len())];
+        let finals = plan_final(&populations, &pilots, stds, budget);
+        prop_assert!(finals.iter().sum::<u32>() <= budget, "final over budget");
+        for ((f, p), n) in finals.iter().zip(pilots.iter()).zip(populations.iter()) {
+            prop_assert!(f >= p, "final below pilot");
+            prop_assert!(f <= n, "final exceeds stratum population");
+        }
+        // When the budget covers every machine, the plan is a census.
+        let total: u32 = populations.iter().sum();
+        if budget >= total {
+            prop_assert_eq!(finals.iter().sum::<u32>(), total);
+        }
+    }
+
+    #[test]
+    fn estimates_always_finite(
+        values in prop::collection::vec(0.0f64..50.0, 0..20),
+        population in 1u32..100_000,
+    ) {
+        let samples: Vec<CellMetrics> = values
+            .iter()
+            .map(|&v| CellMetrics { incidents: v, ..CellMetrics::default() })
+            .collect();
+        let n = (samples.len() as u32).max(1).min(population);
+        let est = FleetEstimator {
+            population,
+            strata: vec![StratumSamples { key: key(), population: n.max(samples.len() as u32), samples }],
+        }
+        .estimate(0);
+        prop_assert!(est.mean.is_finite());
+        prop_assert!(est.se.is_finite());
+        prop_assert!(est.total.is_finite());
+        prop_assert!(est.total_lo.is_finite() && est.total_hi.is_finite());
+        prop_assert!(est.total_lo <= est.total + 1e-9 && est.total <= est.total_hi + 1e-9);
+    }
+}
+
+#[test]
+fn degenerate_cases_do_not_panic() {
+    // One stratum.
+    let pilots = plan_pilot(&[10], 6, 4);
+    assert_eq!(pilots, vec![4]);
+    let finals = plan_final(&[10], &pilots, &[1.0], 6);
+    assert_eq!(finals.iter().sum::<u32>(), 6);
+
+    // Budget smaller than the stratum count: round-robin degrades, later
+    // strata get nothing, nothing panics.
+    let pilots = plan_pilot(&[5, 5, 5, 5, 5], 3, 4);
+    assert_eq!(pilots, vec![1, 1, 1, 0, 0]);
+    let finals = plan_final(&[5, 5, 5, 5, 5], &pilots, &[0.0; 5], 3);
+    assert_eq!(finals.iter().sum::<u32>(), 3);
+
+    // Zero budget.
+    assert_eq!(plan_pilot(&[5, 5], 0, 4), vec![0, 0]);
+    assert_eq!(plan_final(&[5, 5], &[0, 0], &[0.0, 0.0], 0), vec![0, 0]);
+
+    // Empty stratum list.
+    assert!(plan_pilot(&[], 10, 4).is_empty());
+    assert!(plan_final(&[], &[], &[], 10).is_empty());
+
+    // Zero-variance stratum alongside a noisy one: Neyman weights send
+    // the whole second phase to the noisy stratum, CIs stay finite.
+    let populations = [50u32, 50];
+    let pilots = plan_pilot(&populations, 20, 4);
+    let finals = plan_final(&populations, &pilots, &[0.0, 2.0], 20);
+    assert_eq!(finals[0], pilots[0], "zero-variance stratum grew");
+    assert_eq!(finals.iter().sum::<u32>(), 20);
+
+    // Estimator over degenerate strata: unsampled and single-sample
+    // strata contribute no variance but still finite numbers.
+    let est = FleetEstimator {
+        population: 100,
+        strata: vec![
+            StratumSamples {
+                key: key(),
+                population: 60,
+                samples: vec![],
+            },
+            StratumSamples {
+                key: key(),
+                population: 40,
+                samples: vec![CellMetrics {
+                    incidents: 3.0,
+                    ..CellMetrics::default()
+                }],
+            },
+        ],
+    }
+    .estimate(0);
+    assert!(est.total.is_finite());
+    assert!(est.total_width().abs() < 1e-9);
+    assert!((est.total - 100.0 * (0.4 * 3.0)).abs() < 1e-9);
+}
+
+#[test]
+fn allocation_is_deterministic() {
+    let model = FleetModel::new(300, 42);
+    let a = Stratifier::partition(&model);
+    let b = Stratifier::partition(&model);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.members, y.members);
+    }
+    let cfg = SamplingConfig::with_budget(50);
+    assert_eq!(cfg.budget, 50);
+}

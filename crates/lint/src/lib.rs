@@ -139,6 +139,13 @@ pub fn ruleset_for(rel: &str) -> Option<RuleSet> {
             rs.spawn_allowed = true;
             rs.clock = false;
         }
+    } else if rel == "crates/bench/src/sampling.rs" {
+        // The statistical fleet mode draws everything — stratification,
+        // shuffle order, allocation — from seeded RNG: a sampled run
+        // must be reproducible from (seed, budget) alone. No clocks,
+        // no env randomness, no map-iteration order, no threads.
+        determinism(&mut rs);
+        rs.metric_name = true;
     } else if rel.starts_with("crates/workloads/")
         || rel.starts_with("crates/bench/")
         || rel.starts_with("src/")
@@ -461,6 +468,14 @@ mod tests {
         let serve = ruleset_for("crates/serve/src/state.rs").expect("serve in scope");
         assert!(serve.clock && serve.spawn && serve.map_iter && serve.locks);
         assert!(serve.metric_name && !serve.env_random && !serve.spawn_allowed);
+        // The statistical fleet mode is held to determinism rules the
+        // rest of the bench harness is exempt from: sampling must be
+        // reproducible from (seed, budget) alone.
+        let sampling = ruleset_for("crates/bench/src/sampling.rs").expect("sampling in scope");
+        assert!(sampling.clock && sampling.env_random && sampling.map_iter && sampling.spawn);
+        assert!(sampling.metric_name && !sampling.panics);
+        let bench = ruleset_for("crates/bench/src/bin/sampled_fleet.rs").expect("bench in scope");
+        assert!(!bench.clock && !bench.env_random && bench.metric_name);
     }
 
     #[test]

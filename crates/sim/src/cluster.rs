@@ -854,6 +854,7 @@ mod tests {
             .unwrap()
             .task(id)
             .unwrap()
+            .task()
             .last_outcome()
             .unwrap();
         assert!(out.capped);

@@ -79,11 +79,60 @@ impl Default for InterferenceParams {
     }
 }
 
+/// Struct-of-arrays view of the per-task [`ResourceProfile`] fields the
+/// interference model reads: one contiguous column per field, indexed in
+/// task order. The fixed point streams these columns instead of hopping
+/// across an array of profile structs, and callers (the machine tick)
+/// fill them once per tick without materializing `TaskLoad`s.
+#[derive(Debug, Default)]
+pub struct ProfileColumns {
+    /// Hot working-set size per task, MB.
+    pub cache_mb: Vec<f64>,
+    /// MPKI inflation sensitivity to cache loss per task.
+    pub cache_sensitivity: Vec<f64>,
+    /// Solo L3 misses per kilo-instruction per task.
+    pub mpki_solo: Vec<f64>,
+    /// Uncontended CPI per task.
+    pub base_cpi: Vec<f64>,
+}
+
+impl ProfileColumns {
+    /// Clears every column (capacity retained).
+    pub fn clear(&mut self) {
+        self.cache_mb.clear();
+        self.cache_sensitivity.clear();
+        self.mpki_solo.clear();
+        self.base_cpi.clear();
+    }
+
+    /// Appends one task's profile to every column.
+    pub fn push(&mut self, p: &ResourceProfile) {
+        self.cache_mb.push(p.cache_mb);
+        self.cache_sensitivity.push(p.cache_sensitivity);
+        self.mpki_solo.push(p.mpki_solo);
+        self.base_cpi.push(p.base_cpi);
+    }
+
+    /// Number of tasks in the columns.
+    pub fn len(&self) -> usize {
+        self.base_cpi.len()
+    }
+
+    /// Whether the columns are empty.
+    pub fn is_empty(&self) -> bool {
+        self.base_cpi.is_empty()
+    }
+}
+
 /// Reusable intermediate buffers for [`compute_into`], so the per-tick
 /// fixed point runs without allocating. One instance per machine lives in
 /// its tick scratch and is reused across ticks.
 #[derive(Debug, Default)]
 pub struct ComputeScratch {
+    /// Profile fields split into columns.
+    cols: ProfileColumns,
+    /// Per-task activity column.
+    activity: Vec<f64>,
     /// Per-task effective MPKI after cache loss.
     mpki: Vec<f64>,
     /// Per-task CPI estimate, refined by the bandwidth fixed point.
@@ -115,7 +164,10 @@ pub fn compute(
 ///
 /// Bit-identical to [`compute`] for every input: the arithmetic and its
 /// evaluation order are unchanged, only the storage is caller-owned
-/// (property-tested against a pinned reference implementation).
+/// (property-tested against a pinned reference implementation). This is
+/// now a thin array-of-structs adapter over [`compute_cols`]: it splits
+/// the loads into columns, runs the columnar kernel, and reassembles
+/// per-task structs.
 // lint: hot-path
 pub fn compute_into(
     platform: &Platform,
@@ -125,7 +177,50 @@ pub fn compute_into(
     scratch: &mut ComputeScratch,
 ) -> ContentionSummary {
     out.clear();
-    let ComputeScratch { mpki, cpi } = scratch;
+    let ComputeScratch {
+        cols,
+        activity,
+        mpki,
+        cpi,
+    } = scratch;
+    cols.clear();
+    activity.clear();
+    for l in loads {
+        activity.push(l.activity);
+        cols.push(&l.profile);
+    }
+    let (summary, retained) = compute_cols(platform, activity, cols, params, cpi, mpki);
+    for (&c, &m) in cpi.iter().zip(mpki.iter()) {
+        out.push(TaskInterference {
+            cpi: c,
+            mpki: m,
+            cache_retained: retained,
+        });
+    }
+    summary
+}
+
+/// The columnar interference kernel: per-task CPI and MPKI for one tick,
+/// streamed over struct-of-arrays inputs. `activity` and `profiles` are
+/// parallel columns in task order; `cpi` and `mpki` are cleared and
+/// refilled with one output per task (same order). Returns the machine
+/// summary plus the global cache-retention fraction shared by every task
+/// this tick (1.0 when demand fits in the L3).
+///
+/// The arithmetic and its evaluation order are exactly the historical
+/// per-struct implementation's — column iteration visits tasks in the
+/// same order the struct loop did, so results are bit-identical (pinned
+/// by the golden-digest determinism suite and the reference property
+/// test).
+// lint: hot-path
+pub fn compute_cols(
+    platform: &Platform,
+    activity: &[f64],
+    profiles: &ProfileColumns,
+    params: &InterferenceParams,
+    cpi: &mut Vec<f64>,
+    mpki: &mut Vec<f64>,
+) -> (ContentionSummary, f64) {
     mpki.clear();
     cpi.clear();
 
@@ -136,9 +231,9 @@ pub fn compute_into(
     // as summing a per-task vector would.
     let mut demand = 0.0f64;
     let mut total_activity = 0.0f64;
-    for l in loads {
-        demand += l.profile.cache_mb * (1.0 - (-l.activity).exp());
-        total_activity += l.activity;
+    for (&cache_mb, &a) in profiles.cache_mb.iter().zip(activity.iter()) {
+        demand += cache_mb * (1.0 - (-a).exp());
+        total_activity += a;
     }
 
     // Fast path: a machine with zero total activity perturbs nothing.
@@ -149,17 +244,17 @@ pub fn compute_into(
     // extra = 0 ⇒ every fixed-point target equals the initial CPI, and
     // the damped update `c += damping·(target − c)` adds exactly 0.0.
     if total_activity == 0.0 {
-        for l in loads {
-            out.push(TaskInterference {
-                cpi: l.profile.base_cpi * platform.cpi_factor,
-                mpki: l.profile.mpki_solo,
-                cache_retained: 1.0,
-            });
+        for (&base, &solo) in profiles.base_cpi.iter().zip(profiles.mpki_solo.iter()) {
+            cpi.push(base * platform.cpi_factor);
+            mpki.push(solo);
         }
-        return ContentionSummary {
-            cache_demand_mb: demand,
-            mem_utilization: 0.0,
-        };
+        return (
+            ContentionSummary {
+                cache_demand_mb: demand,
+                mem_utilization: 0.0,
+            },
+            1.0,
+        );
     }
 
     let retained_global = if demand <= platform.l3_mb || demand == 0.0 {
@@ -169,56 +264,59 @@ pub fn compute_into(
     };
 
     // MPKI after cache loss (independent of the bandwidth fixed point).
-    for l in loads {
+    for (&solo, &sensitivity) in profiles
+        .mpki_solo
+        .iter()
+        .zip(profiles.cache_sensitivity.iter())
+    {
         let loss = 1.0 - retained_global;
-        mpki.push(
-            l.profile.mpki_solo * (1.0 + l.profile.cache_sensitivity * loss * params.cache_slope),
-        );
+        mpki.push(solo * (1.0 + sensitivity * loss * params.cache_slope));
     }
 
     // --- Bandwidth fixed point -------------------------------------------
-    for l in loads {
-        cpi.push(l.profile.base_cpi * platform.cpi_factor);
+    for &base in &profiles.base_cpi {
+        cpi.push(base * platform.cpi_factor);
     }
     let mut rho = 0.0;
     for _ in 0..params.iterations {
         // Miss traffic in giga-lines/sec at current CPI estimates.
-        let glines: f64 = loads
+        let glines: f64 = activity
             .iter()
             .zip(cpi.iter())
             .zip(mpki.iter())
-            .map(|((l, &c), &m)| {
-                let instr_per_sec = l.activity * platform.clock_hz / c;
+            .map(|((&a, &c), &m)| {
+                let instr_per_sec = a * platform.clock_hz / c;
                 instr_per_sec * m / 1000.0 / 1e9
             })
             .sum();
         rho = (glines / platform.mem_bw_glines).min(params.rho_max);
         let queue_mult = 1.0 + params.queue_beta * rho / (1.0 - rho);
         let eff_penalty = platform.miss_penalty_cycles * queue_mult;
-        for ((l, c), &m) in loads.iter().zip(cpi.iter_mut()).zip(mpki.iter()) {
+        let rows = profiles
+            .mpki_solo
+            .iter()
+            .zip(profiles.base_cpi.iter())
+            .zip(cpi.iter_mut().zip(mpki.iter()));
+        for ((&solo, &base), (c, &m)) in rows {
             // base_cpi already prices solo misses at nominal latency; add
             // only the extra stall cycles from lost cache and queueing.
-            let extra_mpki = (m - l.profile.mpki_solo).max(0.0);
+            let extra_mpki = (m - solo).max(0.0);
             let extra = (extra_mpki * eff_penalty
-                + l.profile.mpki_solo * platform.miss_penalty_cycles * (queue_mult - 1.0))
+                + solo * platform.miss_penalty_cycles * (queue_mult - 1.0))
                 / 1000.0;
-            let target = l.profile.base_cpi * platform.cpi_factor + extra;
+            let target = base * platform.cpi_factor + extra;
             // Damped update for fixed-point stability.
             *c += params.damping * (target - *c);
         }
     }
 
-    for (&c, &m) in cpi.iter().zip(mpki.iter()) {
-        out.push(TaskInterference {
-            cpi: c,
-            mpki: m,
-            cache_retained: retained_global,
-        });
-    }
-    ContentionSummary {
-        cache_demand_mb: demand,
-        mem_utilization: rho,
-    }
+    (
+        ContentionSummary {
+            cache_demand_mb: demand,
+            mem_utilization: rho,
+        },
+        retained_global,
+    )
 }
 
 #[cfg(test)]

@@ -37,9 +37,9 @@ pub mod trace;
 pub use cgroup::{Cgroup, CounterBlock, HardCap};
 pub use cluster::{default_parallelism, Cluster, ClusterConfig, ModelFactory};
 pub use fault::{FaultPlan, FaultProfile, ShipmentFate};
-pub use interference::{InterferenceParams, TaskLoad};
+pub use interference::{InterferenceParams, ProfileColumns, TaskLoad};
 pub use job::{JobId, JobSpec, Priority, SchedClass, TaskId};
-pub use machine::{Machine, MachineId, ResidentTask, TaskExit};
+pub use machine::{Machine, MachineId, ResidentTask, TaskExit, TaskView};
 pub use platform::Platform;
 pub use schedule::{ClusterEvent, EventQueue};
 pub use scheduler::{PlacementError, PlacementPolicy, Scheduler};

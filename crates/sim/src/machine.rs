@@ -7,7 +7,7 @@
 //! charges hardware counters to each task's cgroup.
 
 use crate::cgroup::{Cgroup, CounterBlock};
-use crate::interference::{self, ComputeScratch, InterferenceParams, TaskInterference, TaskLoad};
+use crate::interference::{self, InterferenceParams, ProfileColumns};
 use crate::job::{Priority, SchedClass, TaskId};
 use crate::platform::Platform;
 use crate::task::{TaskAction, TaskInstance, TaskModel, TickOutcome};
@@ -31,6 +31,11 @@ impl fmt::Display for MachineId {
 const CTX_SWITCHES_PER_THREAD_SEC: f64 = 20.0;
 
 /// One task resident on a machine.
+///
+/// Per-tick scheduler state that the hot loop reads and writes every tick
+/// (runnable threads, starvation streak) lives in the machine's
+/// [`TaskColumns`], not here — [`Machine::tasks`] hands out [`TaskView`]s
+/// that rejoin the two.
 pub struct ResidentTask {
     /// Task identity.
     pub id: TaskId,
@@ -43,33 +48,80 @@ pub struct ResidentTask {
     /// The task's resource container.
     pub cgroup: Cgroup,
     model: Box<dyn TaskModel>,
-    threads: u32,
     last_outcome: Option<TickOutcome>,
-    /// Consecutive ticks the task wanted CPU but machine pressure (not a
-    /// cap) starved it — the scheduler's batch-preemption signal (§2).
-    starved_ticks: u32,
 }
 
 impl ResidentTask {
-    /// Current runnable thread count (as of the last tick's demand).
-    pub fn threads(&self) -> u32 {
-        self.threads
-    }
-
     /// Outcome of the most recent tick, if the task has run.
     pub fn last_outcome(&self) -> Option<&TickOutcome> {
         self.last_outcome.as_ref()
     }
 
-    /// Consecutive ticks the task has been starved by machine pressure
-    /// (excluding bandwidth-control caps).
-    pub fn starved_ticks(&self) -> u32 {
-        self.starved_ticks
-    }
-
     /// Immutable access to the behaviour model (for workload metrics).
     pub fn model(&self) -> &dyn TaskModel {
         self.model.as_ref()
+    }
+}
+
+/// Struct-of-arrays columns of per-task scheduler state, index-parallel to
+/// `Machine::tasks`. The tick loop streams these contiguously instead of
+/// chasing them through per-task structs; membership changes (add, remove,
+/// exit, crash) compact them in lockstep with the task vector.
+#[derive(Debug, Default)]
+struct TaskColumns {
+    /// Runnable thread count per task (as of the last tick's demand).
+    threads: Vec<u32>,
+    /// Consecutive ticks each task wanted CPU but machine pressure (not a
+    /// cap) starved it — the scheduler's batch-preemption signal (§2).
+    starved: Vec<u32>,
+}
+
+impl TaskColumns {
+    fn push_new(&mut self) {
+        self.threads.push(0);
+        self.starved.push(0);
+    }
+
+    fn remove(&mut self, index: usize) {
+        self.threads.remove(index);
+        self.starved.remove(index);
+    }
+}
+
+/// A resident task joined with its scheduler-state columns: everything the
+/// array-of-structs `ResidentTask` used to expose, from the columnar
+/// layout. Dereferences to the task itself, so field access and the
+/// struct's own methods work unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskView<'a> {
+    task: &'a ResidentTask,
+    threads: u32,
+    starved: u32,
+}
+
+impl<'a> std::ops::Deref for TaskView<'a> {
+    type Target = ResidentTask;
+
+    fn deref(&self) -> &ResidentTask {
+        self.task
+    }
+}
+
+impl<'a> TaskView<'a> {
+    /// The underlying resident task.
+    pub fn task(&self) -> &'a ResidentTask {
+        self.task
+    }
+
+    /// Current runnable thread count (as of the last tick's demand).
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Consecutive ticks the task has been starved by machine pressure
+    /// (excluding bandwidth-control caps).
+    pub fn starved_ticks(&self) -> u32 {
+        self.starved
     }
 }
 
@@ -95,11 +147,13 @@ pub struct TaskExit {
     pub capped: bool,
 }
 
-/// Reusable per-machine buffers for [`Machine::tick`]. All vectors are
-/// cleared (not shrunk) at the top of each tick, so once warmed up to the
-/// machine's task count the steady-state tick performs no heap allocation.
-/// The scratch travels with the machine when the worker pool moves it
-/// between threads, so warm capacity is never lost to resharding.
+/// Reusable per-machine buffers for [`Machine::tick`], laid out as
+/// struct-of-arrays: one contiguous column per per-task quantity, all
+/// index-parallel to `Machine::tasks`. All vectors are cleared (not
+/// shrunk) at the top of each tick, so once warmed up to the machine's
+/// task count the steady-state tick performs no heap allocation. The
+/// scratch travels with the machine when the worker pool moves it between
+/// threads, so warm capacity is never lost to resharding.
 #[derive(Debug, Default)]
 struct TickScratch {
     /// Post-bandwidth-control CPU demand per task.
@@ -108,12 +162,25 @@ struct TickScratch {
     capped: Vec<bool>,
     /// CPU actually granted per task.
     granted: Vec<f64>,
-    /// Interference-model inputs.
-    loads: Vec<TaskLoad>,
-    /// Interference-model outputs.
-    effects: Vec<TaskInterference>,
-    /// Fixed-point intermediates owned by [`interference::compute_into`].
-    compute: ComputeScratch,
+    /// CPI noise sigma per task (0 = noiseless).
+    noise: Vec<f64>,
+    /// Whether the task's model chose to exit this tick.
+    exited: Vec<bool>,
+    /// Interference-model profile inputs, split into columns.
+    profiles: ProfileColumns,
+    /// Interference-model CPI output column.
+    cpi: Vec<f64>,
+    /// Interference-model MPKI output column.
+    mpki: Vec<f64>,
+}
+
+/// Front-to-back lockstep retain: keeps element `i` of `v` exactly when
+/// `keep[i]` is true, preserving order. Used to compact the task vector
+/// and every parallel column with one shared flag column. Extra elements
+/// beyond `keep.len()` are retained (never happens for in-sync columns).
+fn retain_by_flags<T>(v: &mut Vec<T>, keep: &[bool]) {
+    let mut flags = keep.iter();
+    v.retain(|_| *flags.next().unwrap_or(&true));
 }
 
 /// A machine hosting tasks from many jobs.
@@ -123,6 +190,8 @@ pub struct Machine {
     /// Hardware platform.
     pub platform: Platform,
     tasks: Vec<ResidentTask>,
+    /// Per-task scheduler state, index-parallel to `tasks`.
+    cols: TaskColumns,
     params: InterferenceParams,
     rng: SimRng,
     last_utilization: f64,
@@ -140,6 +209,7 @@ impl Machine {
             id,
             platform,
             tasks: Vec::new(),
+            cols: TaskColumns::default(),
             params: InterferenceParams::default(),
             rng: SimRng::derive(seed, id.0 as u64),
             last_utilization: 0.0,
@@ -178,17 +248,21 @@ impl Machine {
             priority,
             cgroup: Cgroup::new(cpu_limit),
             model: instance.model,
-            threads: 0,
             last_outcome: None,
-            starved_ticks: 0,
         });
+        self.cols.push_new();
     }
 
     /// Removes a task (kill / migrate away). Returns `true` if it was here.
     pub fn remove_task(&mut self, id: TaskId) -> bool {
-        let before = self.tasks.len();
-        self.tasks.retain(|t| t.id != id);
-        self.tasks.len() != before
+        match self.tasks.iter().position(|t| t.id == id) {
+            Some(index) => {
+                self.tasks.remove(index);
+                self.cols.remove(index);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of resident tasks (Fig. 1a statistic).
@@ -198,17 +272,24 @@ impl Machine {
 
     /// Total runnable threads across tasks (Fig. 1b statistic).
     pub fn thread_count(&self) -> u64 {
-        self.tasks.iter().map(|t| t.threads as u64).sum()
+        self.cols.threads.iter().map(|&t| t as u64).sum()
     }
 
-    /// Iterates resident tasks.
-    pub fn tasks(&self) -> impl Iterator<Item = &ResidentTask> {
-        self.tasks.iter()
+    /// Iterates resident tasks joined with their scheduler-state columns.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskView<'_>> {
+        self.tasks
+            .iter()
+            .zip(self.cols.threads.iter().zip(self.cols.starved.iter()))
+            .map(|(task, (&threads, &starved))| TaskView {
+                task,
+                threads,
+                starved,
+            })
     }
 
     /// Looks up a resident task.
-    pub fn task(&self, id: TaskId) -> Option<&ResidentTask> {
-        self.tasks.iter().find(|t| t.id == id)
+    pub fn task(&self, id: TaskId) -> Option<TaskView<'_>> {
+        self.tasks().find(|t| t.id == id)
     }
 
     /// Mutable lookup (used by agents to apply hard caps).
@@ -257,35 +338,50 @@ impl Machine {
 
         let dt_sec = dt.as_secs_f64();
         let cores = self.platform.cores as f64;
+        let Machine {
+            platform,
+            tasks,
+            cols,
+            params,
+            rng,
+            last_utilization,
+            throttle_events,
+            scratch,
+            ..
+        } = self;
         let TickScratch {
             wants,
             capped,
             granted,
-            loads,
-            effects,
-            compute,
-        } = &mut self.scratch;
+            noise,
+            exited,
+            profiles,
+            cpi,
+            mpki,
+        } = scratch;
         wants.clear();
         capped.clear();
         granted.clear();
-        loads.clear();
+        noise.clear();
+        exited.clear();
+        profiles.clear();
 
-        // 1. Collect demands, clamped by bandwidth control.
-        for t in &mut self.tasks {
-            let d = t.model.demand(now, dt, &mut self.rng);
-            t.threads = d.threads;
+        // 1. Collect demands, clamped by bandwidth control. Thread counts
+        //    land in their column, everything else in scratch columns.
+        for (t, threads) in tasks.iter_mut().zip(cols.threads.iter_mut()) {
+            let d = t.model.demand(now, dt, rng);
+            *threads = d.threads;
             let want = d.cpu_want.max(0.0);
             let allowed = t.cgroup.clamp_cpu(want, now, dt);
             let was_capped = allowed < want - 1e-12;
-            self.throttle_events += u64::from(was_capped);
+            *throttle_events += u64::from(was_capped);
             capped.push(was_capped);
             wants.push(allowed);
         }
 
         // 2. CPU allocation: latency-sensitive first, then batch shares
         //    what remains proportionally.
-        let ls_want: f64 = self
-            .tasks
+        let ls_want: f64 = tasks
             .iter()
             .zip(wants.iter())
             .filter(|(t, _)| t.class == SchedClass::LatencySensitive)
@@ -307,60 +403,64 @@ impl Machine {
         } else {
             1.0
         };
-        for (t, &w) in self.tasks.iter().zip(wants.iter()) {
+        for (t, &w) in tasks.iter().zip(wants.iter()) {
             granted.push(if t.class == SchedClass::LatencySensitive {
                 w * ls_scale
             } else {
                 w * batch_scale
             });
         }
-        self.last_utilization = granted.iter().sum::<f64>() / cores;
+        *last_utilization = granted.iter().sum::<f64>() / cores;
 
-        // 3. Interference model.
-        for (t, &g) in self.tasks.iter().zip(granted.iter()) {
-            loads.push(TaskLoad {
-                activity: g,
-                profile: t.model.profile(),
-            });
+        // 3. Interference model, streamed over profile columns with the
+        //    grant column as activity. `profile()` is pure (no RNG, no
+        //    mutation), so reading it here draws nothing.
+        for t in tasks.iter() {
+            let p = t.model.profile();
+            profiles.push(&p);
+            noise.push(p.cpi_noise);
         }
-        let _summary =
-            interference::compute_into(&self.platform, loads, &self.params, effects, compute);
+        let (_summary, _retained) =
+            interference::compute_cols(platform, granted, profiles, params, cpi, mpki);
 
-        // 4. Account counters and let models observe. The scratch vectors
+        // 4. Account counters and let models observe. The scratch columns
         //    are parallel to `tasks` (one push per task above), so lockstep
         //    zips replace index arithmetic — no panicking `[…]` anywhere.
         let first_exit = exits.len();
-        let rows = self
-            .tasks
+        let rows = tasks
             .iter_mut()
-            .zip(granted.iter())
-            .zip(capped.iter().zip(wants.iter()))
-            .zip(loads.iter().zip(effects.iter()));
-        for (((t, &g), (&was_capped, &want)), (load, effect)) in rows {
+            .zip(cols.threads.iter().zip(cols.starved.iter_mut()))
+            .zip(granted.iter().zip(capped.iter()))
+            .zip(wants.iter().zip(noise.iter()))
+            .zip(cpi.iter().zip(mpki.iter()));
+        for (
+            (((t, (&threads, starved)), (&g, &was_capped)), (&want, &sigma)),
+            (&eff_cpi, &eff_mpki),
+        ) in rows
+        {
             // Starvation: the task wanted meaningful CPU, was not capped,
             // yet machine pressure squeezed it to a trickle.
             if !was_capped && want > 0.25 && g < 0.1 * want {
-                t.starved_ticks += 1;
+                *starved += 1;
             } else {
-                t.starved_ticks = 0;
+                *starved = 0;
             }
-            let profile = load.profile;
-            let noise = if profile.cpi_noise > 0.0 {
-                self.rng.lognormal(0.0, profile.cpi_noise)
+            let noise_mult = if sigma > 0.0 {
+                rng.lognormal(0.0, sigma)
             } else {
                 1.0
             };
-            let cpi = effect.cpi * noise;
-            let cycles = g * self.platform.clock_hz * dt_sec;
+            let cpi = eff_cpi * noise_mult;
+            let cycles = g * platform.clock_hz * dt_sec;
             let instructions = if cpi > 0.0 { cycles / cpi } else { 0.0 };
-            let l3 = instructions * effect.mpki / 1000.0;
+            let l3 = instructions * eff_mpki / 1000.0;
             let block = CounterBlock {
                 cycles,
                 instructions,
                 l2_misses: l3 * 2.5,
                 l3_misses: l3,
                 mem_lines: l3 * 1.1,
-                context_switches: (t.threads as f64
+                context_switches: (threads as f64
                     * CTX_SWITCHES_PER_THREAD_SEC
                     * dt_sec
                     * g.clamp(0.05, 1.0)) as u64,
@@ -375,7 +475,9 @@ impl Machine {
                 l3_misses: l3,
             };
             t.last_outcome = Some(outcome);
-            if t.model.observe(now + dt, &outcome) == TaskAction::Exit {
+            let is_exit = t.model.observe(now + dt, &outcome) == TaskAction::Exit;
+            exited.push(is_exit);
+            if is_exit {
                 exits.push(TaskExit {
                     id: t.id,
                     at: now + dt,
@@ -383,9 +485,16 @@ impl Machine {
                 });
             }
         }
-        for e in exits.iter().skip(first_exit) {
-            let id = e.id;
-            self.tasks.retain(|t| t.id != id);
+        // Compact the task vector and every column in lockstep against the
+        // shared exit-flag column.
+        if exits.len() > first_exit {
+            let keep: &mut Vec<bool> = exited;
+            for flag in keep.iter_mut() {
+                *flag = !*flag;
+            }
+            retain_by_flags(tasks, keep);
+            retain_by_flags(&mut cols.threads, keep);
+            retain_by_flags(&mut cols.starved, keep);
         }
     }
 }
@@ -578,7 +687,7 @@ mod tests {
                 &mut Vec::new(),
             );
         }
-        let c = m.task(tid(1, 0)).unwrap().cgroup.counters();
+        let c = m.task(tid(1, 0)).unwrap().task().cgroup.counters();
         // 10 s at 1 core of a 2.6 GHz machine.
         assert!((c.cycles - 2.6e10).abs() / 2.6e10 < 1e-6);
         assert!(c.instructions > 0.0);

@@ -102,7 +102,7 @@ proptest! {
         m.tick(SimTime::ZERO, SimDuration::from_secs(1), &mut Vec::new());
         let granted: f64 = m
             .tasks()
-            .map(|t| t.last_outcome().map(|o| o.cpu_granted).unwrap_or(0.0))
+            .map(|t| t.task().last_outcome().map(|o| o.cpu_granted).unwrap_or(0.0))
             .sum();
         prop_assert!(granted <= cores + 1e-6, "granted {granted} > cores {cores}");
         prop_assert!((0.0..=1.0 + 1e-9).contains(&m.utilization()));

@@ -150,6 +150,49 @@ fn panda_identifier_is_bit_identical_across_parallelism() {
     assert_eq!(evidence_1, evidence_64);
 }
 
+/// FNV-1a over the Debug/line renderings of everything a faulty run
+/// produces. Collapses a full run into one pinnable number.
+fn run_digest(parallelism: usize) -> u64 {
+    let (trace, specs, incidents, counts) = run_faulty(parallelism);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for e in &trace {
+        eat(format!("{e:?}").as_bytes());
+    }
+    for s in &specs {
+        eat(format!("{s:?}").as_bytes());
+    }
+    for line in &incidents {
+        eat(line.as_bytes());
+    }
+    eat(format!("{counts:?}").as_bytes());
+    h
+}
+
+/// Digest of the pinned-seed heavy-fault run, captured on the
+/// array-of-structs tick implementation immediately before the
+/// struct-of-arrays refactor. Any change to simulation arithmetic,
+/// iteration order, or RNG draw order shows up here as a different
+/// number — the refactor is only done when this stays green.
+const GOLDEN_HEAVY_FAULT_DIGEST: u64 = 0x11BB_5F26_ECE1_E623;
+
+#[test]
+fn heavy_fault_run_matches_pre_refactor_golden_digest() {
+    for parallelism in [1, 4, 64] {
+        assert_eq!(
+            run_digest(parallelism),
+            GOLDEN_HEAVY_FAULT_DIGEST,
+            "heavy-fault golden digest changed at parallelism {parallelism} \
+             (simulation output is no longer bit-identical to the pinned run)"
+        );
+    }
+}
+
 #[test]
 fn faulty_run_is_bit_identical_across_parallelism() {
     // Fault injection draws are keyed on (machine, sim time), never on
