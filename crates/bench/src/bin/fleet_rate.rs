@@ -361,8 +361,8 @@ fn sampled_mode(machines: u32, budget: u32, seed: u64) {
 /// observability plane. Both paths tick the identical harness, so the
 /// reported numbers don't depend on which one ran.
 enum Runner {
-    Bare(Cpi2Harness),
-    Resident(ServeHarness),
+    Bare(Box<Cpi2Harness>),
+    Resident(Box<ServeHarness>),
 }
 
 impl Runner {
@@ -382,7 +382,7 @@ impl Runner {
 
     fn finish(self) -> Cpi2Harness {
         match self {
-            Runner::Bare(s) => s,
+            Runner::Bare(s) => *s,
             Runner::Resident(sh) => sh.into_inner(),
         }
     }
@@ -481,9 +481,9 @@ fn main() {
                 .serve(addr, ServerConfig::default())
                 .unwrap_or_else(|e| panic!("--serve {addr}: bind failed: {e}"));
             println!("observability plane at http://{bound} (for the whole run)");
-            Runner::Resident(sh)
+            Runner::Resident(Box::new(sh))
         }
-        None => Runner::Bare(system),
+        None => Runner::Bare(Box::new(system)),
     };
 
     // Learn specs over one clean day: the spec σ must absorb the diurnal

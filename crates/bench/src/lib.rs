@@ -19,5 +19,6 @@ pub mod plot;
 pub mod probe;
 pub mod sampling;
 pub mod scenario;
+pub mod serve_load;
 pub mod svg;
 pub mod trials;

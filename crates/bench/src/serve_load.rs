@@ -1,0 +1,415 @@
+//! Poll-multiplexed HTTP load generator for the `cpi2-serve` control
+//! plane.
+//!
+//! One thread drives N concurrent clients over non-blocking sockets
+//! using the serve crate's own [`PollSet`](cpi2_serve::poll::PollSet)
+//! and client-side response scanner
+//! ([`scan_response`](cpi2_serve::http::scan_response)) — the load
+//! generator exercises the server with the exact wire grammar the
+//! server itself speaks, and a single generator thread leaves the CPU
+//! to the shards it is measuring.
+//!
+//! Two regimes, selected by [`LoadConfig::keep_alive`]:
+//!
+//! * **keep-alive** — every client holds one persistent connection and
+//!   keeps up to [`LoadConfig::pipeline`] requests in flight on it
+//!   (responses are answered in order, so latency is measured
+//!   per-response against its own send time). A server-initiated close
+//!   (`max_requests_per_conn`) is handled by reconnecting.
+//! * **one-request-per-connection** — the pre-event-loop regime: each
+//!   request opens a fresh connection, sends `Connection: close`, reads
+//!   one response, reconnects. This is the baseline the ≥10× speedup
+//!   gate compares against.
+//!
+//! The request mix per 16 requests: 12 × `GET /healthz`, 2 × scrape
+//! (`GET /metrics`), 1 × streamed `GET /incidents`, 1 × `POST /query`.
+//!
+//! This module also measures the *tick-thread publish cost* of
+//! [`ServeHarness`](cpi2_serve::ServeHarness) (µs per tick spent
+//! building/publishing snapshots) under full-every-tick vs delta
+//! publishing — the second half of the `serve_bench` gate.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use cpi2::core::Cpi2Config;
+use cpi2::harness::Cpi2Harness;
+use cpi2::sim::{Cluster, ClusterConfig, Platform};
+use cpi2::workloads;
+use cpi2_serve::http::{scan_response, ScannedResponse};
+use cpi2_serve::poll::{PollSet, IN, OUT};
+use cpi2_serve::ServeHarness;
+
+/// Poll granularity of the generator loop.
+const POLL_TICK_MS: i32 = 5;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Wall-clock duration of the measurement.
+    pub seconds: f64,
+    /// Persistent connections (false = one request per connection).
+    pub keep_alive: bool,
+    /// Max requests in flight per keep-alive connection (clamped ≥ 1;
+    /// ignored when `keep_alive` is false).
+    pub pipeline: usize,
+    /// Use the mixed request schedule (false = pure `GET /healthz`, the
+    /// connection-overhead microbenchmark the speedup gate compares).
+    pub mix: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 512,
+            seconds: 3.0,
+            keep_alive: true,
+            pipeline: 8,
+            mix: true,
+        }
+    }
+}
+
+/// What the generator observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Completed responses inside the measurement window.
+    pub requests: u64,
+    /// Wall seconds the window actually spanned.
+    pub wall_s: f64,
+    /// `requests / wall_s`.
+    pub rps: f64,
+    /// Median response latency, µs (send-enqueued → response complete).
+    pub p50_us: f64,
+    /// 99th-percentile response latency, µs.
+    pub p99_us: f64,
+    /// Responses with a 4xx status.
+    pub errors_4xx: u64,
+    /// Responses with a 5xx status (the gate requires zero).
+    pub errors_5xx: u64,
+    /// Connect/read/write failures and malformed responses.
+    pub io_errors: u64,
+    /// Most clients simultaneously connected at any poll pass.
+    pub peak_open: usize,
+}
+
+struct Client {
+    stream: Option<TcpStream>,
+    out: Vec<u8>,
+    out_pos: usize,
+    inb: Vec<u8>,
+    /// Send timestamps of in-flight requests, oldest first (responses
+    /// arrive strictly in order).
+    inflight: VecDeque<Instant>,
+    /// Rotates the request mix.
+    seq: usize,
+}
+
+impl Client {
+    fn new(seq0: usize) -> Client {
+        Client {
+            stream: None,
+            out: Vec::new(),
+            out_pos: 0,
+            inb: Vec::new(),
+            inflight: VecDeque::new(),
+            seq: seq0,
+        }
+    }
+
+    /// Drops the connection and all in-flight bookkeeping.
+    fn disconnect(&mut self) {
+        self.stream = None;
+        self.out.clear();
+        self.out_pos = 0;
+        self.inb.clear();
+        self.inflight.clear();
+    }
+}
+
+/// The mixed request schedule: 12/16 health checks, 2/16 scrapes, 1/16
+/// streamed incident reads, 1/16 queries.
+fn request_bytes(seq: usize, keep_alive: bool, mix: bool) -> Vec<u8> {
+    let conn = if keep_alive {
+        ""
+    } else {
+        "Connection: close\r\n"
+    };
+    match if mix { seq % 16 } else { 0 } {
+        12 | 13 => format!("GET /metrics HTTP/1.1\r\nHost: b\r\n{conn}\r\n").into_bytes(),
+        14 => format!("GET /incidents HTTP/1.1\r\nHost: b\r\n{conn}\r\n").into_bytes(),
+        15 => {
+            let sql = "SELECT count(*) FROM samples";
+            format!(
+                "POST /query HTTP/1.1\r\nHost: b\r\n{conn}Content-Length: {}\r\n\r\n{sql}",
+                sql.len()
+            )
+            .into_bytes()
+        }
+        _ => format!("GET /healthz HTTP/1.1\r\nHost: b\r\n{conn}\r\n").into_bytes(),
+    }
+}
+
+/// Drives `cfg.connections` clients against `addr` for `cfg.seconds`.
+/// Single-threaded; returns when the window closes (in-flight requests
+/// at the deadline are not counted).
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let depth = if cfg.keep_alive {
+        cfg.pipeline.max(1)
+    } else {
+        1
+    };
+    let mut clients: Vec<Client> = (0..cfg.connections.max(1)).map(Client::new).collect();
+    let mut poll = PollSet::new();
+    let mut lat_us: Vec<f64> = Vec::new();
+    let mut report = LoadReport::default();
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(cfg.seconds.max(0.1));
+
+    while Instant::now() < deadline {
+        // (Re)connect and (re)fill outgoing buffers.
+        let mut open = 0usize;
+        for c in &mut clients {
+            if c.stream.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(s) => {
+                        if s.set_nonblocking(true).is_err() {
+                            report.io_errors += 1;
+                            continue;
+                        }
+                        c.stream = Some(s);
+                    }
+                    Err(_) => {
+                        report.io_errors += 1;
+                        continue;
+                    }
+                }
+            }
+            open += 1;
+            while c.inflight.len() < depth {
+                c.out
+                    .extend_from_slice(&request_bytes(c.seq, cfg.keep_alive, cfg.mix));
+                c.seq += 1;
+                c.inflight.push_back(Instant::now());
+                if !cfg.keep_alive {
+                    break;
+                }
+            }
+        }
+        report.peak_open = report.peak_open.max(open);
+
+        poll.clear();
+        let mut slots: Vec<Option<usize>> = Vec::with_capacity(clients.len());
+        for c in &clients {
+            match &c.stream {
+                Some(s) => {
+                    use std::os::unix::io::AsRawFd;
+                    let mut ev = IN;
+                    if c.out_pos < c.out.len() {
+                        ev |= OUT;
+                    }
+                    slots.push(Some(poll.push(s.as_raw_fd(), ev)));
+                }
+                None => slots.push(None),
+            }
+        }
+        let _ = poll.wait(POLL_TICK_MS);
+        let now = Instant::now();
+
+        for (c, slot) in clients.iter_mut().zip(&slots) {
+            let Some(slot) = *slot else { continue };
+            if poll.writable(slot) && c.out_pos < c.out.len() {
+                let s = c.stream.as_mut().expect("slot implies stream");
+                match s.write(&c.out[c.out_pos..]) {
+                    Ok(0) => {
+                        report.io_errors += 1;
+                        c.disconnect();
+                        continue;
+                    }
+                    Ok(n) => {
+                        c.out_pos += n;
+                        if c.out_pos == c.out.len() {
+                            c.out.clear();
+                            c.out_pos = 0;
+                        }
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {
+                        report.io_errors += 1;
+                        c.disconnect();
+                        continue;
+                    }
+                }
+            }
+            if !poll.readable(slot) {
+                continue;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let mut eof = false;
+            loop {
+                let s = c.stream.as_mut().expect("slot implies stream");
+                match s.read(&mut chunk) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => c.inb.extend_from_slice(&chunk[..n]),
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        report.io_errors += 1;
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+            // Consume every complete response buffered so far.
+            loop {
+                match scan_response(&c.inb) {
+                    ScannedResponse::Complete { status, consumed } => {
+                        c.inb.drain(..consumed);
+                        if let Some(sent) = c.inflight.pop_front() {
+                            lat_us.push(now.saturating_duration_since(sent).as_micros() as f64);
+                        }
+                        report.requests += 1;
+                        match status {
+                            500..=599 => report.errors_5xx += 1,
+                            400..=499 => report.errors_4xx += 1,
+                            _ => {}
+                        }
+                        if !cfg.keep_alive {
+                            c.disconnect();
+                            break;
+                        }
+                    }
+                    ScannedResponse::Partial => break,
+                    ScannedResponse::Malformed => {
+                        report.io_errors += 1;
+                        c.disconnect();
+                        break;
+                    }
+                }
+            }
+            if eof && c.stream.is_some() {
+                // Server-side close (request cap, reap): reconnect on
+                // the next pass. In-flight requests on this connection
+                // are simply not counted.
+                c.disconnect();
+            }
+        }
+    }
+
+    report.wall_s = start.elapsed().as_secs_f64();
+    report.rps = report.requests as f64 / report.wall_s.max(1e-9);
+    lat_us.sort_by(|a, b| a.total_cmp(b));
+    report.p50_us = percentile(&lat_us, 0.50);
+    report.p99_us = percentile(&lat_us, 0.99);
+    report
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Builds the resident fleet `serve_bench` serves and measures: one
+/// task per ~64 machines of each catalog job, all seeded.
+pub fn build_serve_fleet(machines: u32, seed: u64) -> ServeHarness {
+    let mut cluster = Cluster::new(ClusterConfig {
+        seed,
+        overcommit: 2.0,
+        parallelism: 1,
+        telemetry: cpi2::telemetry::Telemetry::enabled(),
+        ..ClusterConfig::default()
+    });
+    cluster.add_machines(&Platform::westmere(), machines.max(1));
+    workloads::submit_typical_mix(&mut cluster, (machines / 64).max(1), seed);
+    ServeHarness::new(Cpi2Harness::new(cluster, Cpi2Config::default()))
+}
+
+/// Mean tick-thread publish cost, µs/tick, for a `machines`-sized fleet
+/// publishing with the given full-base period (`full_every` 1 = the
+/// legacy full-snapshot-every-tick mode) over `ticks` ticks.
+pub fn measure_publish_cost(machines: u32, full_every: u32, ticks: u32, seed: u64) -> f64 {
+    let mut sh = build_serve_fleet(machines, seed);
+    sh.set_full_snapshot_every(full_every);
+    for _ in 0..ticks.max(1) {
+        sh.tick();
+    }
+    let (count, total_us) = sh.publish_stats();
+    total_us as f64 / count.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpi2_serve::ServerConfig;
+
+    fn boot(machines: u32) -> (ServeHarness, SocketAddr) {
+        let mut sh = build_serve_fleet(machines, 0xBEAC4);
+        sh.run_for(cpi2::sim::SimDuration::from_mins(1));
+        let addr = sh
+            .serve("127.0.0.1:0", ServerConfig::default())
+            .expect("bind loopback");
+        (sh, addr)
+    }
+
+    #[test]
+    fn keep_alive_load_completes_without_server_errors() {
+        let (mut sh, addr) = boot(8);
+        let report = run_load(
+            addr,
+            &LoadConfig {
+                connections: 8,
+                seconds: 0.4,
+                keep_alive: true,
+                pipeline: 4,
+                mix: true,
+            },
+        );
+        assert!(report.requests > 0, "no requests completed: {report:?}");
+        assert_eq!(report.errors_5xx, 0, "{report:?}");
+        assert_eq!(report.errors_4xx, 0, "{report:?}");
+        assert_eq!(report.peak_open, 8, "{report:?}");
+        assert!(report.p99_us >= report.p50_us, "{report:?}");
+        sh.shutdown_server();
+    }
+
+    #[test]
+    fn close_mode_reconnects_per_request() {
+        let (mut sh, addr) = boot(8);
+        let report = run_load(
+            addr,
+            &LoadConfig {
+                connections: 4,
+                seconds: 0.4,
+                keep_alive: false,
+                pipeline: 1,
+                mix: true,
+            },
+        );
+        assert!(report.requests > 0, "no requests completed: {report:?}");
+        assert_eq!(report.errors_5xx, 0, "{report:?}");
+        sh.shutdown_server();
+    }
+
+    #[test]
+    fn delta_publishing_is_cheaper_than_full_at_scale() {
+        // Tiny version of the serve_bench sublinearity gate, sized for
+        // a debug-build test run.
+        let full = measure_publish_cost(256, 1, 8, 0xD1FF);
+        let delta = measure_publish_cost(256, 64, 24, 0xD1FF);
+        assert!(
+            delta < full,
+            "delta publish ({delta:.0} us/tick) not cheaper than full ({full:.0} us/tick)"
+        );
+    }
+}

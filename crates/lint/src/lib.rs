@@ -132,10 +132,17 @@ pub fn ruleset_for(rel: &str) -> Option<RuleSet> {
         rs.map_iter = true;
         rs.locks = true;
         rs.metric_name = true;
-        if rel.ends_with("/server.rs") || rel.ends_with("/harness.rs") {
-            // The two sanctioned homes for wall time and threads: socket
-            // timeouts / worker pool (server) and tick pacing (harness).
-            // Wall time there is never committed to sim state.
+        if rel.ends_with("/server.rs")
+            || rel.ends_with("/harness.rs")
+            || rel.ends_with("/eventloop.rs")
+        {
+            // The sanctioned homes for wall time and threads: shard
+            // spawning (server), connection deadlines/idle reaping
+            // (eventloop), and tick pacing / publish-cost measurement
+            // (harness). Wall time there is never committed to sim
+            // state. `http.rs` and `poll.rs` stay strict: pure wire
+            // grammar and a pollfd wrapper need neither clocks nor
+            // threads.
             rs.spawn_allowed = true;
             rs.clock = false;
         }
@@ -480,10 +487,20 @@ mod tests {
 
     #[test]
     fn serve_socket_modules_get_spawn_and_clock_allowances() {
-        for sanctioned in ["crates/serve/src/server.rs", "crates/serve/src/harness.rs"] {
+        for sanctioned in [
+            "crates/serve/src/server.rs",
+            "crates/serve/src/harness.rs",
+            "crates/serve/src/eventloop.rs",
+        ] {
             let rs = ruleset_for(sanctioned).expect("serve in scope");
             assert!(rs.spawn_allowed && !rs.clock, "{sanctioned}");
             assert!(rs.locks && rs.map_iter, "{sanctioned}");
+        }
+        // The wire grammar and pollfd wrapper stay strict — no clock or
+        // spawn allowance leaks onto the rest of the socket path.
+        for strict in ["crates/serve/src/http.rs", "crates/serve/src/poll.rs"] {
+            let rs = ruleset_for(strict).expect("serve in scope");
+            assert!(!rs.spawn_allowed && rs.clock, "{strict}");
         }
         let routes = ruleset_for("crates/serve/src/routes.rs").expect("serve in scope");
         assert!(!routes.spawn_allowed && routes.clock);

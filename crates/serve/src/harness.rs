@@ -2,38 +2,55 @@
 //! continuously while the HTTP server reads torn-free snapshots.
 //!
 //! Serving never perturbs the simulation: after every tick the harness
-//! publishes an immutable [`LiveSnapshot`] for the handlers, and operator
-//! actions posted over HTTP are drained **at the next tick start**, in
-//! FIFO acceptance order — the one deterministic injection point. A run
-//! with a server attached (and no actions posted) is therefore
-//! bit-identical to the same seed with no server at all; the determinism
-//! suite proves it under 32 concurrent clients.
+//! publishes immutable state for the handlers, and operator actions
+//! posted over HTTP are drained **at the next tick start**, in FIFO
+//! acceptance order — the one deterministic injection point. A run with
+//! a server attached (and no actions posted) is therefore bit-identical
+//! to the same seed with no server at all; the determinism suite proves
+//! it under 32 concurrent clients.
 //!
-//! This module (with [`server`](crate::server)) is the crate's only
-//! sanctioned home for wall clocks and `thread::spawn` — wall time here
-//! only *paces* ticks in resident mode, it never feeds sim state.
+//! # Delta publishing
+//!
+//! Publishing a full [`LiveSnapshot`] every tick costs O(fleet), which
+//! walls off big fleets (ROADMAP item 2). Instead the harness publishes
+//! a [`DeltaSnapshot`] per tick — machines whose *fingerprint* changed,
+//! appended incidents/samples, spec bumps, grown traces — over a full
+//! base republished every [`full_snapshot_every`](Self::set_full_snapshot_every)
+//! ticks (1 = the legacy full-every-tick mode). Fingerprints quantize
+//! the jittery fields (utilization to 1/8, thread counts and
+//! throttle-event totals to powers of two) so ordinary load noise does
+//! not re-publish the whole fleet; the merged view may lag those by one
+//! quantum for up to one full-snapshot period, while everything
+//! discrete — incidents, caps, specs, task placement, tick counters —
+//! is exact every tick. Readers reconstruct lazily in
+//! [`LiveState`](crate::state::LiveState); the tick thread pays for
+//! churn, not fleet size.
+//!
+//! This module (with [`server`](crate::server) and
+//! [`eventloop`](crate::eventloop)) is the crate's only sanctioned home
+//! for wall clocks and `thread::spawn` — wall time here only *paces*
+//! ticks and *measures* publish cost, it never feeds sim state.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cpi2::core::{CpiSample, IncidentAction};
+use cpi2::core::{CpiSample, IncidentAction, TraceId};
 use cpi2::harness::Cpi2Harness;
-use cpi2::sim::{JobId, SimDuration, TaskId};
+use cpi2::sim::{JobId, Machine, SimDuration, TaskId};
+use cpi2::telemetry::Histo;
 
 use crate::routes::Router;
 use crate::server::{self, Handler, ServerConfig, ServerHandle};
 use crate::state::{
-    IncidentView, LiveSnapshot, MachineView, OperatorAction, SharedState, SpanView, SuspectView,
-    TaskView, TraceView,
+    DeltaSnapshot, IncidentView, LiveSnapshot, MachineView, OperatorAction, SharedState, SpanView,
+    SuspectView, TaskView, TraceView, INCIDENT_TAIL, SAMPLE_TAIL,
 };
 
-/// Bounded tails kept in each snapshot (full history stays queryable via
-/// the harness itself; the HTTP surface serves recent state).
-const INCIDENT_TAIL: usize = 256;
-const SAMPLE_TAIL: usize = 512;
+/// Default full-base republish period, ticks.
+const DEFAULT_FULL_EVERY: u32 = 64;
 
 /// The resident CPI² deployment: harness + snapshot publisher + action
 /// sink + (optionally) an attached HTTP server.
@@ -43,6 +60,23 @@ pub struct ServeHarness {
     sample_tail: VecDeque<CpiSample>,
     ticks: u64,
     server: Option<ServerHandle>,
+    /// Full-base republish period; 1 = full snapshot every tick.
+    full_every: u32,
+    /// Ticks since the last full base.
+    since_full: u32,
+    /// Per-machine quantized fingerprints as of the last publish,
+    /// indexed like `cluster.machines()`.
+    machine_fps: Vec<u64>,
+    /// Incidents already published (watermark into `inner.incidents()`).
+    incidents_seen: usize,
+    /// Spec store version already published.
+    spec_version_seen: u64,
+    /// Span count per trace as of the last publish.
+    trace_sizes: BTreeMap<TraceId, usize>,
+    /// Publish cost distribution, µs (wall time; measurement only).
+    publish_histo: Histo,
+    publish_count: u64,
+    publish_us_total: u64,
 }
 
 impl ServeHarness {
@@ -51,15 +85,37 @@ impl ServeHarness {
     pub fn new(mut inner: Cpi2Harness) -> ServeHarness {
         inner.record_samples = true;
         let state = SharedState::new(inner.telemetry().clone());
+        let publish_histo = inner.telemetry().histogram("cpi_serve_publish_us", &[]);
         let mut sh = ServeHarness {
             inner,
             state,
             sample_tail: VecDeque::with_capacity(SAMPLE_TAIL),
             ticks: 0,
             server: None,
+            full_every: DEFAULT_FULL_EVERY,
+            since_full: 0,
+            machine_fps: Vec::new(),
+            incidents_seen: 0,
+            spec_version_seen: 0,
+            trace_sizes: BTreeMap::new(),
+            publish_histo,
+            publish_count: 0,
+            publish_us_total: 0,
         };
-        sh.publish_snapshot();
+        sh.publish_full();
         sh
+    }
+
+    /// Sets the full-base republish period (clamped to ≥ 1; 1 publishes
+    /// a full snapshot every tick, the pre-delta behaviour).
+    pub fn set_full_snapshot_every(&mut self, ticks: u32) {
+        self.full_every = ticks.max(1);
+    }
+
+    /// `(publishes, total µs)` spent building/publishing snapshots so
+    /// far — the tick-thread cost the load benchmark pins down.
+    pub fn publish_stats(&self) -> (u64, u64) {
+        (self.publish_count, self.publish_us_total)
     }
 
     /// The state shared with the HTTP router (for tests that drive the
@@ -88,18 +144,29 @@ impl ServeHarness {
     }
 
     /// One tick: apply queued operator actions, step the system, publish
-    /// a fresh snapshot.
+    /// the delta (or periodic full base).
     pub fn tick(&mut self) {
         self.apply_actions();
         self.inner.step();
         self.ticks += 1;
-        for s in std::mem::take(&mut self.inner.samples) {
+        let fresh: Vec<CpiSample> = std::mem::take(&mut self.inner.samples);
+        for s in &fresh {
             if self.sample_tail.len() == SAMPLE_TAIL {
                 self.sample_tail.pop_front();
             }
-            self.sample_tail.push_back(s);
+            self.sample_tail.push_back(s.clone());
         }
-        self.publish_snapshot();
+        let started = Instant::now();
+        if self.since_full + 1 >= self.full_every {
+            self.publish_full();
+        } else {
+            self.publish_delta(fresh);
+            self.since_full += 1;
+        }
+        let spent_us = started.elapsed().as_micros() as u64;
+        self.publish_histo.record(spent_us as f64);
+        self.publish_count += 1;
+        self.publish_us_total += spent_us;
     }
 
     /// Runs for a sim duration (whole ticks), as fast as possible.
@@ -117,7 +184,22 @@ impl ServeHarness {
     ///
     /// Propagates bind failures.
     pub fn serve(&mut self, addr: &str, cfg: ServerConfig) -> io::Result<SocketAddr> {
-        let router = Router::new(self.state());
+        self.serve_with_token(addr, cfg, None)
+    }
+
+    /// Like [`serve`](Self::serve), with a shared-secret token required
+    /// (constant-time compared) on mutating endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve_with_token(
+        &mut self,
+        addr: &str,
+        cfg: ServerConfig,
+        auth_token: Option<String>,
+    ) -> io::Result<SocketAddr> {
+        let router = Router::new(self.state()).with_auth_token(auth_token);
         let handler: Handler = Arc::new(move |req| router.handle(req));
         let handle = server::start(addr, cfg, self.inner.telemetry(), handler)?;
         let bound = handle.addr();
@@ -203,33 +285,32 @@ impl ServeHarness {
         }
     }
 
-    fn publish_snapshot(&mut self) {
-        let cluster = &self.inner.cluster;
-        let machines: Vec<MachineView> = cluster
-            .machines()
-            .iter()
-            .map(|m| MachineView {
-                id: m.id.0,
-                tasks: m.task_count(),
-                threads: m.thread_count(),
-                utilization: m.utilization(),
-                throttle_events: m.throttle_events(),
-                task_list: m
-                    .tasks()
-                    .map(|t| TaskView {
-                        job: t.id.job.0,
-                        index: t.id.index,
-                        job_name: t.job_name.clone(),
-                        class: format!("{:?}", t.class),
-                        threads: t.threads(),
-                    })
-                    .collect(),
-            })
-            .collect();
+    fn build_machine_view(m: &Machine) -> MachineView {
+        MachineView {
+            id: m.id.0,
+            tasks: m.task_count(),
+            threads: m.thread_count(),
+            utilization: m.utilization(),
+            throttle_events: m.throttle_events(),
+            task_list: m
+                .tasks()
+                .map(|t| TaskView {
+                    job: t.id.job.0,
+                    index: t.id.index,
+                    job_name: t.job_name.clone(),
+                    class: format!("{:?}", t.class),
+                    threads: t.threads(),
+                })
+                .collect(),
+        }
+    }
 
+    /// Incident views appended since the `seen` watermark (bounded by
+    /// the serving tail).
+    fn build_new_incidents(&self, seen: usize) -> Vec<IncidentView> {
         let all = self.inner.incidents();
-        let start = all.len().saturating_sub(INCIDENT_TAIL);
-        let incidents: Vec<IncidentView> = all[start..]
+        let start = seen.max(all.len().saturating_sub(INCIDENT_TAIL));
+        all[start..]
             .iter()
             .map(|mi| {
                 let inc = &mi.incident;
@@ -263,7 +344,47 @@ impl ServeHarness {
                         .collect(),
                 }
             })
+            .collect()
+    }
+
+    fn build_trace_view(&self, id: TraceId) -> TraceView {
+        TraceView {
+            trace: id.to_string(),
+            spans: self
+                .inner
+                .trace_log()
+                .get(id)
+                .unwrap_or(&[])
+                .iter()
+                .map(|sp| SpanView {
+                    stage: sp.stage.name().to_string(),
+                    start_us: sp.start_us,
+                    end_us: sp.end_us,
+                    detail: sp.detail.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Publishes a full base snapshot and resets every delta watermark.
+    fn publish_full(&mut self) {
+        let machines: Vec<MachineView> = self
+            .inner
+            .cluster
+            .machines()
+            .iter()
+            .map(Self::build_machine_view)
             .collect();
+        self.machine_fps = self
+            .inner
+            .cluster
+            .machines()
+            .iter()
+            .map(machine_fingerprint)
+            .collect();
+
+        let incidents = self.build_new_incidents(0);
+        self.incidents_seen = self.inner.incidents().len();
 
         let spec_snap = self.inner.spec_store.snapshot();
         let specs: Vec<_> = spec_snap
@@ -271,31 +392,26 @@ impl ServeHarness {
             .into_iter()
             .map(|(spec, _published_at)| spec)
             .collect();
+        self.spec_version_seen = spec_snap.version();
 
         let trace_log = self.inner.trace_log();
+        self.trace_sizes = trace_log
+            .ids()
+            .map(|id| (id, trace_log.get(id).map(|s| s.len()).unwrap_or(0)))
+            .collect();
         let traces: Vec<TraceView> = trace_log
             .ids()
-            .map(|id| TraceView {
-                trace: id.to_string(),
-                spans: trace_log
-                    .get(id)
-                    .unwrap_or(&[])
-                    .iter()
-                    .map(|sp| SpanView {
-                        stage: sp.stage.name().to_string(),
-                        start_us: sp.start_us,
-                        end_us: sp.end_us,
-                        detail: sp.detail.clone(),
-                    })
-                    .collect(),
-            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|id| self.build_trace_view(id))
             .collect();
 
+        let cluster = &self.inner.cluster;
         self.state.live.publish(LiveSnapshot {
             now_us: cluster.now().as_us(),
             tick_us: cluster.tick_len().as_us(),
             ticks: self.ticks,
-            spec_version: spec_snap.version(),
+            spec_version: self.spec_version_seen,
             protection_enabled: self.inner.protection_enabled(),
             caps_applied: self.inner.caps_applied(),
             collector_dropped: self.inner.collector_dropped(),
@@ -305,5 +421,102 @@ impl ServeHarness {
             samples: self.sample_tail.iter().cloned().collect(),
             traces,
         });
+        self.since_full = 0;
     }
+
+    /// Publishes one tick's delta: changed machines (by quantized
+    /// fingerprint), appended incidents/samples, spec bumps, grown
+    /// traces. Cost scales with churn, not fleet size.
+    fn publish_delta(&mut self, fresh_samples: Vec<CpiSample>) {
+        let machines: Vec<MachineView> = {
+            let cluster_machines = self.inner.cluster.machines();
+            self.machine_fps.resize(cluster_machines.len(), 0);
+            cluster_machines
+                .iter()
+                .enumerate()
+                .filter_map(|(i, m)| {
+                    let fp = machine_fingerprint(m);
+                    if self.machine_fps[i] == fp {
+                        None
+                    } else {
+                        self.machine_fps[i] = fp;
+                        Some(Self::build_machine_view(m))
+                    }
+                })
+                .collect()
+        };
+
+        let new_incidents = self.build_new_incidents(self.incidents_seen);
+        self.incidents_seen = self.inner.incidents().len();
+
+        let spec_snap = self.inner.spec_store.snapshot();
+        let changed_specs: Vec<_> = spec_snap
+            .changed_since_with_age(self.spec_version_seen)
+            .into_iter()
+            .map(|(spec, _published_at)| spec)
+            .collect();
+        self.spec_version_seen = spec_snap.version();
+
+        let changed_ids: Vec<TraceId> = {
+            let trace_log = self.inner.trace_log();
+            trace_log
+                .ids()
+                .filter(|id| {
+                    let len = trace_log.get(*id).map(|s| s.len()).unwrap_or(0);
+                    self.trace_sizes.get(id) != Some(&len)
+                })
+                .collect()
+        };
+        let changed_traces: Vec<TraceView> = changed_ids
+            .into_iter()
+            .map(|id| {
+                let view = self.build_trace_view(id);
+                self.trace_sizes.insert(id, view.spans.len());
+                view
+            })
+            .collect();
+
+        let cluster = &self.inner.cluster;
+        self.state.live.publish_delta(DeltaSnapshot {
+            now_us: cluster.now().as_us(),
+            tick_us: cluster.tick_len().as_us(),
+            ticks: self.ticks,
+            spec_version: self.spec_version_seen,
+            protection_enabled: self.inner.protection_enabled(),
+            caps_applied: self.inner.caps_applied(),
+            collector_dropped: self.inner.collector_dropped(),
+            machines,
+            new_incidents,
+            new_samples: fresh_samples,
+            changed_specs,
+            changed_traces,
+        });
+    }
+}
+
+/// Hash of a machine's *quantized* serving-relevant state. Task
+/// placement is exact; the continuous or every-tick-jittery fields are
+/// bucketed — utilization to 1/8, thread counts and throttle-event
+/// totals to powers of two — so steady-state load noise (a heavily
+/// shared machine throttles on most ticks) does not re-publish the
+/// whole fleet every tick. Staleness is bounded by one bucket for at
+/// most one full-snapshot period; the periodic full base restores
+/// exactness. This scan runs over every machine every tick, so the mix
+/// is one multiply/rotate per field, not a byte-wise FNV.
+fn machine_fingerprint(m: &Machine) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h = (h ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29);
+    };
+    mix(m.id.0 as u64);
+    mix(m.task_count() as u64);
+    mix((m.throttle_events() + 1).next_power_of_two());
+    mix(m.thread_count().next_power_of_two());
+    mix((m.utilization() * 8.0).round() as i64 as u64);
+    for t in m.tasks() {
+        mix(t.id.job.0 as u64);
+        mix(t.id.index as u64);
+        mix(u64::from(t.threads()).next_power_of_two());
+    }
+    h
 }

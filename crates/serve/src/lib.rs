@@ -10,9 +10,11 @@
 //!   tick by tick while request handlers read only torn-free snapshots —
 //!   serving cannot perturb tick ordering, and the determinism suite
 //!   proves tick-stream bit-identity with a server attached vs absent;
-//! - [`server`] is a dependency-free HTTP/1.1 server (bounded worker
-//!   pool, read/write timeouts, size ceilings, back-pressure by refusal)
-//!   in the same hand-rolled spirit as the rest of the workspace;
+//! - [`server`] is a dependency-free HTTP/1.1 keep-alive server
+//!   (sharded accept + `poll(2)` readiness event loop, pipelining,
+//!   streaming chunked responses, read/write deadlines, size ceilings,
+//!   back-pressure by refusal) in the same hand-rolled spirit as the
+//!   rest of the workspace;
 //! - [`routes`] expose `/metrics` (Prometheus text), `/metrics.json`,
 //!   `/healthz`, `/version`, `/incidents`, `/incidents/{id}/trace`,
 //!   `/specs/{job}`, `/machines/{id}`, `/debug/events`, `POST /query`
@@ -43,7 +45,10 @@
 
 #![warn(missing_docs)]
 
+pub mod eventloop;
 pub mod harness;
+pub mod http;
+pub mod poll;
 pub mod routes;
 pub mod server;
 pub mod state;

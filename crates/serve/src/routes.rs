@@ -6,27 +6,51 @@
 //! the [`ActionQueue`](crate::state::ActionQueue) for deterministic
 //! application at the next tick boundary. Handlers therefore cannot
 //! perturb tick ordering no matter how hard they are driven.
+//!
+//! The unbounded-cardinality endpoints (`/incidents`, `/debug/events`,
+//! `POST /query`) answer with `Transfer-Encoding: chunked` bodies
+//! produced element by element: the chunk iterator owns the snapshot
+//! `Arc` and is pulled as the socket drains, so a large result set
+//! never materializes as one contiguous buffer and a slow client
+//! backpressures its own connection only.
+//!
+//! Mutating endpoints (`POST /query`, `POST /actions/*`) can be gated
+//! behind a shared-secret token ([`Router::with_auth_token`]): clients
+//! present it as `Authorization: Bearer <token>` or `X-Auth-Token`, the
+//! comparison is constant-time, and a missing or wrong token answers
+//! `401` before any handler state is touched.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 use cpi2::core::TraceId;
 use cpi2::pipeline::query::{Dataset, QueryResult, Value};
+use cpi2::telemetry::Event;
 use serde_json;
 
 use crate::server::{Request, Response};
 use crate::state::{OperatorAction, SharedState};
 
-/// The route table: one instance serves every worker thread.
+/// The route table: one instance serves every shard thread.
 #[derive(Debug)]
 pub struct Router {
     state: Arc<SharedState>,
+    auth_token: Option<Vec<u8>>,
 }
 
 impl Router {
-    /// Creates a router over the shared state.
+    /// Creates a router over the shared state (no auth required).
     pub fn new(state: Arc<SharedState>) -> Router {
-        Router { state }
+        Router {
+            state,
+            auth_token: None,
+        }
+    }
+
+    /// Requires `token` (when `Some`) on mutating endpoints.
+    pub fn with_auth_token(mut self, token: Option<String>) -> Router {
+        self.auth_token = token.map(String::into_bytes);
+        self
     }
 
     /// Dispatches one request.
@@ -43,11 +67,29 @@ impl Router {
             ("GET", ["specs", job]) => self.specs(job),
             ("GET", ["machines", id]) => self.machine(id),
             ("GET", ["debug", "events"]) => self.events(),
+            ("POST", ["query"]) if !self.authorized(req) => unauthorized(),
+            ("POST", ["actions", _]) if !self.authorized(req) => unauthorized(),
             ("POST", ["query"]) => self.query(req),
             ("POST", ["actions", action]) => self.action(action, req),
             ("POST", _) => Response::error(404, "unknown route"),
             ("GET", _) => Response::error(404, "unknown route"),
             _ => Response::error(405, "method not allowed"),
+        }
+    }
+
+    /// Whether the request carries the configured shared secret (always
+    /// true when no token is configured). Constant-time comparison.
+    fn authorized(&self, req: &Request) -> bool {
+        let Some(expected) = &self.auth_token else {
+            return true;
+        };
+        let presented = req
+            .header("authorization")
+            .and_then(|v| v.strip_prefix("Bearer "))
+            .or_else(|| req.header("x-auth-token"));
+        match presented {
+            Some(tok) => constant_time_eq(tok.as_bytes(), expected),
+            None => false,
         }
     }
 
@@ -82,7 +124,7 @@ impl Router {
             Some(text) => Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4; charset=utf-8",
-                body: text.into_bytes(),
+                body: crate::http::Body::Full(text.into_bytes()),
             },
             None => Response::error(503, "telemetry disabled"),
         }
@@ -97,10 +139,10 @@ impl Router {
 
     fn incidents(&self) -> Response {
         let snap = self.state.live.snapshot();
-        match serde_json::to_string(&snap.incidents) {
-            Ok(json) => Response::json(json),
-            Err(_) => Response::error(500, "serialization failed"),
-        }
+        let n = snap.incidents.len();
+        stream_json_array((0..n).map(move |i| {
+            serde_json::to_string(&snap.incidents[i]).unwrap_or_else(|_| "null".into())
+        }))
     }
 
     fn incident_trace(&self, id: &str) -> Response {
@@ -150,21 +192,7 @@ impl Router {
 
     fn events(&self) -> Response {
         let events = self.state.telemetry.recent_events();
-        let mut out = String::from("[");
-        for (i, e) in events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "{{\"at_us\":{},\"kind\":{},\"detail\":{}}}",
-                e.at_us,
-                jstr(&e.kind),
-                jstr(&e.detail)
-            );
-        }
-        out.push(']');
-        Response::json(out)
+        stream_json_array(events.into_iter().map(|e| event_json(&e)))
     }
 
     fn query(&self, req: &Request) -> Response {
@@ -185,7 +213,7 @@ impl Router {
             return Response::error(500, "failed to build query tables");
         }
         match ds.query(sql) {
-            Ok(result) => Response::json(render_query_result(&result)),
+            Ok(result) => stream_query_result(result),
             Err(e) => Response::error(400, &format!("{e:?}")),
         }
     }
@@ -239,48 +267,118 @@ impl Router {
         Response {
             status: 202,
             content_type: "application/json",
-            body: format!(
-                "{{\"accepted\":{seq},\"pending\":{},\"applies\":\"next tick\"}}",
-                self.state.actions.pending()
-            )
-            .into_bytes(),
+            body: crate::http::Body::Full(
+                format!(
+                    "{{\"accepted\":{seq},\"pending\":{},\"applies\":\"next tick\"}}",
+                    self.state.actions.pending()
+                )
+                .into_bytes(),
+            ),
         }
     }
 }
 
-/// Renders a query result as `{"columns": [...], "rows": [[...]]}`.
-fn render_query_result(r: &QueryResult) -> String {
-    let mut out = String::from("{\"columns\":[");
+/// The `401` every gated endpoint answers without a valid token.
+fn unauthorized() -> Response {
+    Response::error(401, "missing or invalid auth token")
+}
+
+/// A chunked `200` JSON array: `[` + comma-joined items + `]`, one
+/// chunk per item, pulled as the client's socket drains.
+fn stream_json_array<I>(items: I) -> Response
+where
+    I: Iterator<Item = String> + Send + 'static,
+{
+    let mut first = true;
+    let body = std::iter::once(b"[".to_vec())
+        .chain(items.map(move |item| {
+            let mut chunk = Vec::with_capacity(item.len() + 1);
+            if first {
+                first = false;
+            } else {
+                chunk.push(b',');
+            }
+            chunk.extend_from_slice(item.as_bytes());
+            chunk
+        }))
+        .chain(std::iter::once(b"]".to_vec()));
+    Response::chunked("application/json", Box::new(body))
+}
+
+/// One `/debug/events` element.
+fn event_json(e: &Event) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"at_us\":{},\"kind\":{},\"detail\":{}}}",
+        e.at_us,
+        jstr(&e.kind),
+        jstr(&e.detail)
+    );
+    out
+}
+
+/// Streams a query result as `{"columns": [...], "rows": [[...]]}`,
+/// one chunk per row.
+fn stream_query_result(r: QueryResult) -> Response {
+    let mut head = String::from("{\"columns\":[");
     for (i, c) in r.columns.iter().enumerate() {
         if i > 0 {
-            out.push(',');
+            head.push(',');
         }
-        out.push_str(&jstr(c));
+        head.push_str(&jstr(c));
     }
-    out.push_str("],\"rows\":[");
-    for (i, row) in r.rows.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push('[');
-        for (j, v) in row.iter().enumerate() {
-            if j > 0 {
+    head.push_str("],\"rows\":[");
+    let mut first = true;
+    let body = std::iter::once(head.into_bytes())
+        .chain(r.rows.into_iter().map(move |row| {
+            let mut out = String::new();
+            if first {
+                first = false;
+            } else {
                 out.push(',');
             }
-            match v {
-                Value::Null => out.push_str("null"),
-                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-                Value::Num(n) if n.is_finite() => {
-                    let _ = write!(out, "{n}");
+            out.push('[');
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
                 }
-                Value::Num(_) => out.push_str("null"),
-                Value::Str(s) => out.push_str(&jstr(s)),
+                render_value(&mut out, v);
             }
+            out.push(']');
+            out.into_bytes()
+        }))
+        .chain(std::iter::once(b"]}".to_vec()));
+    Response::chunked("application/json", Box::new(body))
+}
+
+/// One JSON scalar of a query row.
+fn render_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) if n.is_finite() => {
+            let _ = write!(out, "{n}");
         }
-        out.push(']');
+        Value::Num(_) => out.push_str("null"),
+        Value::Str(s) => out.push_str(&jstr(s)),
     }
-    out.push_str("]}");
-    out
+}
+
+/// Constant-time byte-string equality: examines every byte of the
+/// presented token regardless of where the first mismatch is, so the
+/// comparison leaks no prefix-length timing signal.
+fn constant_time_eq(presented: &[u8], expected: &[u8]) -> bool {
+    let mut diff = presented.len() ^ expected.len();
+    for (i, b) in presented.iter().enumerate() {
+        let e = if expected.is_empty() {
+            0
+        } else {
+            expected[i % expected.len()]
+        };
+        diff |= usize::from(b ^ e);
+    }
+    diff == 0
 }
 
 /// JSON string literal with escaping.
@@ -363,7 +461,11 @@ mod tests {
             ..Request::default()
         });
         assert_eq!(resp.status, 200);
-        let body = String::from_utf8(resp.body).unwrap();
+        assert!(
+            matches!(resp.body, crate::http::Body::Chunks(_)),
+            "query results stream"
+        );
+        let body = String::from_utf8(resp.into_body_bytes()).unwrap();
         assert!(
             body.contains("\"columns\":[\"id\",\"utilization\"]"),
             "{body}"
@@ -377,6 +479,74 @@ mod tests {
             ..Request::default()
         });
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn incidents_and_events_stream_valid_json() {
+        let r = router();
+        let resp = get(&r, "/incidents");
+        assert_eq!(resp.status, 200);
+        assert!(matches!(resp.body, crate::http::Body::Chunks(_)));
+        let body = String::from_utf8(resp.into_body_bytes()).unwrap();
+        assert_eq!(body, "[]", "empty incident tail renders as []");
+        let resp = get(&r, "/debug/events");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.into_body_bytes()).unwrap();
+        assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+    }
+
+    #[test]
+    fn auth_token_gates_mutating_endpoints() {
+        let state = SharedState::new(Telemetry::enabled());
+        state.live.publish(LiveSnapshot::default());
+        let r = Router::new(state).with_auth_token(Some("sekrit".into()));
+
+        // GETs stay open.
+        assert_eq!(get(&r, "/healthz").status, 200);
+        assert_eq!(get(&r, "/incidents").status, 200);
+
+        let post = |headers: Vec<(String, String)>| {
+            r.handle(&Request {
+                method: "POST".into(),
+                path: "/actions/protection".into(),
+                query: vec![("enabled".into(), "false".into())],
+                headers,
+                ..Request::default()
+            })
+        };
+        assert_eq!(post(vec![]).status, 401, "missing token");
+        assert_eq!(
+            post(vec![("authorization".into(), "Bearer wrong".into())]).status,
+            401,
+            "wrong token"
+        );
+        assert_eq!(r.state.actions.pending(), 0, "nothing enqueued while 401");
+        assert_eq!(
+            post(vec![("authorization".into(), "Bearer sekrit".into())]).status,
+            202
+        );
+        assert_eq!(
+            post(vec![("x-auth-token".into(), "sekrit".into())]).status,
+            202,
+            "X-Auth-Token works too"
+        );
+        // /query is gated the same way.
+        let resp = r.handle(&Request {
+            method: "POST".into(),
+            path: "/query".into(),
+            body: b"SELECT id FROM machines".to_vec(),
+            ..Request::default()
+        });
+        assert_eq!(resp.status, 401);
+    }
+
+    #[test]
+    fn constant_time_eq_compares_correctly() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+        assert!(!constant_time_eq(b"", b"x"));
+        assert!(constant_time_eq(b"", b""));
     }
 
     #[test]

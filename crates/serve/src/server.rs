@@ -1,48 +1,58 @@
-//! A dependency-free HTTP/1.1 server on `std::net::TcpListener`.
+//! A dependency-free HTTP/1.1 keep-alive server on `std::net`.
 //!
 //! Deliberately minimal — the rest of the workspace hand-rolls its
 //! infrastructure (channels, locks, serde stand-ins) and the control
-//! plane is no exception: no hyper, no tokio, no event loop. The shape
-//! is a bounded worker pool fed by an accept thread:
+//! plane is no exception: no hyper, no tokio, no mio. The shape is
+//! sharded accept over a readiness event loop:
 //!
-//! - the accept thread `try_send`s connections into a bounded channel;
-//!   a full channel answers `503` immediately instead of queueing
-//!   unboundedly (back-pressure by refusal, like the collector);
-//! - each worker reads exactly one request (`Connection: close`), with
-//!   hard ceilings on header and body size and per-socket read/write
-//!   timeouts, so a stalled or malicious client can pin at most one
-//!   worker for one timeout;
+//! - [`start`] binds one non-blocking listener and spawns `cfg.shards`
+//!   shard threads, each polling its own clone of the listener plus its
+//!   private connection registry via `poll(2)`
+//!   ([`eventloop`](crate::eventloop)); a connection lives its whole
+//!   life on one shard;
+//! - connections are keep-alive with pipelining, per-connection read
+//!   and write buffers, idle reaping, and a max-requests cap; header
+//!   and body ceilings and read/write deadlines bound what a stalled or
+//!   malicious client can hold;
+//! - over `max_connections`, new clients get `503` immediately instead
+//!   of queueing unboundedly (back-pressure by refusal, like the
+//!   collector);
 //! - handlers run under `catch_unwind`: a panicking route answers `500`
-//!   and the worker lives on.
+//!   and the shard lives on.
 //!
-//! This module (with [`harness`](crate::harness)) is the crate's only
-//! sanctioned home for wall clocks and `thread::spawn` — the lint
-//! scoping in `cpi2-lint` enforces that; routes and state stay
-//! deterministic-friendly.
+//! This module (with [`eventloop`](crate::eventloop) and
+//! [`harness`](crate::harness)) is the crate's only sanctioned home for
+//! wall clocks and `thread::spawn` — the lint scoping in `cpi2-lint`
+//! enforces that; routes and state stay deterministic-friendly.
 
-use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
 
-use cpi2::telemetry::{Counter, Gauge, Telemetry};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use cpi2::telemetry::{Counter, Gauge, Histo, Telemetry};
+
+pub use crate::http::{Body, ChunkIter, Request, Response};
 
 /// Server tuning knobs. Defaults are sized for an operator console, not
 /// a public ingress.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads handling requests.
-    pub workers: usize,
-    /// Accepted-connection queue length; beyond it clients get `503`.
-    pub accept_queue: usize,
-    /// Per-socket read timeout, ms.
+    /// Accept/connection shard threads.
+    pub shards: usize,
+    /// Server-wide open-connection ceiling; beyond it clients get `503`.
+    pub max_connections: usize,
+    /// A partially-received request must complete within this, ms
+    /// (`408` beyond). Also bounds connections that never send a byte.
     pub read_timeout_ms: u64,
-    /// Per-socket write timeout, ms.
+    /// A response write may stall (client not draining) at most this, ms.
     pub write_timeout_ms: u64,
+    /// Idle keep-alive connections are reaped after this, ms.
+    pub keep_alive_idle_ms: u64,
+    /// Requests served per connection before it is retired with
+    /// `Connection: close`.
+    pub max_requests_per_conn: u32,
     /// Request line + headers ceiling, bytes (`431` beyond).
     pub max_header_bytes: usize,
     /// Body ceiling, bytes (`413` beyond).
@@ -52,86 +62,14 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            workers: 4,
-            accept_queue: 64,
+            shards: 4,
+            max_connections: 1024,
             read_timeout_ms: 5_000,
             write_timeout_ms: 5_000,
+            keep_alive_idle_ms: 30_000,
+            max_requests_per_conn: 1024,
             max_header_bytes: 8 * 1024,
             max_body_bytes: 64 * 1024,
-        }
-    }
-}
-
-/// One parsed HTTP request.
-#[derive(Debug, Clone, Default)]
-pub struct Request {
-    /// Uppercase method (`GET`, `POST`).
-    pub method: String,
-    /// Path without the query string.
-    pub path: String,
-    /// Query parameters in order of appearance (no percent-decoding:
-    /// every parameter this API takes is numeric or a plain token).
-    pub query: Vec<(String, String)>,
-    /// Request body.
-    pub body: Vec<u8>,
-}
-
-impl Request {
-    /// First value of a query parameter.
-    pub fn param(&self, key: &str) -> Option<&str> {
-        self.query
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-}
-
-/// An HTTP response to be written.
-#[derive(Debug, Clone)]
-pub struct Response {
-    /// Status code.
-    pub status: u16,
-    /// `Content-Type` header value.
-    pub content_type: &'static str,
-    /// Body bytes.
-    pub body: Vec<u8>,
-}
-
-impl Response {
-    /// A `200 OK` JSON response.
-    pub fn json(body: String) -> Response {
-        Response {
-            status: 200,
-            content_type: "application/json",
-            body: body.into_bytes(),
-        }
-    }
-
-    /// A plain-text response with the given status.
-    pub fn text(status: u16, body: impl Into<String>) -> Response {
-        Response {
-            status,
-            content_type: "text/plain; charset=utf-8",
-            body: body.into().into_bytes(),
-        }
-    }
-
-    /// A JSON error `{"error": ...}` with the given status.
-    pub fn error(status: u16, message: &str) -> Response {
-        let mut body = String::from("{\"error\":\"");
-        for c in message.chars() {
-            match c {
-                '"' => body.push_str("\\\""),
-                '\\' => body.push_str("\\\\"),
-                '\n' => body.push_str("\\n"),
-                c => body.push(c),
-            }
-        }
-        body.push_str("\"}");
-        Response {
-            status,
-            content_type: "application/json",
-            body: body.into_bytes(),
         }
     }
 }
@@ -139,17 +77,60 @@ impl Response {
 /// The request handler: borrowed request in, owned response out.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync + 'static>;
 
-/// Request/response counters, all registered up front with literal names.
+/// Endpoint label for the per-endpoint duration histogram. A closed set
+/// (unknown paths collapse to `other`) so metric cardinality is bounded
+/// no matter what clients request.
+pub(crate) fn endpoint_label(path: &str) -> &'static str {
+    let mut segs = path.split('/').filter(|s| !s.is_empty());
+    match (segs.next(), segs.next(), segs.next()) {
+        (None, _, _) => "root",
+        (Some("healthz"), None, _) => "healthz",
+        (Some("version"), None, _) => "version",
+        (Some("metrics"), None, _) => "metrics",
+        (Some("metrics.json"), None, _) => "metrics_json",
+        (Some("incidents"), None, _) => "incidents",
+        (Some("incidents"), Some(_), Some("trace")) => "incident_trace",
+        (Some("specs"), Some(_), None) => "specs",
+        (Some("machines"), Some(_), None) => "machines",
+        (Some("debug"), Some("events"), None) => "debug_events",
+        (Some("query"), None, _) => "query",
+        (Some("actions"), Some(_), None) => "actions",
+        _ => "other",
+    }
+}
+
+/// The endpoint labels pre-registered for duration histograms; must
+/// cover everything [`endpoint_label`] can return.
+const ENDPOINT_LABELS: [&str; 13] = [
+    "root",
+    "healthz",
+    "version",
+    "metrics",
+    "metrics_json",
+    "incidents",
+    "incident_trace",
+    "specs",
+    "machines",
+    "debug_events",
+    "query",
+    "actions",
+    "other",
+];
+
+/// Request/response counters and latency histograms, all registered up
+/// front with literal names.
 #[derive(Debug, Clone, Default)]
-struct ServerMetrics {
-    requests_total: Counter,
-    responses_2xx: Counter,
-    responses_4xx: Counter,
-    responses_5xx: Counter,
-    rejected_total: Counter,
-    disconnects_total: Counter,
-    panics_total: Counter,
-    queue_depth: Gauge,
+pub(crate) struct ServerMetrics {
+    pub(crate) requests_total: Counter,
+    pub(crate) responses_2xx: Counter,
+    pub(crate) responses_4xx: Counter,
+    pub(crate) responses_5xx: Counter,
+    pub(crate) rejected_total: Counter,
+    pub(crate) disconnects_total: Counter,
+    pub(crate) panics_total: Counter,
+    pub(crate) open_connections: Gauge,
+    /// Per-endpoint handler latency, µs, keyed by [`ENDPOINT_LABELS`].
+    durations: Vec<(&'static str, Histo)>,
 }
 
 impl ServerMetrics {
@@ -162,16 +143,35 @@ impl ServerMetrics {
             rejected_total: telemetry.counter("cpi_serve_rejected_total", &[]),
             disconnects_total: telemetry.counter("cpi_serve_disconnects_total", &[]),
             panics_total: telemetry.counter("cpi_serve_handler_panics_total", &[]),
-            queue_depth: telemetry.gauge("cpi_serve_accept_queue_depth", &[]),
+            open_connections: telemetry.gauge("cpi_serve_open_connections", &[]),
+            durations: ENDPOINT_LABELS
+                .iter()
+                .map(|&ep| {
+                    (
+                        ep,
+                        telemetry.histogram("cpi_serve_request_duration_us", &[("endpoint", ep)]),
+                    )
+                })
+                .collect(),
         }
     }
 
-    fn count_response(&self, status: u16) {
+    pub(crate) fn count_response(&self, status: u16) {
         match status {
             200..=299 => self.responses_2xx.inc(),
             400..=499 => self.responses_4xx.inc(),
             _ => self.responses_5xx.inc(),
         }
+    }
+
+    /// The duration histogram for an [`endpoint_label`] value.
+    pub(crate) fn duration(&self, label: &'static str) -> &Histo {
+        self.durations
+            .iter()
+            .find(|(ep, _)| *ep == label)
+            .or_else(|| self.durations.last())
+            .map(|(_, h)| h)
+            .expect("ENDPOINT_LABELS is non-empty")
     }
 }
 
@@ -190,7 +190,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, drains in-flight work, joins every thread.
+    /// Stops accepting, drops connections, joins every shard.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         for t in self.threads.drain(..) {
@@ -212,25 +212,32 @@ pub fn start(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
+    // `bind` listens with a backlog of 128; re-listen deeper so an
+    // accept burst from a full client fleet (or a reconnect storm in
+    // one-request-per-connection mode) queues instead of stalling each
+    // overflowed SYN in a ~1 s kernel retransmit.
+    {
+        use std::os::unix::io::AsRawFd;
+        let backlog = cfg.max_connections.clamp(128, 4096) as libc::c_int;
+        let rc = unsafe { libc::listen(listener.as_raw_fd(), backlog) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
     let local = listener.local_addr()?;
     let metrics = ServerMetrics::new(telemetry);
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(cfg.accept_queue.max(1));
+    let conn_count = Arc::new(AtomicUsize::new(0));
 
-    let mut threads = Vec::with_capacity(cfg.workers + 1);
-    for _ in 0..cfg.workers.max(1) {
-        let rx = rx.clone();
+    let mut threads = Vec::with_capacity(cfg.shards.max(1));
+    for _ in 0..cfg.shards.max(1) {
+        let listener = listener.try_clone()?;
         let handler = Arc::clone(&handler);
         let metrics = metrics.clone();
-        threads.push(thread::spawn(move || {
-            worker_loop(rx, handler, metrics, cfg)
-        }));
-    }
-    {
         let shutdown = Arc::clone(&shutdown);
-        let metrics = metrics.clone();
+        let conn_count = Arc::clone(&conn_count);
         threads.push(thread::spawn(move || {
-            accept_loop(listener, tx, shutdown, metrics, cfg);
+            crate::eventloop::shard_loop(listener, handler, metrics, cfg, shutdown, conn_count);
         }));
     }
 
@@ -241,274 +248,102 @@ pub fn start(
     })
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    tx: Sender<TcpStream>,
-    shutdown: Arc<AtomicBool>,
-    metrics: ServerMetrics,
-    cfg: ServerConfig,
-) {
-    // `tx` is dropped when this loop exits, disconnecting the workers'
-    // `recv` so they drain the queue and stop — no extra signalling.
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                match tx.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(stream)) => {
-                        // Back-pressure by refusal: tell the client now
-                        // rather than queueing unboundedly.
-                        metrics.rejected_total.inc();
-                        reject_overload(stream, cfg);
-                    }
-                    Err(TrySendError::Disconnected(_)) => return,
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-fn reject_overload(stream: TcpStream, cfg: ServerConfig) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms)));
-    let _ = write_response(
-        stream,
-        &Response::error(503, "server overloaded, try again"),
-    );
-}
-
-fn worker_loop(
-    rx: Receiver<TcpStream>,
-    handler: Handler,
-    metrics: ServerMetrics,
-    cfg: ServerConfig,
-) {
-    while let Ok(stream) = rx.recv() {
-        metrics.queue_depth.set(rx.len() as f64);
-        handle_connection(stream, &handler, &metrics, cfg);
-    }
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    handler: &Handler,
-    metrics: &ServerMetrics,
-    cfg: ServerConfig,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms)));
-    metrics.requests_total.inc();
-    let response = match read_request(&stream, cfg) {
-        Ok(req) => {
-            // A panicking route must cost one response, not one worker.
-            match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
-                Ok(resp) => resp,
-                Err(_) => {
-                    metrics.panics_total.inc();
-                    Response::error(500, "handler panicked")
-                }
-            }
-        }
-        Err(ReadError::Disconnected) => {
-            // Mid-request hangup: nothing to answer, just count it.
-            metrics.disconnects_total.inc();
-            return;
-        }
-        Err(ReadError::Http(status, msg)) => {
-            // The request may not be fully read (oversized header/body):
-            // answer, then drain before closing so the client receives
-            // the response instead of a connection reset.
-            let resp = Response::error(status, msg);
-            metrics.count_response(resp.status);
-            let _ = write_response_lingering(stream, &resp);
-            return;
-        }
-    };
-    metrics.count_response(response.status);
-    let _ = write_response(stream, &response);
-}
-
-/// Writes `resp`, half-closes the write side, then drains (bounded) any
-/// unread request bytes. Closing with unread data pending makes the
-/// kernel send RST, which can destroy the response before the client
-/// reads it — the drain gives a graceful close instead.
-fn write_response_lingering(mut stream: TcpStream, resp: &Response) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        resp.status,
-        reason(resp.status),
-        resp.content_type,
-        resp.body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
-    stream.flush()?;
-    let _ = stream.shutdown(Shutdown::Write);
-    let mut chunk = [0u8; 4096];
-    let mut drained = 0usize;
-    while drained < 256 * 1024 {
-        match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => drained += n,
-        }
-    }
-    Ok(())
-}
-
-enum ReadError {
-    /// Client went away (EOF or socket error) before a full request.
-    Disconnected,
-    /// Protocol-level problem: answer with this status and close.
-    Http(u16, &'static str),
-}
-
-fn read_request(mut stream: &TcpStream, cfg: ServerConfig) -> Result<Request, ReadError> {
-    // Read until the blank line ending the headers, bounded.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
-        if buf.len() > cfg.max_header_bytes {
-            return Err(ReadError::Http(431, "request headers too large"));
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(ReadError::Disconnected),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err(ReadError::Disconnected),
-        }
-    };
-
-    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split(' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
-        _ => return Err(ReadError::Http(400, "malformed request line")),
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Http(400, "unsupported protocol version"));
-    }
-    let method = method.to_ascii_uppercase();
-    if method != "GET" && method != "POST" {
-        return Err(ReadError::Http(405, "method not allowed"));
-    }
-
-    let mut content_length: usize = 0;
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ReadError::Http(400, "bad content-length"))?;
-            }
-        }
-    }
-    if content_length > cfg.max_body_bytes {
-        return Err(ReadError::Http(413, "request body too large"));
-    }
-
-    // Body bytes read together with the headers, then the remainder.
-    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
-    while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(ReadError::Disconnected),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err(ReadError::Disconnected),
-        }
-    }
-    body.truncate(content_length);
-
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, parse_query(q)),
-        None => (target, Vec::new()),
-    };
-    Ok(Request {
-        method,
-        path: path.to_string(),
-        query,
-        body,
-    })
-}
-
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-fn parse_query(q: &str) -> Vec<(String, String)> {
-    q.split('&')
-        .filter(|kv| !kv.is_empty())
-        .map(|kv| match kv.split_once('=') {
-            Some((k, v)) => (k.to_string(), v.to_string()),
-            None => (kv.to_string(), String::new()),
-        })
-        .collect()
-}
-
-fn reason(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        202 => "Accepted",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        413 => "Payload Too Large",
-        431 => "Request Header Fields Too Large",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        _ => "Response",
-    }
-}
-
-fn write_response(mut stream: TcpStream, resp: &Response) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        resp.status,
-        reason(resp.status),
-        resp.content_type,
-        resp.body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
-    stream.flush()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    fn echo_server(cfg: ServerConfig) -> ServerHandle {
+        let telemetry = Telemetry::disabled();
+        let handler: Handler =
+            Arc::new(|req: &Request| Response::text(200, format!("you asked for {}", req.path)));
+        start("127.0.0.1:0", cfg, &telemetry, handler).expect("bind")
+    }
 
     #[test]
-    fn query_parsing() {
-        let q = parse_query("job=3&index=1&rate=0.1&flag");
-        assert_eq!(q.len(), 4);
-        assert_eq!(q[0], ("job".to_string(), "3".to_string()));
-        assert_eq!(q[3], ("flag".to_string(), String::new()));
-        let req = Request {
-            query: q,
-            ..Request::default()
+    fn endpoint_labels_are_a_closed_set() {
+        assert_eq!(endpoint_label("/"), "root");
+        assert_eq!(endpoint_label("/metrics"), "metrics");
+        assert_eq!(endpoint_label("/incidents"), "incidents");
+        assert_eq!(endpoint_label("/incidents/7/trace"), "incident_trace");
+        assert_eq!(endpoint_label("/specs/3"), "specs");
+        assert_eq!(endpoint_label("/machines/12"), "machines");
+        assert_eq!(endpoint_label("/debug/events"), "debug_events");
+        assert_eq!(endpoint_label("/query"), "query");
+        assert_eq!(endpoint_label("/actions/cap"), "actions");
+        assert_eq!(endpoint_label("/../../etc/passwd"), "other");
+        for path in ["/", "/metrics", "/nope", "/actions/cap"] {
+            assert!(ENDPOINT_LABELS.contains(&endpoint_label(path)));
+        }
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let server = echo_server(ServerConfig::default());
+        let mut sock = TcpStream::connect(server.addr()).expect("connect");
+        for i in 0..5 {
+            sock.write_all(format!("GET /r{i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .expect("write");
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 4096];
+            loop {
+                match crate::http::scan_response(&buf) {
+                    crate::http::ScannedResponse::Partial => {
+                        let n = sock.read(&mut chunk).expect("read");
+                        assert!(n > 0, "server closed a keep-alive connection");
+                        buf.extend_from_slice(&chunk[..n]);
+                    }
+                    crate::http::ScannedResponse::Complete { status, .. } => {
+                        assert_eq!(status, 200);
+                        break;
+                    }
+                    crate::http::ScannedResponse::Malformed => panic!("malformed response"),
+                }
+            }
+            let text = String::from_utf8_lossy(&buf);
+            assert!(text.contains("Connection: keep-alive"), "{text}");
+            assert!(text.contains(&format!("you asked for /r{i}")), "{text}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let server = echo_server(ServerConfig::default());
+        let mut sock = TcpStream::connect(server.addr()).expect("connect");
+        // Three requests in one write; the last asks to close.
+        sock.write_all(
+            b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nGET /c HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .expect("write");
+        let mut all = String::new();
+        sock.read_to_string(&mut all).expect("read to EOF");
+        let a = all.find("you asked for /a").expect("first response");
+        let b = all.find("you asked for /b").expect("second response");
+        let c = all.find("you asked for /c").expect("third response");
+        assert!(a < b && b < c, "responses out of order: {all}");
+        assert_eq!(all.matches("HTTP/1.1 200 OK").count(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn max_requests_per_conn_retires_the_connection() {
+        let cfg = ServerConfig {
+            max_requests_per_conn: 2,
+            ..ServerConfig::default()
         };
-        assert_eq!(req.param("rate"), Some("0.1"));
-        assert_eq!(req.param("missing"), None);
-    }
-
-    #[test]
-    fn header_end_detection() {
-        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
-        assert_eq!(find_header_end(b"partial\r\n"), None);
-    }
-
-    #[test]
-    fn error_body_is_json_escaped() {
-        let r = Response::error(400, "bad \"thing\"\n");
-        assert_eq!(
-            String::from_utf8(r.body).unwrap(),
-            "{\"error\":\"bad \\\"thing\\\"\\n\"}"
+        let server = echo_server(cfg);
+        let mut sock = TcpStream::connect(server.addr()).expect("connect");
+        sock.write_all(b"GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n")
+            .expect("write");
+        let mut all = String::new();
+        sock.read_to_string(&mut all).expect("read to EOF");
+        assert_eq!(all.matches("HTTP/1.1 200 OK").count(), 2);
+        assert!(
+            all.contains("Connection: close"),
+            "final response should close: {all}"
         );
+        server.shutdown();
     }
 }

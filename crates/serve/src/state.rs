@@ -1,12 +1,20 @@
 //! Shared state between the ticking harness and the request handlers.
 //!
 //! The contract mirrors the spec store's snapshot-swap pattern: the
-//! harness thread builds a fresh immutable [`LiveSnapshot`] after every
-//! tick and swaps it in under a short mutex; request handlers clone the
-//! `Arc` out and read without ever blocking the tick loop or observing a
-//! torn view. Operator actions flow the other way through the
-//! [`ActionQueue`] and are applied only at the next tick boundary, so a
-//! resident server perturbs neither tick ordering nor determinism.
+//! harness thread publishes immutable state after every tick and swaps
+//! it in under a short mutex; request handlers clone `Arc`s out and
+//! read without ever blocking the tick loop or observing a torn view.
+//! Operator actions flow the other way through the [`ActionQueue`] and
+//! are applied only at the next tick boundary, so a resident server
+//! perturbs neither tick ordering nor determinism.
+//!
+//! At fleet scale the per-tick publish is a [`DeltaSnapshot`] — only
+//! the machines whose fingerprint changed, appended incidents/samples,
+//! spec bumps, and grown traces — layered over a periodic full
+//! [`LiveSnapshot`] base, so the tick thread pays for churn, not fleet
+//! size. Handlers reconstruct the merged view lazily ([`LiveState::snapshot`]);
+//! the merge runs at most once per publish (cached) and happens on a
+//! request thread, never the tick thread.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,6 +117,11 @@ pub struct TraceView {
     pub spans: Vec<SpanView>,
 }
 
+/// Incidents retained per merged snapshot (oldest dropped beyond it).
+pub const INCIDENT_TAIL: usize = 256;
+/// CPI samples retained per merged snapshot.
+pub const SAMPLE_TAIL: usize = 512;
+
 /// Immutable per-tick snapshot of everything the server reads.
 #[derive(Debug, Clone, Default)]
 pub struct LiveSnapshot {
@@ -138,22 +151,151 @@ pub struct LiveSnapshot {
     pub traces: Vec<TraceView>,
 }
 
-/// Snapshot-swap cell: writers publish a whole new snapshot; readers
-/// clone the `Arc` out under a short lock and never see a torn view.
+/// One tick's diff over the current full base: replaced machine views,
+/// appended incidents/samples, changed specs, and grown traces, plus
+/// the always-cheap scalar header. Built by the harness when only part
+/// of the fleet changed; empty collections mean "scalars only".
+#[derive(Debug, Clone, Default)]
+pub struct DeltaSnapshot {
+    /// Sim time of the delta, µs.
+    pub now_us: i64,
+    /// Tick length, µs.
+    pub tick_us: i64,
+    /// Ticks the harness has executed.
+    pub ticks: u64,
+    /// Spec store version.
+    pub spec_version: u64,
+    /// Whether cluster-wide CPI protection is on.
+    pub protection_enabled: bool,
+    /// Hard caps applied so far.
+    pub caps_applied: u64,
+    /// Sample batches lost to collector back-pressure.
+    pub collector_dropped: u64,
+    /// Machines whose fingerprint changed (full replacement views).
+    pub machines: Vec<MachineView>,
+    /// Incidents appended since the previous publish.
+    pub new_incidents: Vec<IncidentView>,
+    /// Samples appended since the previous publish.
+    pub new_samples: Vec<CpiSample>,
+    /// Specs republished since the previous publish (replace by job).
+    pub changed_specs: Vec<CpiSpec>,
+    /// Traces added or extended since the previous publish (replace by
+    /// trace id).
+    pub changed_traces: Vec<TraceView>,
+}
+
+/// Replays `deltas` (oldest first) over `base` into one merged view.
+fn merge(base: &LiveSnapshot, deltas: &[Arc<DeltaSnapshot>]) -> LiveSnapshot {
+    let mut out = base.clone();
+    for d in deltas {
+        out.now_us = d.now_us;
+        out.tick_us = d.tick_us;
+        out.ticks = d.ticks;
+        out.spec_version = d.spec_version;
+        out.protection_enabled = d.protection_enabled;
+        out.caps_applied = d.caps_applied;
+        out.collector_dropped = d.collector_dropped;
+        for m in &d.machines {
+            // `machines` is id-ordered in every snapshot; replacement
+            // keeps it so (and `/machines/{id}` lookups keep working).
+            match out.machines.binary_search_by_key(&m.id, |x| x.id) {
+                Ok(i) => {
+                    if let Some(slot) = out.machines.get_mut(i) {
+                        *slot = m.clone();
+                    }
+                }
+                Err(i) => out.machines.insert(i, m.clone()),
+            }
+        }
+        out.incidents.extend(d.new_incidents.iter().cloned());
+        out.samples.extend(d.new_samples.iter().cloned());
+        for spec in &d.changed_specs {
+            match out.specs.iter_mut().find(|s| s.jobname == spec.jobname) {
+                Some(slot) => *slot = spec.clone(),
+                None => out.specs.push(spec.clone()),
+            }
+        }
+        for trace in &d.changed_traces {
+            match out.traces.iter_mut().find(|t| t.trace == trace.trace) {
+                Some(slot) => *slot = trace.clone(),
+                None => out.traces.push(trace.clone()),
+            }
+        }
+    }
+    if out.incidents.len() > INCIDENT_TAIL {
+        let excess = out.incidents.len() - INCIDENT_TAIL;
+        out.incidents.drain(..excess);
+    }
+    if out.samples.len() > SAMPLE_TAIL {
+        let excess = out.samples.len() - SAMPLE_TAIL;
+        out.samples.drain(..excess);
+    }
+    out
+}
+
+#[derive(Debug, Default)]
+struct LiveCell {
+    base: Arc<LiveSnapshot>,
+    deltas: Vec<Arc<DeltaSnapshot>>,
+    /// Cached merge of `base` + `deltas`; invalidated by any publish.
+    merged: Option<Arc<LiveSnapshot>>,
+    /// Bumped by every publish, so a merge computed outside the lock is
+    /// installed only if nothing was published meanwhile.
+    generation: u64,
+}
+
+/// Snapshot-swap cell: the tick thread publishes a full base or a
+/// per-tick delta; readers get the merged view. Merging happens lazily
+/// on the first reader after a publish (cached afterwards), outside the
+/// lock, so neither the tick thread nor other readers wait on it.
 #[derive(Debug, Default)]
 pub struct LiveState {
-    snap: Mutex<Arc<LiveSnapshot>>,
+    cell: Mutex<LiveCell>,
 }
 
 impl LiveState {
-    /// Atomically replaces the current snapshot.
+    /// Atomically replaces the current base snapshot, discarding any
+    /// layered deltas (a *full* publish).
     pub fn publish(&self, snap: LiveSnapshot) {
-        *self.snap.lock() = Arc::new(snap);
+        let mut c = self.cell.lock();
+        c.base = Arc::new(snap);
+        c.deltas.clear();
+        c.merged = None;
+        c.generation += 1;
     }
 
-    /// The current snapshot (clone-cheap).
+    /// Layers one per-tick delta over the current base.
+    pub fn publish_delta(&self, delta: DeltaSnapshot) {
+        let mut c = self.cell.lock();
+        c.deltas.push(Arc::new(delta));
+        c.merged = None;
+        c.generation += 1;
+    }
+
+    /// The current merged snapshot (clone-cheap once merged; the merge
+    /// itself runs at most once per publish).
     pub fn snapshot(&self) -> Arc<LiveSnapshot> {
-        Arc::clone(&self.snap.lock())
+        let (base, deltas, generation) = {
+            let c = self.cell.lock();
+            if let Some(m) = &c.merged {
+                return Arc::clone(m);
+            }
+            if c.deltas.is_empty() {
+                return Arc::clone(&c.base);
+            }
+            (Arc::clone(&c.base), c.deltas.clone(), c.generation)
+        };
+        let merged = Arc::new(merge(&base, &deltas));
+        let mut c = self.cell.lock();
+        if c.generation == generation {
+            c.merged = Some(Arc::clone(&merged));
+        }
+        merged
+    }
+
+    /// Deltas currently layered over the base (tests and diagnostics).
+    pub fn delta_depth(&self) -> usize {
+        self.cell.lock().deltas.len()
     }
 }
 
@@ -265,6 +407,117 @@ mod tests {
         assert_eq!(held.ticks, 0);
         assert_eq!(state.snapshot().ticks, 7);
         assert_eq!(state.snapshot().now_us, 42);
+    }
+
+    fn machine(id: u32, utilization: f64) -> MachineView {
+        MachineView {
+            id,
+            tasks: 1,
+            threads: 2,
+            utilization,
+            throttle_events: 0,
+            task_list: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn deltas_merge_lazily_and_cache() {
+        let state = LiveState::default();
+        state.publish(LiveSnapshot {
+            ticks: 1,
+            machines: vec![machine(0, 0.1), machine(2, 0.2)],
+            ..LiveSnapshot::default()
+        });
+        state.publish_delta(DeltaSnapshot {
+            ticks: 2,
+            now_us: 99,
+            machines: vec![machine(2, 0.9), machine(1, 0.5)],
+            ..DeltaSnapshot::default()
+        });
+        assert_eq!(state.delta_depth(), 1);
+        let merged = state.snapshot();
+        assert_eq!(merged.ticks, 2);
+        assert_eq!(merged.now_us, 99);
+        // Replacement by id keeps id order; unknown ids insert in place.
+        let ids: Vec<u32> = merged.machines.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!((merged.machines[2].utilization - 0.9).abs() < 1e-12);
+        // A second read returns the cached merge (same Arc).
+        assert!(Arc::ptr_eq(&merged, &state.snapshot()));
+        // A full publish discards the layered deltas.
+        state.publish(LiveSnapshot::default());
+        assert_eq!(state.delta_depth(), 0);
+        assert_eq!(state.snapshot().machines.len(), 0);
+    }
+
+    #[test]
+    fn merged_tails_stay_bounded() {
+        fn incident(n: usize) -> IncidentView {
+            IncidentView {
+                trace: format!("{n:016x}"),
+                at_us: n as i64,
+                machine: 0,
+                victim_job: "v".into(),
+                victim_task: 0,
+                victim_cpi: 1.0,
+                cthreshold: 2.0,
+                action: "none".into(),
+                target_job: String::new(),
+                cpu_rate: 0.0,
+                reason: "test".into(),
+                suspects: Vec::new(),
+            }
+        }
+        let state = LiveState::default();
+        state.publish(LiveSnapshot {
+            incidents: (0..INCIDENT_TAIL).map(incident).collect(),
+            ..LiveSnapshot::default()
+        });
+        state.publish_delta(DeltaSnapshot {
+            new_incidents: vec![incident(INCIDENT_TAIL), incident(INCIDENT_TAIL + 1)],
+            ..DeltaSnapshot::default()
+        });
+        let merged = state.snapshot();
+        assert_eq!(merged.incidents.len(), INCIDENT_TAIL);
+        // Oldest dropped, newest retained.
+        assert_eq!(merged.incidents[0].at_us, 2);
+        assert_eq!(
+            merged.incidents.last().unwrap().at_us,
+            (INCIDENT_TAIL + 1) as i64
+        );
+    }
+
+    #[test]
+    fn delta_traces_replace_by_id() {
+        let state = LiveState::default();
+        state.publish(LiveSnapshot {
+            traces: vec![TraceView {
+                trace: "00000000000000aa".into(),
+                spans: Vec::new(),
+            }],
+            ..LiveSnapshot::default()
+        });
+        state.publish_delta(DeltaSnapshot {
+            changed_traces: vec![
+                TraceView {
+                    trace: "00000000000000aa".into(),
+                    spans: vec![SpanView {
+                        stage: "recovery".into(),
+                        start_us: 1,
+                        end_us: 2,
+                        detail: String::new(),
+                    }],
+                },
+                TraceView {
+                    trace: "00000000000000bb".into(),
+                    spans: Vec::new(),
+                },
+            ],
+            ..DeltaSnapshot::default()
+        });
+        let merged = state.snapshot();
+        assert_eq!(merged.traces.len(), 2);
+        assert_eq!(merged.traces[0].spans.len(), 1, "extended in place");
     }
 
     #[test]

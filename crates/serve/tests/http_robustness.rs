@@ -1,18 +1,21 @@
 //! Loopback HTTP tests: every endpoint answers well-formed output, and
 //! hostile input (malformed request lines, oversized headers/bodies,
-//! unknown routes, mid-request disconnects) gets a 4xx or a clean close —
-//! never a panic, never a wedged worker.
+//! slowloris trickles, mid-request and mid-chunk disconnects, idle
+//! keep-alive squatters) gets a 4xx, a `408`, or a clean close — never
+//! a panic, never a wedged shard.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use cpi2::core::Cpi2Config;
 use cpi2::harness::Cpi2Harness;
 use cpi2::sim::{Cluster, ClusterConfig, Platform, SimDuration};
 use cpi2::telemetry::Telemetry;
+use cpi2_serve::http::{scan_response, ScannedResponse};
 use cpi2_serve::{ServeHarness, ServerConfig};
 
-fn boot() -> (ServeHarness, std::net::SocketAddr) {
+fn boot_with(cfg: ServerConfig) -> (ServeHarness, std::net::SocketAddr) {
     let telemetry = Telemetry::enabled();
     let mut cluster = Cluster::new(ClusterConfig {
         seed: 42,
@@ -27,30 +30,66 @@ fn boot() -> (ServeHarness, std::net::SocketAddr) {
     };
     let mut sh = ServeHarness::new(Cpi2Harness::new(cluster, config));
     sh.run_for(SimDuration::from_mins(3));
-    let addr = sh
-        .serve("127.0.0.1:0", ServerConfig::default())
-        .expect("bind loopback");
+    let addr = sh.serve("127.0.0.1:0", cfg).expect("bind loopback");
     (sh, addr)
 }
 
-/// Sends raw bytes, returns (status, full body). Half-closes the write
-/// side after sending so the server's lingering-close drain ends at EOF.
-fn raw(addr: std::net::SocketAddr, bytes: &[u8]) -> (u16, String) {
-    let mut s = TcpStream::connect(addr).expect("connect");
-    s.write_all(bytes).expect("write");
-    let _ = s.shutdown(std::net::Shutdown::Write);
-    let mut out = String::new();
-    s.read_to_string(&mut out).expect("read");
-    let status: u16 = out
+fn boot() -> (ServeHarness, std::net::SocketAddr) {
+    boot_with(ServerConfig::default())
+}
+
+/// Decodes a chunked transfer coding (already split from the head).
+fn dechunk(mut rest: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let Some(eol) = rest.windows(2).position(|w| w == b"\r\n") else {
+            return out;
+        };
+        let Some(size) = std::str::from_utf8(&rest[..eol])
+            .ok()
+            .and_then(|s| usize::from_str_radix(s.trim(), 16).ok())
+        else {
+            return out;
+        };
+        if size == 0 || rest.len() < eol + 2 + size {
+            return out;
+        }
+        out.extend_from_slice(&rest[eol + 2..eol + 2 + size]);
+        rest = &rest[eol + 2 + size + 2..];
+    }
+}
+
+/// Parses one response from raw wire bytes: status plus the decoded
+/// (de-chunked when applicable) body.
+fn parse_response(wire: &[u8]) -> (u16, String) {
+    let Some(head_end) = wire.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return (0, String::new());
+    };
+    let head = String::from_utf8_lossy(&wire[..head_end]).to_ascii_lowercase();
+    let status: u16 = head
         .split(' ')
         .nth(1)
         .and_then(|c| c.parse().ok())
         .unwrap_or(0);
-    let body = out
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, body)
+    let body_bytes = &wire[head_end + 4..];
+    let body = if head.contains("transfer-encoding: chunked") {
+        dechunk(body_bytes)
+    } else {
+        body_bytes.to_vec()
+    };
+    (status, String::from_utf8_lossy(&body).into_owned())
+}
+
+/// Sends raw bytes, returns (status, decoded body). Half-closes the
+/// write side after sending so the server's lingering-close drain ends
+/// at EOF.
+fn raw(addr: std::net::SocketAddr, bytes: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(bytes).expect("write");
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read");
+    parse_response(&out)
 }
 
 fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
@@ -112,6 +151,15 @@ fn endpoints_serve_well_formed_output() {
     let (code, body) = get(addr, "/metrics");
     assert_eq!(code, 200);
     assert!(body.contains("cpi_sim_ticks_total"), "{body}");
+    // New serve metrics: the open-connection gauge (this scrape's own
+    // connection counts), per-endpoint latency histograms from the
+    // requests above, and the tick-thread publish-cost histogram.
+    assert!(body.contains("cpi_serve_open_connections"), "{body}");
+    assert!(
+        body.contains("cpi_serve_request_duration_us{endpoint=\"healthz\""),
+        "{body}"
+    );
+    assert!(body.contains("cpi_serve_publish_us"), "{body}");
     for line in body.lines() {
         assert!(
             sample_line_ok(line),
@@ -223,5 +271,151 @@ fn hostile_input_never_panics() {
         "a handler panicked:\n{text}"
     );
 
+    sh.shutdown_server();
+}
+
+/// Reads one full response off a keep-alive socket (connection stays
+/// open), returning (status, raw wire bytes of that response). `buf`
+/// carries bytes read past the response boundary — with pipelining,
+/// one `read()` may return pieces of several responses.
+fn read_one_response(sock: &mut TcpStream, buf: &mut Vec<u8>) -> (u16, Vec<u8>) {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match scan_response(buf) {
+            ScannedResponse::Complete { status, consumed } => {
+                let wire = buf[..consumed].to_vec();
+                buf.drain(..consumed);
+                return (status, wire);
+            }
+            ScannedResponse::Partial => {
+                let n = sock.read(&mut chunk).expect("read");
+                assert!(n > 0, "connection closed mid-response");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            ScannedResponse::Malformed => panic!("malformed response: {buf:?}"),
+        }
+    }
+}
+
+#[test]
+fn slowloris_trickle_completes_but_stall_gets_408() {
+    let cfg = ServerConfig {
+        read_timeout_ms: 600,
+        keep_alive_idle_ms: 10_000,
+        ..ServerConfig::default()
+    };
+    let (mut sh, addr) = boot_with(cfg);
+
+    // Byte-at-a-time headers that finish inside the deadline still get
+    // served — slow ≠ dead.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    for b in b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n" {
+        s.write_all(std::slice::from_ref(b)).expect("write");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut carry = Vec::new();
+    let (code, _) = read_one_response(&mut s, &mut carry);
+    assert_eq!(code, 200);
+    drop(s);
+
+    // A request that stalls forever mid-header is answered 408 and the
+    // connection is closed — it cannot pin the shard.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(b"GET /metrics HTTP/1.1\r\nX-Slow")
+        .expect("write");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read to close");
+    let (code, _) = parse_response(&out);
+    assert_eq!(code, 408, "stalled request should time out");
+
+    let (code, _) = get(addr, "/healthz");
+    assert_eq!(code, 200);
+    sh.shutdown_server();
+    drop(sh);
+}
+
+#[test]
+fn pipelined_requests_against_live_harness() {
+    let (mut sh, addr) = boot();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(
+        b"GET /healthz HTTP/1.1\r\n\r\nGET /version HTTP/1.1\r\n\r\nGET /incidents HTTP/1.1\r\n\r\n",
+    )
+    .expect("write");
+    let mut carry = Vec::new();
+    let (code, _) = read_one_response(&mut s, &mut carry);
+    assert_eq!(code, 200);
+    let (code, wire) = read_one_response(&mut s, &mut carry);
+    assert_eq!(code, 200);
+    assert!(
+        String::from_utf8_lossy(&wire).contains("cpi2-serve"),
+        "second pipelined response is /version"
+    );
+    let (code, wire) = read_one_response(&mut s, &mut carry);
+    assert_eq!(code, 200);
+    assert!(
+        String::from_utf8_lossy(&wire)
+            .to_ascii_lowercase()
+            .contains("transfer-encoding: chunked"),
+        "/incidents streams"
+    );
+    // The connection is still usable afterwards.
+    s.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("write");
+    let (code, _) = read_one_response(&mut s, &mut carry);
+    assert_eq!(code, 200);
+    sh.shutdown_server();
+}
+
+#[test]
+fn mid_chunk_disconnect_is_survived() {
+    let (mut sh, addr) = boot();
+    // Start reading a chunked response, then vanish mid-body.
+    for _ in 0..4 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /incidents HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("write");
+        let mut first = [0u8; 16];
+        let _ = s.read(&mut first); // some of the head, not all of the body
+        drop(s); // RST or FIN mid-chunk
+    }
+    // Shards are all still alive and answering.
+    for _ in 0..4 {
+        let (code, _) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+    }
+    let text = sh
+        .inner()
+        .telemetry()
+        .prometheus_text()
+        .expect("telemetry on");
+    assert!(
+        text.contains("cpi_serve_handler_panics_total 0"),
+        "a handler panicked:\n{text}"
+    );
+    sh.shutdown_server();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped() {
+    let cfg = ServerConfig {
+        keep_alive_idle_ms: 300,
+        read_timeout_ms: 5_000,
+        ..ServerConfig::default()
+    };
+    let (mut sh, addr) = boot_with(cfg);
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("write");
+    let mut carry = Vec::new();
+    let (code, _) = read_one_response(&mut s, &mut carry);
+    assert_eq!(code, 200);
+    // Go idle past the keep-alive budget: the server reaps us (EOF),
+    // it does not wait for the (longer) read timeout.
+    s.set_read_timeout(Some(Duration::from_millis(3_000)))
+        .expect("timeout");
+    let mut buf = [0u8; 64];
+    let n = s.read(&mut buf).expect("reap should be a clean close");
+    assert_eq!(n, 0, "expected EOF from idle reap, got {n} bytes");
     sh.shutdown_server();
 }

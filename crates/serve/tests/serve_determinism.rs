@@ -40,14 +40,19 @@ fn client(addr: std::net::SocketAddr, i: usize) -> (usize, usize) {
     let mut server_errors = 0;
     let paths: [&str; 4] = ["/metrics", "/incidents", "/debug/events", "/metrics.json"];
     for n in 0..REQUESTS_PER_CLIENT {
+        // `Connection: close` so the keep-alive server ends each
+        // exchange and `read_to_string` sees EOF.
         let req = if n % 4 == 3 {
             let sql = "SELECT count(*) FROM samples";
             format!(
-                "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{sql}",
+                "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{sql}",
                 sql.len()
             )
         } else {
-            format!("GET {} HTTP/1.1\r\nHost: t\r\n\r\n", paths[(i + n) % 4])
+            format!(
+                "GET {} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                paths[(i + n) % 4]
+            )
         };
         let Ok(mut s) = TcpStream::connect(addr) else {
             continue;
@@ -88,8 +93,11 @@ fn tick_stream_is_bit_identical_with_server_attached() {
     let bare_caps = bare.caps_applied();
 
     // Same seed, but resident: 32 concurrent clients scrape and query
-    // while the fleet ticks at full rate.
+    // while the fleet ticks at full rate, with delta-snapshot
+    // publishing on (the default; restated here because bit-identity
+    // under deltas is exactly what this test certifies).
     let mut sh = ServeHarness::new(build_system());
+    sh.set_full_snapshot_every(64);
     let addr = sh
         .serve("127.0.0.1:0", ServerConfig::default())
         .expect("bind loopback");

@@ -1,9 +1,11 @@
 //! Offline stand-in for `libc`, exposing only the symbols the optional
-//! `linux-perf` feature of `cpi2-perf` touches. Bindings are declared
-//! against the system C library, exactly as the real crate does.
+//! `linux-perf` feature of `cpi2-perf` and the `cpi2-serve` readiness
+//! event loop touch. Bindings are declared against the system C
+//! library, exactly as the real crate does.
 #![allow(non_camel_case_types, non_upper_case_globals)]
 
 pub type c_int = i32;
+pub type c_short = i16;
 pub type c_long = i64;
 pub type c_ulong = u64;
 pub type c_void = std::ffi::c_void;
@@ -15,6 +17,37 @@ pub type suseconds_t = i64;
 
 /// `getrusage` target: the calling process.
 pub const RUSAGE_SELF: c_int = 0;
+
+/// `poll(2)` readiness flags (asm-generic values, shared by x86_64 and
+/// aarch64 Linux).
+pub const POLLIN: c_short = 0x001;
+pub const POLLOUT: c_short = 0x004;
+pub const POLLERR: c_short = 0x008;
+pub const POLLHUP: c_short = 0x010;
+pub const POLLNVAL: c_short = 0x020;
+
+/// `getrlimit`/`setrlimit` resource: open file descriptors.
+pub const RLIMIT_NOFILE: c_int = 7;
+
+/// Count type for `poll(2)`'s fd array.
+pub type nfds_t = c_ulong;
+/// Resource-limit value type.
+pub type rlim_t = u64;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct pollfd {
+    pub fd: c_int,
+    pub events: c_short,
+    pub revents: c_short,
+}
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct rlimit {
+    pub rlim_cur: rlim_t,
+    pub rlim_max: rlim_t,
+}
 
 /// `perf_event_open(2)` syscall number on x86_64 Linux.
 #[cfg(target_arch = "x86_64")]
@@ -60,4 +93,8 @@ extern "C" {
     pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
     pub fn close(fd: c_int) -> c_int;
     pub fn getrusage(who: c_int, usage: *mut rusage) -> c_int;
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    pub fn listen(sockfd: c_int, backlog: c_int) -> c_int;
+    pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
 }
